@@ -1,0 +1,30 @@
+# LBM-IB reproduction — common workflows.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/flexible_sheet_in_flow.py --steps 100
+	$(PYTHON) examples/circular_plate.py --steps 100
+	$(PYTHON) examples/scaling_study.py
+	$(PYTHON) examples/extensions_tour.py
+	$(PYTHON) examples/convergence_study.py
+
+# print every reproduced table/figure without pytest
+report:
+	$(PYTHON) -m repro.experiments
+
+clean:
+	rm -rf benchmarks/results examples/out .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,79 @@
+"""Benchmarks: ablation studies of the cube-based design choices.
+
+DESIGN.md's per-experiment index lists the design knobs of Section V;
+each sweep here measures their effect with the real implementation on a
+reduced input: cube size (working set vs bookkeeping), distribution
+function (balance vs locality), owner locks (overhead; numerics
+unchanged), and the delta kernel's support (influential-domain size vs
+transfer cost).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    cube_size_sweep,
+    delta_kernel_sweep,
+    distribution_sweep,
+    lock_overhead,
+    render_results,
+)
+from repro.io.csvout import write_csv
+
+
+def _persist(results_dir, name, results):
+    extra_keys = sorted({k for r in results for k in r.extra})
+    write_csv(
+        results_dir / f"{name}.csv",
+        ["configuration", "seconds"] + extra_keys,
+        [[r.label, round(r.seconds, 4)] + [r.extra.get(k, 0) for k in extra_keys] for r in results],
+    )
+
+
+def test_ablation_cube_size(benchmark, emit, results_dir):
+    results = benchmark.pedantic(
+        cube_size_sweep, kwargs={"steps": 2}, rounds=1, iterations=1
+    )
+    emit("ablation_cube_size", render_results("Ablation: cube size k", results))
+    _persist(results_dir, "ablation_cube_size", results)
+    # the per-cube working set grows as k^3
+    ws = {r.label: r.extra["cube_working_set_kb"] for r in results}
+    assert ws["k=8"] == pytest.approx(64 * ws["k=2"], rel=1e-6)
+
+
+def test_ablation_distribution_method(benchmark, emit, results_dir):
+    results = benchmark.pedantic(
+        distribution_sweep, kwargs={"steps": 2}, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_distribution",
+        render_results("Ablation: cube2thread distribution method", results),
+    )
+    _persist(results_dir, "ablation_distribution", results)
+    assert {r.label for r in results} == {"block", "cyclic", "block_cyclic"}
+
+
+def test_ablation_lock_overhead(benchmark, emit, results_dir):
+    results = benchmark.pedantic(
+        lock_overhead, kwargs={"steps": 2}, rounds=1, iterations=1
+    )
+    emit("ablation_locks", render_results("Ablation: owner locks on/off", results))
+    _persist(results_dir, "ablation_locks", results)
+    on = next(r for r in results if r.label == "locks on")
+    off = next(r for r in results if r.label == "locks off")
+    assert on.extra["acquisitions"] > 0
+    assert off.extra["acquisitions"] == 0
+
+
+def test_ablation_delta_kernel(benchmark, emit, results_dir):
+    results = benchmark.pedantic(
+        delta_kernel_sweep, kwargs={"steps": 2}, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_delta",
+        render_results("Ablation: delta kernel support (influential domain)", results),
+    )
+    _persist(results_dir, "ablation_delta", results)
+    domains = {r.label: r.extra["influential_nodes"] for r in results}
+    assert domains["cosine (support 4)"] == 64.0

@@ -1,0 +1,54 @@
+"""Benchmark: paper Figure 5 — OpenMP strong scaling on 32 cores.
+
+The speedup curve comes from the machine model (calibrated against the
+paper's 75%/56%/38% efficiency anchors; see DESIGN.md for the hardware
+substitution).  The timed part runs the *real* OpenMP-style solver at
+several team sizes on a reduced grid, verifying that the parallel
+program itself executes correctly at every width — wall-clock speedup
+on this container is not meaningful (single physical core + GIL), which
+is exactly why the model layer exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Simulation
+from repro.experiments.fig5 import PAPER_FIG5_EFFICIENCY, render_fig5, run_fig5
+from repro.experiments.workloads import scaled_profiling_config
+from repro.io.csvout import write_csv
+
+
+def test_fig5_reproduction(benchmark, emit, results_dir):
+    rows = run_fig5()
+    emit("fig5_openmp_scaling", render_fig5(rows))
+    write_csv(
+        results_dir / "fig5_openmp_scaling.csv",
+        ["cores", "ideal_speedup", "model_speedup", "model_efficiency", "paper_efficiency"],
+        [
+            [
+                r.cores,
+                r.ideal_speedup,
+                round(r.model_speedup, 3),
+                round(r.model_efficiency, 4),
+                "" if r.paper_efficiency is None else r.paper_efficiency,
+            ]
+            for r in rows
+        ],
+    )
+    by_cores = {r.cores: r for r in rows}
+    for cores, eff in PAPER_FIG5_EFFICIENCY.items():
+        assert by_cores[cores].model_efficiency == pytest.approx(eff, abs=0.02)
+
+    benchmark(run_fig5)
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_openmp_solver_step(benchmark, threads):
+    """Real execution of the OpenMP-style program at several widths."""
+    sim = Simulation(scaled_profiling_config(scale=6, solver="openmp", num_threads=threads))
+    try:
+        sim.run(1)  # warm the pool
+        benchmark(sim.run, 1)
+    finally:
+        sim.close()

@@ -1,0 +1,81 @@
+"""Benchmark: paper Figure 8 — weak scaling, OpenMP vs cube-based.
+
+The execution-time curves come from the machine model on the thog
+preset (growth rates and the 53%-at-64-cores headline are checked
+against the paper).  The timed part runs both real parallel programs on
+identical reduced inputs so their per-step costs on this machine are
+measured side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Simulation
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.workloads import scaled_profiling_config
+from repro.io.csvout import write_csv
+
+
+def test_fig8_reproduction(benchmark, emit, results_dir):
+    rows = run_fig8()
+    emit("fig8_weak_scaling", render_fig8(rows))
+    write_csv(
+        results_dir / "fig8_weak_scaling.csv",
+        [
+            "cores",
+            "grid",
+            "openmp_seconds",
+            "cube_seconds",
+            "openmp_growth",
+            "cube_growth",
+            "openmp_over_cube",
+        ],
+        [
+            [
+                r.cores,
+                "x".join(map(str, r.fluid_shape)),
+                round(r.openmp_seconds, 3),
+                round(r.cube_seconds, 3),
+                "" if r.openmp_growth is None else round(r.openmp_growth, 3),
+                "" if r.cube_growth is None else round(r.cube_growth, 3),
+                round(r.openmp_over_cube, 3),
+            ]
+            for r in rows
+        ],
+    )
+    assert rows[-1].openmp_over_cube == pytest.approx(1.53, abs=0.03)
+    # cube grows slower at every doubling
+    for r in rows[1:]:
+        assert r.cube_growth < r.openmp_growth
+
+    benchmark(run_fig8)
+
+
+def test_openmp_solver_real_step(benchmark):
+    sim = Simulation(scaled_profiling_config(scale=8, solver="openmp", num_threads=2))
+    try:
+        sim.run(1)
+        benchmark(sim.run, 1)
+    finally:
+        sim.close()
+
+
+def test_cube_solver_real_step(benchmark):
+    sim = Simulation(
+        scaled_profiling_config(scale=8, solver="cube", num_threads=2, cube_size=4)
+    )
+    try:
+        sim.run(1)
+        benchmark(sim.run, 1)
+    finally:
+        sim.close()
+
+
+def test_sequential_solver_real_step(benchmark):
+    sim = Simulation(scaled_profiling_config(scale=8))
+    try:
+        sim.run(1)
+        benchmark(sim.run, 1)
+    finally:
+        sim.close()

@@ -1,0 +1,107 @@
+"""Benchmark: paper Table I — sequential kernel time breakdown.
+
+Regenerates the gprof profile (paper vs machine model vs our measured
+NumPy shares) and times each of the nine kernels individually on a
+scaled version of the paper's input, so the per-kernel costs are real
+wall-clock numbers from this machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.ib import geometry
+from repro.core.lbm.fields import FluidGrid
+from repro.experiments.table1 import render_table1, run_table1
+from repro.io.csvout import write_csv
+
+#: Scaled profiling input: same aspect ratio as the paper's 124x64x64.
+SHAPE = (62, 32, 32)
+FIBERS = 26  # half of the paper's 52x52
+
+
+@pytest.fixture(scope="module")
+def state():
+    grid = FluidGrid(SHAPE, tau=0.8)
+    structure = geometry.flat_sheet(
+        SHAPE, num_fibers=FIBERS, nodes_per_fiber=FIBERS, stretch_coefficient=0.02
+    )
+    structure.sheets[0].positions[FIBERS // 2, FIBERS // 2, 0] += 0.5
+    # run a couple of steps so every buffer holds realistic data
+    from repro.core.solver import SequentialLBMIBSolver
+
+    SequentialLBMIBSolver(grid, structure).run(2)
+    return grid, structure
+
+
+def test_table1_reproduction(benchmark, emit, results_dir):
+    """Regenerate Table I and time one full sequential step."""
+    rows, meta = run_table1(scale=4, num_steps=5)
+    emit("table1_kernel_profile", render_table1(rows, meta))
+    write_csv(
+        results_dir / "table1_kernel_profile.csv",
+        ["kernel", "paper_percent", "model_percent", "measured_percent"],
+        [[r.kernel, r.paper_percent, r.model_percent, r.measured_percent] for r in rows],
+    )
+
+    from repro.api import Simulation
+    from repro.experiments.workloads import scaled_profiling_config
+
+    sim = Simulation(scaled_profiling_config(scale=4))
+    try:
+        benchmark(sim.run, 1)
+    finally:
+        sim.close()
+    assert rows[0].kernel == "compute_fluid_collision"
+
+
+def test_kernel5_collision(benchmark, state):
+    grid, _ = state
+    benchmark(kernels.compute_fluid_collision, grid)
+
+
+def test_kernel6_streaming(benchmark, state):
+    grid, _ = state
+    benchmark(kernels.stream_fluid_velocity_distribution, grid)
+
+
+def test_kernel7_update_velocity(benchmark, state):
+    grid, _ = state
+    benchmark(kernels.update_fluid_velocity, grid)
+
+
+def test_kernel9_copy(benchmark, state):
+    grid, _ = state
+    benchmark(kernels.copy_fluid_velocity_distribution, grid)
+
+
+def test_kernel4_spread(benchmark, state):
+    grid, structure = state
+    kernels.compute_bending_force_in_fibers(structure)
+    kernels.compute_stretching_force_in_fibers(structure)
+    kernels.compute_elastic_force_in_fibers(structure)
+    benchmark(kernels.spread_force_from_fibers_to_fluid, structure, grid)
+
+
+def test_kernel8_move_fibers(benchmark, state):
+    grid, structure = state
+    positions = structure.sheets[0].positions.copy()
+
+    def move_and_restore():
+        kernels.move_fibers(structure, grid)
+        structure.sheets[0].positions[...] = positions
+
+    benchmark(move_and_restore)
+
+
+def test_kernels_1_to_3_fiber_forces(benchmark, state):
+    _, structure = state
+
+    def fiber_forces():
+        kernels.compute_bending_force_in_fibers(structure)
+        kernels.compute_stretching_force_in_fibers(structure)
+        kernels.compute_elastic_force_in_fibers(structure)
+
+    benchmark(fiber_forces)

@@ -1,0 +1,64 @@
+"""Benchmark: paper Table II — cache miss rates and load imbalance.
+
+Regenerates the PAPI/OmpP table through the cache simulator (with the
+Abu Dhabi cache geometry) and the partition-derived imbalance, and
+times the cache simulation itself — the substrate's own cost matters
+when sweeping configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import render_table2, run_table2
+from repro.io.csvout import write_csv
+from repro.machine.counters import SimulatedCounters
+from repro.machine.spec import abu_dhabi
+
+SIM_SHAPE = (32, 16, 64)
+
+
+def test_table2_reproduction(benchmark, emit, results_dir):
+    """Regenerate Table II and time one slab's cache simulation."""
+    rows = run_table2(sim_shape=SIM_SHAPE)
+    emit("table2_cache_metrics", render_table2(rows))
+    write_csv(
+        results_dir / "table2_cache_metrics.csv",
+        [
+            "cores",
+            "paper_l1",
+            "sim_l1",
+            "paper_l2",
+            "sim_l2",
+            "cube_l2",
+            "paper_imbalance",
+            "structural_imbalance",
+        ],
+        [
+            [
+                r.cores,
+                r.paper_l1,
+                round(r.sim_l1, 3),
+                r.paper_l2,
+                round(r.sim_l2, 2),
+                round(r.cube_l2, 2),
+                r.paper_imbalance,
+                round(r.structural_imbalance, 2),
+            ]
+            for r in rows
+        ],
+    )
+    # trends: L1 flat and small, cube L2 below OpenMP L2
+    l1 = [r.sim_l1 for r in rows]
+    assert max(l1) - min(l1) < 1.0
+    assert all(r.cube_l2 < r.sim_l2 for r in rows)
+
+    counters = SimulatedCounters(abu_dhabi(), 124 * 64 * 64)
+    benchmark(counters.openmp_miss_rates, SIM_SHAPE, 32, 0)
+
+
+def test_cube_layout_cache_simulation(benchmark):
+    """Time the cube-layout trace through the cache hierarchy."""
+    counters = SimulatedCounters(abu_dhabi(), 124 * 64 * 64)
+    result = benchmark(counters.cube_miss_rates, (16, 8, 16), 4)
+    assert 0.0 <= result.l2 <= 1.0

@@ -1,0 +1,31 @@
+"""Benchmark: paper Table III — the 64-core thog machine description.
+
+The table is spec data; the benchmark times the machine-model queries
+that every scaling prediction performs against it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table34 import render_table3, table3_rows
+from repro.io.csvout import write_csv
+from repro.machine.numa import interleave_distance_factor
+from repro.machine.spec import thog
+
+
+def test_table3_reproduction(benchmark, emit, results_dir):
+    emit("table3_machine_spec", render_table3())
+    rows = table3_rows()
+    write_csv(results_dir / "table3_machine_spec.csv", ["attribute", "value"], rows)
+    values = dict(rows)
+    assert values["Cores per processor"] == "16"
+    assert values["Number of processors"] == "4"
+    assert values["Number of NUMA nodes"] == "8"
+
+    def spec_queries():
+        m = thog()
+        m.cache(1), m.cache(2), m.cache(3)
+        for n in (1, 8, 64):
+            interleave_distance_factor(m, n)
+        return m.num_cores
+
+    assert benchmark(spec_queries) == 64

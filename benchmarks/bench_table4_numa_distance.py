@@ -1,0 +1,31 @@
+"""Benchmark: paper Table IV — NUMA node distances on thog.
+
+Renders the ``numactl --hardware`` distance matrix and checks the
+derived quantities the paper calls out (remote access up to 2.2x
+local); times the NUMA-factor computation used inside the performance
+model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.table34 import max_remote_ratio, render_table4
+from repro.io.csvout import write_csv
+from repro.machine.numa import interleave_distance_factor
+from repro.machine.spec import thog
+
+
+def test_table4_reproduction(benchmark, emit, results_dir):
+    emit("table4_numa_distance", render_table4())
+    m = thog()
+    write_csv(
+        results_dir / "table4_numa_distance.csv",
+        ["node"] + [str(j) for j in range(8)],
+        [[i] + [int(v) for v in m.numa_distance[i]] for i in range(8)],
+    )
+    assert max_remote_ratio(m) == 2.2
+    assert (np.diag(m.numa_distance) == 10).all()
+
+    factor = benchmark(interleave_distance_factor, m, 64)
+    assert factor == 1.75

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Paper Figure 1: a flexible circular plate fastened in the middle.
+
+A circular plate (cut from a rectangular fiber array by an active-disk
+mask) is tethered in its central region by stiff springs and exposed to
+a uniform oncoming flow.  The free rim bends downstream while the
+fastened centre stays put — the flapping-plate configuration of the
+paper's opening figure.
+
+Run:  python examples/circular_plate.py [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.api import BoundaryConfig, Simulation, SimulationConfig, StructureConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=150)
+    args = parser.parse_args()
+
+    config = SimulationConfig(
+        fluid_shape=(48, 28, 28),
+        tau=0.7,
+        structure=StructureConfig(
+            kind="circular_plate",
+            num_fibers=15,
+            nodes_per_fiber=15,
+            stretch_coefficient=4e-2,
+            bend_coefficient=4e-4,
+            tether_coefficient=2e-1,
+            normal_axis=0,
+        ),
+        boundaries=(
+            BoundaryConfig("bounce_back", "x", "low", wall_velocity=(0.04, 0.0, 0.0)),
+            BoundaryConfig("outflow", "x", "high"),
+        ),
+        solver="sequential",
+    )
+    with Simulation(config) as sim:
+        sheet = sim.structure.sheets[0]
+        print("flexible circular plate fastened in the middle (paper Figure 1)")
+        print(
+            f"plate: {sheet.num_active_nodes} active nodes, "
+            f"{int(sheet.tethered.sum())} tethered (fastened) nodes"
+        )
+        print(f"{'step':>6} {'center x-drift':>14} {'rim x-drift':>12} {'cup depth':>10}")
+        for _ in range(5):
+            sim.run(args.steps // 5)
+            disp = sheet.positions[..., 0] - sheet.anchors[..., 0]
+            center_drift = float(np.abs(disp[sheet.tethered]).mean())
+            rim_mask = sheet.active & ~sheet.tethered
+            rim_drift = float(disp[rim_mask].mean())
+            cup = float(disp[rim_mask].max() - disp[sheet.tethered].mean())
+            print(
+                f"{sim.time_step:>6} {center_drift:>14.4f} {rim_drift:>12.4f} {cup:>10.4f}"
+            )
+        disp = sheet.positions[..., 0] - sheet.anchors[..., 0]
+        rim_mask = sheet.active & ~sheet.tethered
+        assert float(np.abs(disp[sheet.tethered]).mean()) < float(
+            np.abs(disp[rim_mask]).mean()
+        ), "the fastened centre should move less than the free rim"
+        print("done: the free rim bows downstream while the fastened centre holds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Grid-convergence study: the solver is second-order accurate.
+
+The paper notes the LBM "is of second-order accuracy in both time and
+space".  This study verifies it empirically: a Taylor-Green vortex is
+run at increasing resolution under *diffusive scaling* (velocity and
+viscosity scaled so the physical problem stays fixed), and the error
+against the analytic solution is measured.  The observed convergence
+order should approach 2.
+
+Run:  python examples/convergence_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import tau_from_viscosity
+from repro.core.lbm.fields import FluidGrid
+from repro.core.solver import SequentialLBMIBSolver
+
+
+def taylor_green_error(n: int, u0_base: float = 0.04, nu_lattice_base: float = 0.05,
+                       t_physical: float = 1.0, n_base: int = 8) -> float:
+    """Relative L2 error of the decayed vortex at resolution ``n``.
+
+    Diffusive scaling from the base resolution: dx ~ 1/n, dt ~ 1/n^2,
+    so lattice velocity scales as 1/n and lattice viscosity stays
+    proportional to n * dx^2/dt = const ... here we fix the *physical*
+    Reynolds number by scaling u0 ~ n_base/n and nu ~ n_base/n is not
+    needed: keeping lattice nu fixed and u0 ~ 1/n realizes dt ~ 1/n^2.
+    """
+    scale = n / n_base
+    u0 = u0_base / scale
+    nu = nu_lattice_base
+    tau = tau_from_viscosity(nu)
+    steps = int(round(t_physical * scale**2 * n_base**2 * 0.05))
+
+    grid = FluidGrid((n, n, 2), tau=tau)
+    k = 2 * np.pi / n
+    x = np.arange(n)
+    X, Y = np.meshgrid(x, x, indexing="ij")
+    u = np.zeros((3, n, n, 2))
+    u[0] = (u0 * np.cos(k * X) * np.sin(k * Y))[:, :, None]
+    u[1] = (-u0 * np.sin(k * X) * np.cos(k * Y))[:, :, None]
+    grid.initialize_equilibrium(velocity=u)
+
+    SequentialLBMIBSolver(grid, None).run(steps)
+
+    decay = np.exp(-nu * 2 * k**2 * steps)
+    exact = u * decay
+    err = np.sqrt(((grid.velocity - exact) ** 2).sum())
+    norm = np.sqrt((exact**2).sum())
+    return float(err / norm)
+
+
+def main() -> None:
+    print("Taylor-Green grid convergence (diffusive scaling)")
+    print(f"{'N':>5} {'rel L2 error':>14} {'observed order':>15}")
+    resolutions = [8, 16, 32]
+    errors = [taylor_green_error(n) for n in resolutions]
+    prev = None
+    for n, err in zip(resolutions, errors):
+        order = "" if prev is None else f"{np.log2(prev / err):>15.2f}"
+        print(f"{n:>5} {err:>14.3e} {order}")
+        prev = err
+    final_order = np.log2(errors[-2] / errors[-1])
+    assert final_order > 1.6, f"expected ~2nd order, observed {final_order:.2f}"
+    print(f"\nobserved order {final_order:.2f} — second-order accuracy confirmed")
+
+
+if __name__ == "__main__":
+    main()

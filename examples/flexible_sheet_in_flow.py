@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Paper Figure 7: a moving elastic sheet in a 3D tunnel flow.
+
+A flexible sheet is placed across a tunnel; a moving-wall inlet at the
+upstream x face drives fluid past it while the downstream face lets the
+flow leave (zero-gradient outflow).  The sheet is carried downstream
+and bows in the flow — the experiment the paper's weak-scaling study
+simulates.
+
+The script tracks the sheet's centroid and deformation and writes VTK
+snapshots (fluid + structure) to ``out/`` for ParaView.
+
+Run:  python examples/flexible_sheet_in_flow.py [--steps N] [--solver sequential|openmp|cube]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+import numpy as np
+
+from repro.api import BoundaryConfig, Simulation, SimulationConfig, StructureConfig
+from repro.io import write_fluid_vtk, write_structure_vtk
+
+
+def build_config(solver: str) -> SimulationConfig:
+    """The tunnel-flow setup, scaled down from the paper's input."""
+    return SimulationConfig(
+        fluid_shape=(48, 24, 24),
+        tau=0.7,
+        structure=StructureConfig(
+            kind="flat_sheet",
+            num_fibers=12,
+            nodes_per_fiber=12,
+            stretch_coefficient=5e-2,
+            bend_coefficient=5e-4,
+            normal_axis=0,  # perpendicular to the flow
+        ),
+        boundaries=(
+            # moving-wall inlet: pushes fluid in +x at the upstream face
+            BoundaryConfig("bounce_back", "x", "low", wall_velocity=(0.05, 0.0, 0.0)),
+            BoundaryConfig("outflow", "x", "high"),
+            BoundaryConfig("bounce_back", "y", "low"),
+            BoundaryConfig("bounce_back", "y", "high"),
+        ),
+        solver=solver,
+        num_threads=2 if solver != "sequential" else 1,
+        cube_size=4,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=200)
+    parser.add_argument(
+        "--solver", choices=("sequential", "openmp", "cube"), default="sequential"
+    )
+    parser.add_argument("--vtk-every", type=int, default=50)
+    args = parser.parse_args()
+
+    out_dir = pathlib.Path(__file__).resolve().parent / "out"
+    out_dir.mkdir(exist_ok=True)
+
+    with Simulation(build_config(args.solver)) as sim:
+        sheet = sim.structure.sheets[0]
+        x0 = sheet.centroid()[0]
+        print(f"tunnel flow past a flexible sheet ({args.solver} solver)")
+        print(f"{'step':>6} {'centroid x':>11} {'bow depth':>10} {'max |u|':>10}")
+        snapshots = 0
+        for start in range(0, args.steps, args.vtk_every):
+            chunk = min(args.vtk_every, args.steps - start)
+            sim.run(chunk)
+            pos = sheet.positions
+            bow = float(pos[:, :, 0].max() - pos[:, :, 0].min())
+            print(
+                f"{sim.time_step:>6} {sheet.centroid()[0]:>11.3f} "
+                f"{bow:>10.4f} {sim.max_velocity():>10.4f}"
+            )
+            write_fluid_vtk(
+                out_dir / f"fluid_{sim.time_step:05d}.vtk",
+                sim.fluid,
+                include_vorticity=True,
+            )
+            write_structure_vtk(
+                out_dir / f"sheet_{sim.time_step:05d}.vtk", sim.structure
+            )
+            snapshots += 1
+
+        drift = sheet.centroid()[0] - x0
+        print(f"centroid drift downstream: {drift:+.3f} lattice units")
+        print(f"wrote {snapshots} VTK snapshot pairs to {out_dir}")
+        assert drift > 0, "the sheet should be carried downstream by the flow"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: a flexible sheet relaxing in a quiescent fluid.
+
+The smallest complete LBM-IB run: build a fluid box and a flat fiber
+sheet through the high-level API, pinch the sheet out of plane, and
+watch the elastic forces pull it back while the surrounding fluid
+absorbs the motion.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import Simulation, SimulationConfig, StructureConfig
+
+
+def main() -> None:
+    config = SimulationConfig(
+        fluid_shape=(24, 24, 24),
+        tau=0.8,
+        structure=StructureConfig(
+            kind="flat_sheet",
+            num_fibers=10,
+            nodes_per_fiber=10,
+            stretch_coefficient=3e-2,
+            bend_coefficient=1e-4,
+        ),
+        solver="sequential",
+    )
+    with Simulation(config) as sim:
+        sheet = sim.structure.sheets[0]
+        # pinch the centre node 1.5 lattice units out of the sheet plane
+        sheet.positions[5, 5, 0] += 1.5
+        print("LBM-IB quickstart: flexible sheet relaxing in quiescent fluid")
+        print(f"grid {config.fluid_shape}, viscosity {sim.viscosity:.4f} (lattice units)")
+        print(f"{'step':>6} {'pinch height':>13} {'max |u|':>10} {'kinetic E':>12}")
+        for _ in range(10):
+            sim.run(10)
+            pinch = sheet.positions[5, 5, 0] - sheet.anchors[5, 5, 0]
+            print(
+                f"{sim.time_step:>6} {pinch:>13.4f} "
+                f"{sim.max_velocity():>10.3e} {sim.kinetic_energy():>12.4e}"
+            )
+        assert sheet.positions[5, 5, 0] < 1.5 + sheet.anchors[5, 5, 0], (
+            "the pinched node should relax back toward the sheet plane"
+        )
+        print("done: the sheet relaxed and stirred the fluid, as expected")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so
+PEP-517 editable installs (which build a wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e . --no-build-isolation`` fall back to
+the classic ``setup.py develop`` code path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

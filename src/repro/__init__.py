@@ -1,0 +1,30 @@
+"""LBM-IB: a parallel library for 3D fluid-structure interaction problems.
+
+Reproduction of "LBM-IB: A Parallel Library to Solve 3D Fluid-Structure
+Interaction Problems on Manycore Systems" (ICPP 2015).  The library
+couples a D3Q19 lattice Boltzmann fluid solver with an immersed-boundary
+treatment of flexible fiber structures and offers three solver variants:
+
+* :class:`repro.core.SequentialLBMIBSolver` -- Algorithm 1;
+* :class:`repro.parallel.OpenMPLBMIBSolver` -- slab-parallel, per-kernel
+  fork-join (Algorithms 2-3);
+* :class:`repro.parallel.CubeLBMIBSolver` -- the cube-centric data-layout
+  algorithm (Algorithm 4).
+
+The :mod:`repro.machine` package provides the simulated manycore machine
+(NUMA topology, caches, bandwidth) used to reproduce the paper's scaling
+figures on commodity hardware, and :mod:`repro.experiments` regenerates
+every table and figure of the evaluation section.
+
+Quickstart
+----------
+>>> from repro.api import Simulation, SimulationConfig
+>>> sim = Simulation(SimulationConfig(fluid_shape=(32, 16, 16)))
+>>> sim.run(10)
+>>> sim.fluid.velocity.shape
+(3, 32, 16, 16)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

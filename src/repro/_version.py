@@ -1,0 +1,3 @@
+"""Version information for the LBM-IB reproduction library."""
+
+__version__ = "1.0.0"

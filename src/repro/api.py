@@ -1,0 +1,227 @@
+"""High-level API: the :class:`Simulation` facade.
+
+The paper advertises "an easy-to-use application programming
+interface"; this module is it.  A single
+:class:`~repro.config.SimulationConfig` describes the problem and the
+solver variant; :class:`Simulation` wires up the grid, structure, delta
+kernel, boundaries and solver, and exposes a uniform ``run``/``step``
+interface plus convenient diagnostics regardless of which of the three
+solver programs is running underneath.
+
+>>> from repro.api import Simulation, SimulationConfig
+>>> sim = Simulation(SimulationConfig(fluid_shape=(16, 16, 16)))
+>>> sim.run(5)
+>>> sim.time_step
+5
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BoundaryConfig, SimulationConfig, StructureConfig
+from repro.core.lbm import analysis
+from repro.core.lbm.fields import FluidGrid
+from repro.core.solver import SequentialLBMIBSolver
+from repro.constants import viscosity_from_tau
+from repro.errors import ConfigurationError
+
+__all__ = ["Simulation", "SimulationConfig", "StructureConfig", "BoundaryConfig"]
+
+
+class Simulation:
+    """A configured LBM-IB simulation with a uniform driving interface.
+
+    Parameters
+    ----------
+    config:
+        The complete run description.  The solver variant is selected by
+        ``config.solver``; all variants produce identical physics (this
+        is enforced by the test suite).
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self._built_structure = config.build_structure()
+        self._delta = config.build_delta()
+        self._boundaries = config.build_boundaries()
+        self._fluid = FluidGrid(
+            config.fluid_shape,
+            tau=config.effective_tau,
+            collision_operator=config.collision_operator,
+        )
+        self._cubes = None
+        self._distributed = None
+
+        if config.solver == "sequential":
+            self._solver = SequentialLBMIBSolver(
+                self._fluid,
+                self._built_structure,
+                delta=self._delta,
+                boundaries=self._boundaries,
+                dt=config.dt,
+                external_force=config.external_force,
+            )
+        elif config.solver == "openmp":
+            from repro.parallel.openmp_solver import OpenMPLBMIBSolver
+
+            self._solver = OpenMPLBMIBSolver(
+                self._fluid,
+                self._built_structure,
+                num_threads=config.num_threads,
+                delta=self._delta,
+                boundaries=self._boundaries,
+                fiber_method=config.fiber_method,
+                dt=config.dt,
+                external_force=config.external_force,
+            )
+        elif config.solver in ("cube", "async_cube"):
+            from repro.parallel.async_cube_solver import AsyncCubeLBMIBSolver
+            from repro.parallel.cube_solver import CubeLBMIBSolver
+            from repro.parallel.cubes import CubeGrid
+
+            self._cubes = CubeGrid.from_fluid_grid(self._fluid, config.cube_size)
+            solver_cls = (
+                CubeLBMIBSolver if config.solver == "cube" else AsyncCubeLBMIBSolver
+            )
+            self._solver = solver_cls(
+                self._cubes,
+                self._built_structure,
+                num_threads=config.num_threads,
+                cube_method=config.cube_method,
+                fiber_method=config.fiber_method,
+                delta=self._delta,
+                boundaries=self._boundaries,
+                dt=config.dt,
+                external_force=config.external_force,
+            )
+        elif config.solver in ("distributed", "hybrid"):
+            # Construction is deferred to the first run(): the distributed
+            # solvers replicate the structure per rank at build time, so
+            # building lazily lets callers adjust initial conditions
+            # through ``sim.structure`` / ``sim.fluid`` first.
+            self._solver = None
+        else:  # pragma: no cover - config validation rejects this earlier
+            raise ConfigurationError(f"unknown solver {config.solver!r}")
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def _ensure_solver(self):
+        if self._solver is not None:
+            return self._solver
+        config = self.config
+        if config.solver == "distributed":
+            from repro.distributed.solver import DistributedLBMIBSolver
+
+            self._solver = DistributedLBMIBSolver(
+                self._fluid,
+                self._built_structure,
+                num_ranks=config.num_threads,
+                delta=self._delta,
+                boundaries=self._boundaries,
+                dt=config.dt,
+                external_force=config.external_force,
+            )
+        else:
+            from repro.distributed.hybrid import HybridCubeLBMIBSolver
+
+            self._solver = HybridCubeLBMIBSolver(
+                self._fluid,
+                self._built_structure,
+                num_ranks=config.num_threads,
+                cube_size=config.cube_size,
+                delta=self._delta,
+                boundaries=self._boundaries,
+                dt=config.dt,
+                external_force=config.external_force,
+            )
+        self._distributed = self._solver
+        return self._solver
+
+    def run(self, num_steps: int) -> None:
+        """Advance the simulation by ``num_steps`` time steps."""
+        self._ensure_solver().run(num_steps)
+
+    def step(self) -> None:
+        """Advance one time step (parallel solvers accept run(1) only)."""
+        self.run(1)
+
+    @property
+    def time_step(self) -> int:
+        """Number of completed time steps."""
+        return self._solver.time_step if self._solver is not None else 0
+
+    def close(self) -> None:
+        """Release solver resources (worker pools); idempotent."""
+        close = getattr(self._solver, "close", None) if self._solver else None
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # state access (uniform across solver variants)
+    # ------------------------------------------------------------------
+    @property
+    def fluid(self) -> FluidGrid:
+        """The fluid state in the global layout.
+
+        For the cube-layout and distributed solvers this *gathers* the
+        partitioned state into a fresh :class:`FluidGrid` (a copy); for
+        the other solvers it is the live grid.
+        """
+        if self._distributed is not None:
+            return self._distributed.gather_fluid()
+        if self._cubes is not None:
+            return self._cubes.to_fluid_grid()
+        return self._fluid
+
+    @property
+    def structure(self):
+        """The immersed structure (rank 0's replica for distributed runs)."""
+        if self._distributed is not None:
+            return self._distributed.structure
+        return self._built_structure
+
+    @property
+    def solver(self):
+        """The underlying solver object (variant-specific features)."""
+        return self._ensure_solver()
+
+    @property
+    def viscosity(self) -> float:
+        """Kinematic viscosity implied by the configured tau."""
+        return viscosity_from_tau(self.config.effective_tau)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def kinetic_energy(self) -> float:
+        """Total fluid kinetic energy."""
+        fluid = self.fluid
+        return analysis.kinetic_energy(fluid.velocity, fluid.density)
+
+    def max_velocity(self) -> float:
+        """Maximum velocity magnitude (Mach-number stability check)."""
+        return analysis.max_velocity_magnitude(self.fluid.velocity)
+
+    def vorticity(self) -> np.ndarray:
+        """Vorticity field ``(3, Nx, Ny, Nz)``."""
+        return analysis.vorticity(self.fluid.velocity)
+
+    def fiber_positions(self) -> list[np.ndarray]:
+        """Current fiber-node positions, one array per sheet."""
+        if self.structure is None:
+            return []
+        return [s.positions.copy() for s in self.structure.sheets]
+
+    def structure_centroid(self) -> np.ndarray | None:
+        """Centroid of the first sheet's active nodes (or ``None``)."""
+        if self.structure is None:
+            return None
+        return self.structure.sheets[0].centroid()

@@ -1,0 +1,53 @@
+"""Global numerical constants used across the LBM-IB library.
+
+Lattice units are used throughout: the grid spacing ``DX`` and time step
+``DT`` are both 1, as is conventional for lattice Boltzmann codes.  The
+lattice speed of sound for the D3Q19 model is ``cs = 1/sqrt(3)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Grid spacing in lattice units.
+DX: float = 1.0
+
+#: Time step in lattice units.
+DT: float = 1.0
+
+#: Lattice speed of sound squared for D3Q19 (= 1/3 in lattice units).
+CS2: float = 1.0 / 3.0
+
+#: Lattice speed of sound.
+CS: float = float(np.sqrt(CS2))
+
+#: Default fluid mass density in lattice units.
+RHO0: float = 1.0
+
+#: Number of discrete velocities in the D3Q19 model.
+Q: int = 19
+
+#: Spatial dimensionality.
+DIM: int = 3
+
+#: Default floating point dtype for all field arrays.
+DTYPE = np.float64
+
+#: Relative tolerance used when asserting parallel == sequential equivalence.
+EQUIV_RTOL: float = 1e-12
+
+#: Absolute tolerance used when asserting parallel == sequential equivalence.
+EQUIV_ATOL: float = 1e-13
+
+
+def viscosity_from_tau(tau: float) -> float:
+    """Kinematic viscosity implied by the BGK relaxation time ``tau``.
+
+    ``nu = cs^2 * (tau - 1/2) * dt`` in lattice units.
+    """
+    return CS2 * (tau - 0.5) * DT
+
+
+def tau_from_viscosity(nu: float) -> float:
+    """BGK relaxation time that realizes kinematic viscosity ``nu``."""
+    return nu / (CS2 * DT) + 0.5

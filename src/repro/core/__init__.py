@@ -1,0 +1,10 @@
+"""The LBM-IB method: fluid (LBM), structure (IB), and their coupling.
+
+``repro.core.kernels`` exposes the paper's nine computational kernels;
+``repro.core.solver`` runs them sequentially (Algorithm 1);
+``repro.core.reference`` holds slow loop-based oracles used in tests.
+"""
+
+from repro.core.solver import SequentialLBMIBSolver
+
+__all__ = ["SequentialLBMIBSolver"]

@@ -1,0 +1,25 @@
+"""Immersed-boundary structure solver (the "IB" in LBM-IB).
+
+Submodules
+----------
+``fiber``          fiber sheets and immersed structures (paper Figure 4)
+``geometry``       builders: flat sheet (Fig. 7), circular plate (Fig. 1)
+``delta``          smoothed Dirac delta kernels (4x4x4 influential domain)
+``forces``         bending / stretching / elastic forces (kernels 1-3)
+``spreading``      force spreading to the fluid (kernel 4)
+``interpolation``  fluid-velocity interpolation (half of kernel 8)
+``motion``         fiber position update (kernel 8)
+"""
+
+from repro.core.ib.delta import CosineDelta, DeltaKernel, LinearDelta, ThreePointDelta, default_delta
+from repro.core.ib.fiber import FiberSheet, ImmersedStructure
+
+__all__ = [
+    "CosineDelta",
+    "DeltaKernel",
+    "LinearDelta",
+    "ThreePointDelta",
+    "default_delta",
+    "FiberSheet",
+    "ImmersedStructure",
+]

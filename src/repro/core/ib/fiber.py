@@ -1,0 +1,291 @@
+"""Lagrangian fiber structures (paper Figure 4).
+
+A flexible structure is a collection of 2D *fiber sheets*.  Each sheet is
+an array of fibers; each fiber is a row of fiber nodes.  Node ``(i, j)``
+of a sheet lives at ``positions[i, j]`` where ``i`` indexes the fiber and
+``j`` the node along the fiber.  Per-node buffers hold the bending,
+stretching and total elastic force (kernels 1-3) and the interpolated
+velocity (kernel 8).
+
+Sheets may carry an ``active`` mask (used to cut non-rectangular shapes
+such as the circular plate of paper Figure 1 out of a rectangular node
+array) and a ``tethered`` mask with anchor positions (the plate is
+"fastened in the middle region" by stiff tether springs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import DTYPE
+from repro.errors import ConfigurationError
+
+__all__ = ["FiberSheet", "ImmersedStructure"]
+
+
+@dataclass
+class FiberSheet:
+    """A 2D sheet of flexible fibers.
+
+    Parameters
+    ----------
+    positions:
+        Node coordinates in lattice units, shape ``(num_fibers,
+        nodes_per_fiber, 3)``.
+    stretch_coefficient:
+        Spring constant ``k_s`` of the stretching (tension) force.
+    bend_coefficient:
+        Coefficient ``k_b`` of the bending (flexural rigidity) force.
+    rest_spacing_fiber / rest_spacing_cross:
+        Rest lengths of the springs along a fiber and across fibers.
+        Default to the initial mean spacings.
+    active:
+        Optional boolean mask ``(num_fibers, nodes_per_fiber)``; inactive
+        nodes carry no force, do not spread, and do not move.
+    tethered:
+        Optional boolean mask of tethered (fastened) nodes.
+    tether_coefficient:
+        Stiff-spring constant pulling tethered nodes to their anchors.
+    """
+
+    positions: np.ndarray
+    stretch_coefficient: float = 1.0e-2
+    bend_coefficient: float = 1.0e-4
+    rest_spacing_fiber: float | None = None
+    rest_spacing_cross: float | None = None
+    active: np.ndarray | None = None
+    tethered: np.ndarray | None = None
+    tether_coefficient: float = 0.0
+    anchors: np.ndarray = field(init=False, repr=False)
+    bending_force: np.ndarray = field(init=False, repr=False)
+    stretching_force: np.ndarray = field(init=False, repr=False)
+    elastic_force: np.ndarray = field(init=False, repr=False)
+    velocity: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.positions = np.array(self.positions, dtype=DTYPE)
+        if self.positions.ndim != 3 or self.positions.shape[2] != 3:
+            raise ConfigurationError(
+                "positions must have shape (num_fibers, nodes_per_fiber, 3), "
+                f"got {self.positions.shape}"
+            )
+        nf, nn, _ = self.positions.shape
+        if nf < 1 or nn < 1:
+            raise ConfigurationError("a fiber sheet needs at least one node")
+        if self.stretch_coefficient < 0 or self.bend_coefficient < 0:
+            raise ConfigurationError("force coefficients must be non-negative")
+
+        if self.active is None:
+            self.active = np.ones((nf, nn), dtype=bool)
+        else:
+            self.active = np.asarray(self.active, dtype=bool)
+            if self.active.shape != (nf, nn):
+                raise ConfigurationError(
+                    f"active mask shape {self.active.shape} != node grid {(nf, nn)}"
+                )
+        if self.tethered is None:
+            self.tethered = np.zeros((nf, nn), dtype=bool)
+        else:
+            self.tethered = np.asarray(self.tethered, dtype=bool)
+            if self.tethered.shape != (nf, nn):
+                raise ConfigurationError(
+                    f"tethered mask shape {self.tethered.shape} != node grid {(nf, nn)}"
+                )
+        if self.tethered.any() and self.tether_coefficient <= 0.0:
+            raise ConfigurationError(
+                "tethered nodes given but tether_coefficient is not positive"
+            )
+
+        if self.rest_spacing_fiber is None:
+            self.rest_spacing_fiber = self._mean_spacing(axis=1)
+        if self.rest_spacing_cross is None:
+            self.rest_spacing_cross = self._mean_spacing(axis=0)
+
+        self.anchors = self.positions.copy()
+        self.bending_force = np.zeros_like(self.positions)
+        self.stretching_force = np.zeros_like(self.positions)
+        self.elastic_force = np.zeros_like(self.positions)
+        self.velocity = np.zeros_like(self.positions)
+
+    def _mean_spacing(self, axis: int) -> float:
+        if self.positions.shape[axis] < 2:
+            return 1.0
+        diffs = np.diff(self.positions, axis=axis)
+        lengths = np.linalg.norm(diffs, axis=-1)
+        return float(lengths.mean()) if lengths.size else 1.0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_fibers(self) -> int:
+        """Number of fibers (rows) in the sheet."""
+        return self.positions.shape[0]
+
+    @property
+    def nodes_per_fiber(self) -> int:
+        """Number of nodes along each fiber."""
+        return self.positions.shape[1]
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count ``num_fibers * nodes_per_fiber``."""
+        return self.num_fibers * self.nodes_per_fiber
+
+    @property
+    def num_active_nodes(self) -> int:
+        """Number of nodes taking part in the dynamics."""
+        return int(self.active.sum())
+
+    @property
+    def area_element(self) -> float:
+        """Lagrangian area element ``ds1 * ds2`` used when spreading force."""
+        return float(self.rest_spacing_fiber * self.rest_spacing_cross)
+
+    def active_positions(self) -> np.ndarray:
+        """Coordinates of the active nodes, shape ``(num_active_nodes, 3)``."""
+        return self.positions[self.active]
+
+    def reset_forces(self) -> None:
+        """Zero all force buffers (start of a time step)."""
+        self.bending_force[...] = 0.0
+        self.stretching_force[...] = 0.0
+        self.elastic_force[...] = 0.0
+
+    def copy(self) -> "FiberSheet":
+        """Deep copy of the sheet's full state."""
+        clone = FiberSheet(
+            self.positions.copy(),
+            stretch_coefficient=self.stretch_coefficient,
+            bend_coefficient=self.bend_coefficient,
+            rest_spacing_fiber=self.rest_spacing_fiber,
+            rest_spacing_cross=self.rest_spacing_cross,
+            active=self.active.copy(),
+            tethered=self.tethered.copy(),
+            tether_coefficient=self.tether_coefficient,
+        )
+        clone.anchors[...] = self.anchors
+        clone.bending_force[...] = self.bending_force
+        clone.stretching_force[...] = self.stretching_force
+        clone.elastic_force[...] = self.elastic_force
+        clone.velocity[...] = self.velocity
+        return clone
+
+    def state_allclose(self, other: "FiberSheet", rtol: float = 1e-12, atol: float = 1e-13) -> bool:
+        """True if positions, forces and velocity match within tolerance."""
+        return (
+            self.positions.shape == other.positions.shape
+            and np.allclose(self.positions, other.positions, rtol=rtol, atol=atol)
+            and np.allclose(self.elastic_force, other.elastic_force, rtol=rtol, atol=atol)
+            and np.allclose(self.velocity, other.velocity, rtol=rtol, atol=atol)
+        )
+
+    def centroid(self) -> np.ndarray:
+        """Centroid of the active nodes."""
+        return self.active_positions().mean(axis=0)
+
+    def stretch_energy(self) -> float:
+        """Discrete stretching energy ``k_s/2 sum (|link| - L0)^2``.
+
+        Sums over the along-fiber and cross-fiber spring links between
+        active node pairs; a flat sheet at rest spacing has zero energy.
+        """
+        total = 0.0
+        for axis, rest in ((1, self.rest_spacing_fiber), (0, self.rest_spacing_cross)):
+            n = self.positions.shape[axis]
+            if n < 2:
+                continue
+            d = np.diff(self.positions, axis=axis)
+            length = np.linalg.norm(d, axis=-1)
+            lo = [slice(None)] * 2
+            hi = [slice(None)] * 2
+            lo[axis] = slice(0, n - 1)
+            hi[axis] = slice(1, n)
+            ok = self.active[tuple(lo)] & self.active[tuple(hi)]
+            total += float(((length - rest) ** 2)[ok].sum())
+        return 0.5 * self.stretch_coefficient * total
+
+    def bend_energy(self) -> float:
+        """Discrete bending energy ``k_b/2 sum |D2 X|^2`` over both axes."""
+        from repro.core.ib.forces import second_difference
+
+        total = 0.0
+        for axis in (0, 1):
+            curvature = second_difference(self.positions, axis, valid=self.active)
+            total += float((curvature**2).sum())
+        return 0.5 * self.bend_coefficient * total
+
+    def elastic_energy(self) -> float:
+        """Stretching + bending energy (the quantity the forces descend)."""
+        return self.stretch_energy() + self.bend_energy()
+
+    def max_stretch_ratio(self) -> float:
+        """Largest link length relative to its rest length.
+
+        A stability diagnostic: values far above 1 signal a runaway
+        (over-stiff or under-resolved) structure.
+        """
+        worst = 1.0
+        for axis, rest in ((1, self.rest_spacing_fiber), (0, self.rest_spacing_cross)):
+            n = self.positions.shape[axis]
+            if n < 2 or rest <= 0:
+                continue
+            d = np.diff(self.positions, axis=axis)
+            length = np.linalg.norm(d, axis=-1)
+            lo = [slice(None)] * 2
+            hi = [slice(None)] * 2
+            lo[axis] = slice(0, n - 1)
+            hi[axis] = slice(1, n)
+            ok = self.active[tuple(lo)] & self.active[tuple(hi)]
+            if ok.any():
+                worst = max(worst, float((length[ok] / rest).max()))
+        return worst
+
+
+@dataclass
+class ImmersedStructure:
+    """A flexible structure: one or more fiber sheets.
+
+    The paper represents a 3D flexible structure as a number of 2D
+    sheets; the solver kernels iterate over ``sheets``.
+    """
+
+    sheets: list[FiberSheet]
+
+    def __post_init__(self) -> None:
+        if not self.sheets:
+            raise ConfigurationError("an immersed structure needs at least one sheet")
+
+    @property
+    def num_nodes(self) -> int:
+        """Total fiber-node count across all sheets."""
+        return sum(s.num_nodes for s in self.sheets)
+
+    @property
+    def num_fibers(self) -> int:
+        """Total fiber count across all sheets."""
+        return sum(s.num_fibers for s in self.sheets)
+
+    def reset_forces(self) -> None:
+        """Zero force buffers of every sheet."""
+        for s in self.sheets:
+            s.reset_forces()
+
+    def copy(self) -> "ImmersedStructure":
+        """Deep copy of all sheets."""
+        return ImmersedStructure([s.copy() for s in self.sheets])
+
+    def state_allclose(self, other: "ImmersedStructure", rtol: float = 1e-12, atol: float = 1e-13) -> bool:
+        """True if every sheet matches within tolerance."""
+        return len(self.sheets) == len(other.sheets) and all(
+            a.state_allclose(b, rtol=rtol, atol=atol)
+            for a, b in zip(self.sheets, other.sheets)
+        )
+
+    def elastic_energy(self) -> float:
+        """Total elastic energy over all sheets."""
+        return sum(s.elastic_energy() for s in self.sheets)
+
+    def max_stretch_ratio(self) -> float:
+        """Worst link stretch over all sheets (stability diagnostic)."""
+        return max(s.max_stretch_ratio() for s in self.sheets)

@@ -1,0 +1,224 @@
+"""Builders for immersed-structure geometries used in the paper.
+
+``flat_sheet``
+    The rectangular fiber sheet of Figures 4 and 7 — an array of fibers
+    each holding a row of fiber nodes, placed in the y-z plane (or any
+    requested orientation) inside the fluid tunnel.
+
+``circular_plate``
+    The flexible circular plate of Figure 1, fastened (tethered) in its
+    middle region: a rectangular node array with an ``active`` disk mask
+    and a tethered central disk.
+
+All coordinates are lattice units; builders validate that the structure
+fits inside the fluid box with enough clearance for the delta support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DTYPE
+from repro.core.ib.fiber import FiberSheet, ImmersedStructure
+from repro.errors import ConfigurationError
+
+__all__ = ["flat_sheet", "circular_plate", "parallel_sheets", "sheet_node_grid"]
+
+
+def sheet_node_grid(
+    num_fibers: int,
+    nodes_per_fiber: int,
+    width: float,
+    height: float,
+    center: tuple[float, float, float],
+    normal_axis: int = 0,
+) -> np.ndarray:
+    """Node coordinates of a planar rectangular sheet.
+
+    The sheet spans ``width`` along the first in-plane axis (across
+    fibers) and ``height`` along the second (along each fiber), centred
+    at ``center`` and perpendicular to ``normal_axis``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Positions, shape ``(num_fibers, nodes_per_fiber, 3)``.
+    """
+    if num_fibers < 1 or nodes_per_fiber < 1:
+        raise ConfigurationError("sheet needs at least one fiber and one node")
+    if normal_axis not in (0, 1, 2):
+        raise ConfigurationError(f"normal_axis must be 0, 1 or 2, got {normal_axis}")
+    in_plane = [a for a in range(3) if a != normal_axis]
+    s0 = (
+        np.linspace(-width / 2.0, width / 2.0, num_fibers)
+        if num_fibers > 1
+        else np.zeros(1)
+    )
+    s1 = (
+        np.linspace(-height / 2.0, height / 2.0, nodes_per_fiber)
+        if nodes_per_fiber > 1
+        else np.zeros(1)
+    )
+    pos = np.empty((num_fibers, nodes_per_fiber, 3), dtype=DTYPE)
+    pos[:, :, normal_axis] = center[normal_axis]
+    pos[:, :, in_plane[0]] = center[in_plane[0]] + s0[:, None]
+    pos[:, :, in_plane[1]] = center[in_plane[1]] + s1[None, :]
+    return pos
+
+
+def _check_fits(positions: np.ndarray, fluid_shape, margin: float = 2.0) -> None:
+    """Ensure all nodes are at least ``margin`` inside the periodic box."""
+    fluid_shape = np.asarray(fluid_shape, dtype=DTYPE)
+    lo = positions.min(axis=(0, 1))
+    hi = positions.max(axis=(0, 1))
+    if (lo < 0).any() or (hi > fluid_shape - 1).any():
+        raise ConfigurationError(
+            f"structure extent [{lo}, {hi}] leaves the fluid box {fluid_shape}"
+        )
+
+
+def flat_sheet(
+    fluid_shape: tuple[int, int, int],
+    num_fibers: int = 8,
+    nodes_per_fiber: int = 5,
+    width: float | None = None,
+    height: float | None = None,
+    center: tuple[float, float, float] | None = None,
+    normal_axis: int = 0,
+    stretch_coefficient: float = 1.0e-2,
+    bend_coefficient: float = 1.0e-4,
+) -> ImmersedStructure:
+    """The paper's rectangular flexible sheet (Figures 4 and 7).
+
+    Defaults place the sheet at the box centre, perpendicular to the x
+    axis (the flow direction of the tunnel experiments), spanning about
+    a third of the cross-section.
+    """
+    nx, ny, nz = fluid_shape
+    if center is None:
+        center = ((nx - 1) / 2.0, (ny - 1) / 2.0, (nz - 1) / 2.0)
+    in_plane = [a for a in range(3) if a != normal_axis]
+    if width is None:
+        width = fluid_shape[in_plane[0]] / 3.0
+    if height is None:
+        height = fluid_shape[in_plane[1]] / 3.0
+    pos = sheet_node_grid(num_fibers, nodes_per_fiber, width, height, center, normal_axis)
+    _check_fits(pos, fluid_shape)
+    sheet = FiberSheet(
+        pos,
+        stretch_coefficient=stretch_coefficient,
+        bend_coefficient=bend_coefficient,
+    )
+    return ImmersedStructure([sheet])
+
+
+def circular_plate(
+    fluid_shape: tuple[int, int, int],
+    num_fibers: int = 21,
+    nodes_per_fiber: int = 21,
+    radius: float | None = None,
+    fastened_radius_fraction: float = 0.3,
+    center: tuple[float, float, float] | None = None,
+    normal_axis: int = 0,
+    stretch_coefficient: float = 1.0e-2,
+    bend_coefficient: float = 1.0e-4,
+    tether_coefficient: float = 1.0e-1,
+) -> ImmersedStructure:
+    """The flexible circular plate of paper Figure 1.
+
+    A square node array carries an ``active`` mask selecting the disk of
+    ``radius``; the inner disk of ``fastened_radius_fraction * radius``
+    is tethered ("fastened in the middle region") by stiff springs.
+    """
+    if not 0.0 <= fastened_radius_fraction <= 1.0:
+        raise ConfigurationError(
+            "fastened_radius_fraction must lie in [0, 1], got "
+            f"{fastened_radius_fraction}"
+        )
+    nx, ny, nz = fluid_shape
+    if center is None:
+        center = ((nx - 1) / 2.0, (ny - 1) / 2.0, (nz - 1) / 2.0)
+    if radius is None:
+        in_plane = [a for a in range(3) if a != normal_axis]
+        radius = min(fluid_shape[a] for a in in_plane) / 4.0
+    pos = sheet_node_grid(
+        num_fibers, nodes_per_fiber, 2.0 * radius, 2.0 * radius, center, normal_axis
+    )
+    _check_fits(pos, fluid_shape)
+
+    in_plane = [a for a in range(3) if a != normal_axis]
+    d0 = pos[:, :, in_plane[0]] - center[in_plane[0]]
+    d1 = pos[:, :, in_plane[1]] - center[in_plane[1]]
+    rr = np.sqrt(d0**2 + d1**2)
+    active = rr <= radius + 1e-9
+    tethered = (rr <= fastened_radius_fraction * radius + 1e-9) & active
+    if not active.any():
+        raise ConfigurationError("circular plate mask selected no nodes")
+
+    sheet = FiberSheet(
+        pos,
+        stretch_coefficient=stretch_coefficient,
+        bend_coefficient=bend_coefficient,
+        active=active,
+        tethered=tethered,
+        tether_coefficient=tether_coefficient if tethered.any() else 0.0,
+    )
+    return ImmersedStructure([sheet])
+
+
+def parallel_sheets(
+    fluid_shape: tuple[int, int, int],
+    num_sheets: int = 3,
+    spacing: float | None = None,
+    num_fibers: int = 8,
+    nodes_per_fiber: int = 8,
+    width: float | None = None,
+    height: float | None = None,
+    normal_axis: int = 0,
+    stretch_coefficient: float = 1.0e-2,
+    bend_coefficient: float = 1.0e-4,
+) -> ImmersedStructure:
+    """A 3D flexible structure built from stacked 2D sheets.
+
+    The paper represents 3D structures as "a number of 2-D sheets"; this
+    builder stacks ``num_sheets`` identical flat sheets along the normal
+    axis, centred in the box.  Sheets interact only through the fluid
+    (no inter-sheet springs), the configuration used for studying
+    sheet-sheet hydrodynamic coupling.
+    """
+    if num_sheets < 1:
+        raise ConfigurationError(f"num_sheets must be positive, got {num_sheets}")
+    nx, ny, nz = fluid_shape
+    if spacing is None:
+        spacing = max(2.0, fluid_shape[normal_axis] / (3.0 * num_sheets))
+    span = spacing * (num_sheets - 1)
+    if span >= fluid_shape[normal_axis] - 4:
+        raise ConfigurationError(
+            f"{num_sheets} sheets spaced {spacing} apart do not fit along "
+            f"axis {normal_axis} of {fluid_shape}"
+        )
+    center = [(n - 1) / 2.0 for n in fluid_shape]
+    in_plane = [a for a in range(3) if a != normal_axis]
+    if width is None:
+        width = fluid_shape[in_plane[0]] / 3.0
+    if height is None:
+        height = fluid_shape[in_plane[1]] / 3.0
+
+    sheets = []
+    first = center[normal_axis] - span / 2.0
+    for i in range(num_sheets):
+        sheet_center = list(center)
+        sheet_center[normal_axis] = first + i * spacing
+        pos = sheet_node_grid(
+            num_fibers, nodes_per_fiber, width, height,
+            tuple(sheet_center), normal_axis,
+        )
+        _check_fits(pos, fluid_shape)
+        sheets.append(
+            FiberSheet(
+                pos,
+                stretch_coefficient=stretch_coefficient,
+                bend_coefficient=bend_coefficient,
+            )
+        )
+    return ImmersedStructure(sheets)

@@ -1,0 +1,74 @@
+"""Velocity interpolation from fluid to fibers (first half of kernel 8).
+
+The fiber node's velocity is dictated by the nearby fluid: it is the
+delta-weighted average of the fluid velocity over the node's influential
+domain::
+
+    U(X_l) = sum_x u(x) * delta_h(x - X_l) * h^3
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ib.delta import DeltaKernel
+from repro.core.ib.fiber import FiberSheet
+from repro.core.ib.spreading import flatten_stencil
+
+__all__ = ["interpolate_values", "interpolate_velocity"]
+
+
+def interpolate_values(
+    positions: np.ndarray, source: np.ndarray, delta: DeltaKernel
+) -> np.ndarray:
+    """Gather the vector field ``source`` at Lagrangian ``positions``.
+
+    Parameters
+    ----------
+    positions:
+        Coordinates ``(N, 3)``.
+    source:
+        Eulerian vector field ``(3, Nx, Ny, Nz)``.
+    delta:
+        Smoothed delta kernel.
+
+    Returns
+    -------
+    numpy.ndarray
+        Interpolated vectors, shape ``(N, 3)``.
+    """
+    if positions.size == 0:
+        return np.zeros((0, 3), dtype=source.dtype)
+    grid_shape = source.shape[1:]
+    indices, weights = delta.stencil(positions, grid_shape=grid_shape)
+    flat_idx, flat_w = flatten_stencil(indices, weights, grid_shape)
+    out = np.empty((positions.shape[0], 3), dtype=source.dtype)
+    for comp in range(3):
+        gathered = source[comp].reshape(-1)[flat_idx]
+        out[:, comp] = np.einsum("ns,ns->n", gathered, flat_w)
+    return out
+
+
+def interpolate_velocity(
+    sheet: FiberSheet,
+    delta: DeltaKernel,
+    velocity_grid: np.ndarray,
+    rows=None,
+) -> np.ndarray:
+    """Write the interpolated fluid velocity into ``sheet.velocity``.
+
+    Parameters
+    ----------
+    rows:
+        Optional fiber indices restricting the computation, mirroring
+        ``fiber2thread`` in the parallel solvers.
+    """
+    if rows is None:
+        node_mask = sheet.active
+    else:
+        node_mask = np.zeros_like(sheet.active)
+        node_mask[np.asarray(rows, dtype=np.int64)] = True
+        node_mask &= sheet.active
+    values = interpolate_values(sheet.positions[node_mask], velocity_grid, delta)
+    sheet.velocity[node_mask] = values
+    return sheet.velocity

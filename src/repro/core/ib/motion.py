@@ -1,0 +1,61 @@
+"""Fiber motion (paper kernel 8, ``move_fibers``).
+
+A fiber node moves with the local fluid: its new position integrates the
+interpolated fluid velocity with forward Euler (the IB no-slip
+condition)::
+
+    X_l(t + dt) = X_l(t) + dt * U(X_l)
+
+The interpolation half re-uses
+:func:`repro.core.ib.interpolation.interpolate_velocity`; this module
+advances the positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DT
+from repro.core.ib.delta import DeltaKernel
+from repro.core.ib.fiber import FiberSheet
+from repro.core.ib.interpolation import interpolate_velocity
+
+__all__ = ["move_fibers"]
+
+
+def move_fibers(
+    sheet: FiberSheet,
+    delta: DeltaKernel,
+    velocity_grid: np.ndarray,
+    dt: float = DT,
+    rows=None,
+) -> np.ndarray:
+    """Kernel 8: interpolate fluid velocity and advance fiber positions.
+
+    Parameters
+    ----------
+    sheet:
+        The fiber sheet to move (its ``velocity`` buffer is refreshed).
+    delta:
+        Smoothed delta kernel (influential-domain lookup).
+    velocity_grid:
+        Updated fluid velocity ``(3, Nx, Ny, Nz)`` (after kernel 7).
+    dt:
+        Time step (1 in lattice units).
+    rows:
+        Optional fiber indices; only those fibers are moved.
+
+    Returns
+    -------
+    numpy.ndarray
+        The updated ``sheet.positions``.
+    """
+    interpolate_velocity(sheet, delta, velocity_grid, rows=rows)
+    if rows is None:
+        node_mask = sheet.active
+    else:
+        node_mask = np.zeros_like(sheet.active)
+        node_mask[np.asarray(rows, dtype=np.int64)] = True
+        node_mask &= sheet.active
+    sheet.positions[node_mask] += dt * sheet.velocity[node_mask]
+    return sheet.positions

@@ -1,0 +1,125 @@
+"""Force spreading from fibers to fluid (paper kernel 4).
+
+For every fiber node the kernel finds the set of fluid nodes in the
+``support^3`` influential domain around it and exerts the node's elastic
+force onto them, weighted by the smoothed Dirac delta::
+
+    F(x) += f_l * delta_h(x - X_l) * dA
+
+where ``dA`` is the Lagrangian area element of the sheet.  Periodic
+wrap-around matches the fluid grid's periodic topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DTYPE
+from repro.core.ib.delta import DeltaKernel
+from repro.core.ib.fiber import FiberSheet
+
+__all__ = ["flatten_stencil", "spread_forces", "spread_values"]
+
+
+def flatten_stencil(
+    indices: np.ndarray, weights: np.ndarray, grid_shape: tuple[int, int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-point stencils to linear grid indices and weights.
+
+    Parameters
+    ----------
+    indices:
+        Per-axis grid coordinates from :meth:`DeltaKernel.stencil`,
+        shape ``(N, s, 3)``, already wrapped into ``grid_shape``.
+    weights:
+        3D delta weights ``(N, s, s, s)``.
+    grid_shape:
+        Fluid grid dimensions ``(Nx, Ny, Nz)``.
+
+    Returns
+    -------
+    (flat_indices, flat_weights):
+        Both of shape ``(N, s**3)``; ``flat_indices`` are raveled
+        C-order node indices into the grid.
+    """
+    n, s, _ = indices.shape
+    _, ny, nz = grid_shape
+    ix = indices[:, :, 0]
+    iy = indices[:, :, 1]
+    iz = indices[:, :, 2]
+    flat = (
+        ix[:, :, None, None] * (ny * nz)
+        + iy[:, None, :, None] * nz
+        + iz[:, None, None, :]
+    )
+    return flat.reshape(n, s**3), weights.reshape(n, s**3)
+
+
+def spread_values(
+    positions: np.ndarray,
+    values: np.ndarray,
+    delta: DeltaKernel,
+    target: np.ndarray,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Scatter per-point vector ``values`` onto the vector field ``target``.
+
+    Parameters
+    ----------
+    positions:
+        Lagrangian coordinates ``(N, 3)``.
+    values:
+        Per-point vectors ``(N, 3)`` (e.g. elastic force).
+    delta:
+        Smoothed delta kernel.
+    target:
+        Eulerian vector field ``(3, Nx, Ny, Nz)``, accumulated in place.
+    scale:
+        Constant multiplier (the Lagrangian area element).
+    """
+    if positions.size == 0:
+        return target
+    grid_shape = target.shape[1:]
+    indices, weights = delta.stencil(positions, grid_shape=grid_shape)
+    flat_idx, flat_w = flatten_stencil(indices, weights, grid_shape)
+    if scale != 1.0:
+        flat_w = flat_w * scale
+    flat_idx = flat_idx.ravel()
+    for comp in range(3):
+        contrib = (values[:, comp : comp + 1] * flat_w).ravel()
+        np.add.at(target[comp].reshape(-1), flat_idx, contrib)
+    return target
+
+
+def spread_forces(
+    sheet: FiberSheet,
+    delta: DeltaKernel,
+    force_grid: np.ndarray,
+    rows=None,
+) -> np.ndarray:
+    """Kernel 4: spread the sheet's elastic force into ``force_grid``.
+
+    Parameters
+    ----------
+    sheet:
+        Fiber sheet whose ``elastic_force`` has been computed (kernel 3).
+    delta:
+        Smoothed delta kernel defining the influential domain.
+    force_grid:
+        Fluid force-density field ``(3, Nx, Ny, Nz)``; accumulated in
+        place (callers zero it at the start of the time step).
+    rows:
+        Optional fiber indices restricting which fibers spread — the
+        parallel unit of ``fiber2thread``.
+    """
+    if rows is None:
+        node_mask = sheet.active
+    else:
+        node_mask = np.zeros_like(sheet.active)
+        node_mask[np.asarray(rows, dtype=np.int64)] = True
+        node_mask &= sheet.active
+    positions = sheet.positions[node_mask]
+    values = sheet.elastic_force[node_mask]
+    return spread_values(
+        positions, values, delta, force_grid, scale=sheet.area_element
+    )

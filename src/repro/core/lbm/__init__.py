@@ -1,0 +1,22 @@
+"""D3Q19 lattice Boltzmann fluid solver (the "LBM" in LBM-IB).
+
+Submodules
+----------
+``lattice``      velocity set, weights, opposite table (paper Figure 2)
+``fields``       the :class:`~repro.core.lbm.fields.FluidGrid` state (Figure 3)
+``equilibrium``  discrete Maxwell-Boltzmann equilibrium
+``macroscopic``  density / velocity moments with Guo half-force correction
+``collision``    BGK collision with Guo forcing (kernel 5)
+``streaming``    push streaming to the 18 neighbours (kernel 6)
+``boundaries``   periodic / bounce-back / moving-wall / outflow faces
+``analysis``     pressure, vorticity, shear stress, energy integrals
+
+Note: the submodule names double as the public API (for example
+``from repro.core.lbm import equilibrium`` then
+``equilibrium.equilibrium(rho, u)``); no submodule name is shadowed by a
+re-exported function.
+"""
+
+from repro.core.lbm.lattice import E, OPPOSITE, Q, W
+
+__all__ = ["E", "OPPOSITE", "Q", "W"]

@@ -1,0 +1,136 @@
+"""Derived flow quantities (the "characteristics" of paper Figure 3).
+
+Each fluid node records properties such as velocity, pressure, vorticity
+and shear stress.  This module computes those derived fields from the
+primitive LBM state: pressure from density via the lattice equation of
+state, vorticity and strain rate from central differences of the
+velocity field, and kinetic energy / enstrophy integrals used by the
+validation tests (e.g. Taylor-Green decay).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import CS2, DTYPE
+
+__all__ = [
+    "pressure",
+    "noneq_stress",
+    "velocity_gradient",
+    "vorticity",
+    "strain_rate",
+    "shear_stress",
+    "kinetic_energy",
+    "enstrophy",
+    "max_velocity_magnitude",
+]
+
+
+def pressure(density: np.ndarray) -> np.ndarray:
+    """Lattice equation of state ``p = cs^2 * rho``."""
+    return CS2 * np.asarray(density, dtype=DTYPE)
+
+
+def noneq_stress(
+    df: np.ndarray,
+    density: np.ndarray,
+    velocity: np.ndarray,
+    tau: float,
+) -> np.ndarray:
+    """Deviatoric stress from the non-equilibrium distribution moments.
+
+    LBM offers the viscous stress *locally* — no finite differences —
+    through the second moment of the non-equilibrium part::
+
+        sigma_ab = -(1 - 1/(2 tau)) * sum_i e_ia e_ib (f_i - f_i^eq)
+
+    This is the "shear stress" property a fluid node records in paper
+    Figure 3, computable per node from its own 19 populations.
+
+    Parameters
+    ----------
+    df:
+        Distributions ``(19, *S)``.
+    density, velocity:
+        Macroscopic moments of ``df``.
+    tau:
+        Relaxation time of the even (stress-carrying) moments.
+
+    Returns
+    -------
+    numpy.ndarray
+        Stress tensor ``(3, 3, *S)``.
+    """
+    from repro.core.lbm import equilibrium as _eq
+    from repro.core.lbm.lattice import E_FLOAT
+
+    feq = _eq.equilibrium(density, velocity)
+    fneq = df - feq
+    moment = np.einsum("ia,ib,i...->ab...", E_FLOAT, E_FLOAT, fneq)
+    return -(1.0 - 0.5 / tau) * moment
+
+
+def velocity_gradient(velocity: np.ndarray) -> np.ndarray:
+    """Gradient tensor ``G[a, b] = d u_a / d x_b`` via periodic central differences.
+
+    Parameters
+    ----------
+    velocity:
+        Velocity field ``(3, Nx, Ny, Nz)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(3, 3, Nx, Ny, Nz)``.
+    """
+    velocity = np.asarray(velocity, dtype=DTYPE)
+    grad = np.empty((3, 3) + velocity.shape[1:], dtype=DTYPE)
+    for a in range(3):
+        for b in range(3):
+            grad[a, b] = 0.5 * (
+                np.roll(velocity[a], -1, axis=b) - np.roll(velocity[a], 1, axis=b)
+            )
+    return grad
+
+
+def vorticity(velocity: np.ndarray) -> np.ndarray:
+    """Vorticity ``omega = curl(u)``, shape ``(3, Nx, Ny, Nz)``."""
+    g = velocity_gradient(velocity)
+    curl = np.empty_like(velocity, dtype=DTYPE)
+    curl[0] = g[2, 1] - g[1, 2]
+    curl[1] = g[0, 2] - g[2, 0]
+    curl[2] = g[1, 0] - g[0, 1]
+    return curl
+
+
+def strain_rate(velocity: np.ndarray) -> np.ndarray:
+    """Symmetric strain-rate tensor ``S = (G + G^T)/2``, shape ``(3,3,*S)``."""
+    g = velocity_gradient(velocity)
+    return 0.5 * (g + np.swapaxes(g, 0, 1))
+
+
+def shear_stress(velocity: np.ndarray, density: np.ndarray, nu: float) -> np.ndarray:
+    """Viscous shear-stress tensor ``sigma = 2 rho nu S``, shape ``(3,3,*S)``."""
+    s = strain_rate(velocity)
+    return 2.0 * nu * np.asarray(density, dtype=DTYPE)[None, None] * s
+
+
+def kinetic_energy(velocity: np.ndarray, density: np.ndarray | None = None) -> float:
+    """Total kinetic energy ``sum 1/2 rho |u|^2`` over the grid."""
+    u_sq = np.einsum("a...,a...->...", velocity, velocity)
+    if density is None:
+        return float(0.5 * u_sq.sum())
+    return float(0.5 * (np.asarray(density, dtype=DTYPE) * u_sq).sum())
+
+
+def enstrophy(velocity: np.ndarray) -> float:
+    """Total enstrophy ``sum 1/2 |curl u|^2`` over the grid."""
+    w = vorticity(velocity)
+    return float(0.5 * np.einsum("a...,a...->...", w, w).sum())
+
+
+def max_velocity_magnitude(velocity: np.ndarray) -> float:
+    """Maximum ``|u|`` over the grid; used for Mach-number stability checks."""
+    u_sq = np.einsum("a...,a...->...", velocity, velocity)
+    return float(np.sqrt(u_sq.max()))

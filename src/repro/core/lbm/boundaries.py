@@ -1,0 +1,155 @@
+"""Physical boundary conditions for the LBM fluid.
+
+Streaming (:mod:`repro.core.lbm.streaming`) wraps periodically; each
+boundary-condition object then *repairs* the distributions on its face
+after streaming.  All conditions operate on a face of the box, selected
+by ``axis`` (0 = x, 1 = y, 2 = z) and ``side`` (``"low"`` for the 0-index
+face, ``"high"`` for the last-index face).
+
+Implemented conditions
+----------------------
+:class:`PeriodicBoundary`
+    No-op marker; the default wrap-around behaviour.
+:class:`BounceBackWall`
+    Halfway bounce-back no-slip wall; with a nonzero ``wall_velocity`` it
+    becomes a moving wall (Ladd momentum correction) usable as a simple
+    velocity inlet for tunnel flows (paper Figure 7).
+:class:`OutflowBoundary`
+    Zero-gradient outflow: incoming populations are copied from the
+    adjacent interior layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import DTYPE, RHO0
+from repro.core.lbm.lattice import E, OPPOSITE, Q, W
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Boundary",
+    "PeriodicBoundary",
+    "BounceBackWall",
+    "OutflowBoundary",
+    "face_index",
+]
+
+_SIDES = ("low", "high")
+
+
+def face_index(axis: int, side: str, shape: tuple[int, int, int]) -> tuple:
+    """Index tuple selecting the boundary layer of ``axis``/``side``."""
+    if axis not in (0, 1, 2):
+        raise ConfigurationError(f"axis must be 0, 1 or 2, got {axis}")
+    if side not in _SIDES:
+        raise ConfigurationError(f"side must be 'low' or 'high', got {side!r}")
+    layer = 0 if side == "low" else shape[axis] - 1
+    idx: list = [slice(None)] * 3
+    idx[axis] = layer
+    return tuple(idx)
+
+
+@dataclass
+class Boundary:
+    """Base class for face boundary conditions.
+
+    Subclasses implement :meth:`apply`, called once per time step after
+    streaming with the post-collision buffer ``df_post`` (source of the
+    stream) and the streamed buffer ``df_new`` (to repair in place).
+    """
+
+    axis: int
+    side: str
+
+    def __post_init__(self) -> None:
+        if self.axis not in (0, 1, 2):
+            raise ConfigurationError(f"axis must be 0, 1 or 2, got {self.axis}")
+        if self.side not in _SIDES:
+            raise ConfigurationError(
+                f"side must be 'low' or 'high', got {self.side!r}"
+            )
+
+    def incoming_directions(self) -> np.ndarray:
+        """Directions whose velocity points from this face into the domain."""
+        component = E[:, self.axis]
+        if self.side == "low":
+            return np.nonzero(component > 0)[0]
+        return np.nonzero(component < 0)[0]
+
+    def apply(self, df_post: np.ndarray, df_new: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class PeriodicBoundary(Boundary):
+    """Periodic face; streaming already handled it, so ``apply`` is a no-op."""
+
+    def apply(self, df_post: np.ndarray, df_new: np.ndarray) -> None:  # noqa: D102
+        return
+
+
+@dataclass
+class BounceBackWall(Boundary):
+    """Halfway bounce-back wall, optionally moving with ``wall_velocity``.
+
+    For every direction ``i`` entering the domain at the wall layer::
+
+        f_i(x_b, t+1) = f_opp(i)^post(x_b, t) + 6 w_i rho0 (e_i . u_w)
+
+    The correction term (Ladd 1994) imparts the wall's tangential
+    momentum, which turns the wall into a simple velocity inlet — the
+    mechanism our tunnel-flow example uses to drive the flow past the
+    flexible sheet.
+    """
+
+    wall_velocity: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    wall_density: float = RHO0
+
+    def apply(self, df_post: np.ndarray, df_new: np.ndarray) -> None:  # noqa: D102
+        shape = df_post.shape[1:]
+        idx = face_index(self.axis, self.side, shape)
+        u_w = np.asarray(self.wall_velocity, dtype=DTYPE)
+        moving = bool(np.any(u_w != 0.0))
+        for i in self.incoming_directions():
+            value = df_post[(OPPOSITE[i],) + idx]
+            if moving:
+                value = value + 6.0 * W[i] * self.wall_density * float(E[i] @ u_w)
+            df_new[(i,) + idx] = value
+
+
+@dataclass
+class OutflowBoundary(Boundary):
+    """Zero-gradient outflow: copy incoming populations from the interior.
+
+    ``f_i(x_b, t+1) = f_i(x_b - n, t+1)`` where ``n`` is the outward
+    normal, i.e. the unknown populations are extrapolated (order 0) from
+    the neighbouring interior layer.
+    """
+
+    def apply(self, df_post: np.ndarray, df_new: np.ndarray) -> None:  # noqa: D102
+        shape = df_post.shape[1:]
+        if shape[self.axis] < 2:
+            raise ConfigurationError(
+                "outflow boundary needs at least two layers along its axis"
+            )
+        boundary_idx = face_index(self.axis, self.side, shape)
+        interior: list = list(boundary_idx)
+        interior[self.axis] = 1 if self.side == "low" else shape[self.axis] - 2
+        interior_idx = tuple(interior)
+        for i in self.incoming_directions():
+            df_new[(i,) + boundary_idx] = df_new[(i,) + interior_idx]
+
+
+def validate_boundaries(boundaries: list[Boundary]) -> None:
+    """Reject duplicate face assignments."""
+    seen: set[tuple[int, str]] = set()
+    for b in boundaries:
+        key = (b.axis, b.side)
+        if key in seen:
+            raise ConfigurationError(
+                f"multiple boundary conditions assigned to axis={b.axis} side={b.side!r}"
+            )
+        seen.add(key)

@@ -1,0 +1,77 @@
+"""Discrete Maxwell-Boltzmann equilibrium for the D3Q19 model.
+
+The second-order equilibrium distribution is::
+
+    f_i^eq = w_i * rho * [1 + 3 (e_i . u) + 9/2 (e_i . u)^2 - 3/2 u.u]
+
+with lattice speed of sound ``cs^2 = 1/3`` absorbed into the numeric
+coefficients (``1/cs^2 = 3`` etc.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DTYPE, Q
+from repro.core.lbm.lattice import E_FLOAT, W
+
+__all__ = ["equilibrium", "equilibrium_single"]
+
+
+def equilibrium(
+    density: np.ndarray | float,
+    velocity: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Equilibrium distributions for a field of nodes.
+
+    Parameters
+    ----------
+    density:
+        Scalar or array of shape ``S`` (e.g. ``(Nx, Ny, Nz)``).
+    velocity:
+        Array of shape ``(3, *S)``.
+    out:
+        Optional output array of shape ``(19, *S)`` written in place.
+
+    Returns
+    -------
+    numpy.ndarray
+        Equilibrium distributions, shape ``(19, *S)``.
+    """
+    velocity = np.asarray(velocity, dtype=DTYPE)
+    if velocity.shape[0] != 3:
+        raise ValueError(
+            f"velocity must have a leading component axis of size 3, got shape {velocity.shape}"
+        )
+    spatial = velocity.shape[1:]
+    rho = np.broadcast_to(np.asarray(density, dtype=DTYPE), spatial)
+    if out is None:
+        out = np.empty((Q,) + spatial, dtype=DTYPE)
+    elif out.shape != (Q,) + spatial:
+        raise ValueError(
+            f"out has shape {out.shape}, expected {(Q,) + spatial}"
+        )
+
+    # eu[i] = e_i . u  for every node, shape (19, *S)
+    eu = np.tensordot(E_FLOAT, velocity, axes=([1], [0]))
+    u_sq = np.einsum("a...,a...->...", velocity, velocity)
+
+    # out = w_i * rho * (1 + 3 eu + 4.5 eu^2 - 1.5 u^2)
+    np.multiply(eu, eu, out=out)
+    out *= 4.5
+    out += 3.0 * eu
+    out -= 1.5 * u_sq
+    out += 1.0
+    out *= rho
+    out *= W.reshape((Q,) + (1,) * len(spatial))
+    return out
+
+
+def equilibrium_single(density: float, velocity) -> np.ndarray:
+    """Equilibrium distribution of a single node; returns shape ``(19,)``.
+
+    Convenience wrapper used by boundary conditions and tests.
+    """
+    u = np.asarray(velocity, dtype=DTYPE).reshape(3, 1)
+    return equilibrium(float(density), u).reshape(Q)

@@ -1,0 +1,75 @@
+"""Macroscopic moments of the velocity distributions.
+
+Density is the zeroth moment, momentum the first moment.  When a body
+force ``F`` acts on the fluid (the elastic force spread from the immersed
+structure), the second-order-accurate velocity includes the half-step
+force correction of the Guo forcing scheme::
+
+    rho   = sum_i f_i
+    rho u = sum_i e_i f_i + F * dt / 2
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DT, DTYPE
+from repro.core.lbm.lattice import E_FLOAT
+
+__all__ = ["compute_density", "compute_velocity", "compute_momentum_density"]
+
+
+def compute_density(df: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Zeroth moment ``rho = sum_i f_i``; ``df`` has shape ``(19, *S)``."""
+    return np.sum(df, axis=0, out=out)
+
+
+def compute_momentum_density(df: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """First moment ``sum_i e_i f_i``; returns shape ``(3, *S)``."""
+    mom = np.tensordot(E_FLOAT.T, df, axes=([1], [0]))
+    if out is not None:
+        out[...] = mom
+        return out
+    return mom
+
+
+def compute_velocity(
+    df: np.ndarray,
+    force: np.ndarray | None = None,
+    density: np.ndarray | None = None,
+    out_velocity: np.ndarray | None = None,
+    out_density: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Macroscopic ``(velocity, density)`` from distributions and body force.
+
+    Parameters
+    ----------
+    df:
+        Distributions, shape ``(19, *S)``.
+    force:
+        Optional body-force density ``(3, *S)``; contributes the Guo
+        half-step momentum correction ``F dt / 2``.
+    density:
+        Pre-computed density to reuse; computed from ``df`` when absent.
+    out_velocity, out_density:
+        Optional output arrays written in place.
+
+    Returns
+    -------
+    (velocity, density):
+        Arrays of shape ``(3, *S)`` and ``S``.
+    """
+    if density is None:
+        density = compute_density(df, out=out_density)
+    elif out_density is not None:
+        out_density[...] = density
+        density = out_density
+
+    momentum = compute_momentum_density(df)
+    if force is not None:
+        momentum += 0.5 * DT * np.asarray(force, dtype=DTYPE)
+
+    if out_velocity is None:
+        out_velocity = np.empty_like(momentum)
+    np.divide(momentum, density[None, ...], out=out_velocity)
+    return out_velocity, density

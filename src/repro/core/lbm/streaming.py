@@ -1,0 +1,67 @@
+"""Streaming step (paper kernel 6, ``stream_fluid_velocity_distribution``).
+
+After collision, the post-collision distribution of every fluid node is
+propagated (push-streamed) to its 18 immediate neighbours along the
+lattice directions of Figure 2; the rest population stays in place.
+Periodic wrap-around is built in; non-periodic physical boundaries are
+corrected afterwards by the boundary-condition objects in
+:mod:`repro.core.lbm.boundaries`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import Q
+from repro.core.lbm.lattice import E
+
+__all__ = ["stream", "stream_direction", "shift_slices"]
+
+
+def stream_direction(field: np.ndarray, direction: int, out: np.ndarray) -> None:
+    """Push-stream one direction's field by its lattice velocity.
+
+    ``out[x + e] = field[x]`` with periodic wrap, i.e. a cyclic shift of
+    ``field`` by ``E[direction]``.
+    """
+    ex, ey, ez = (int(c) for c in E[direction])
+    if ex == 0 and ey == 0 and ez == 0:
+        out[...] = field
+        return
+    out[...] = np.roll(field, shift=(ex, ey, ez), axis=(0, 1, 2))
+
+
+def stream(df_post: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Stream all 19 directions from ``df_post`` into ``out``.
+
+    Parameters
+    ----------
+    df_post:
+        Post-collision distributions, shape ``(19, Nx, Ny, Nz)``.
+    out:
+        Destination buffer of the same shape (the grid's ``df_new``).
+    """
+    if df_post.shape != out.shape:
+        raise ValueError(
+            f"source shape {df_post.shape} != destination shape {out.shape}"
+        )
+    for i in range(Q):
+        stream_direction(df_post[i], i, out[i])
+    return out
+
+
+def shift_slices(extent: int, shift: int) -> tuple[slice, slice]:
+    """Source/destination slice pair realizing a non-periodic shift.
+
+    Returns ``(src, dst)`` such that ``dst_array[dst] = src_array[src]``
+    moves data by ``shift`` along an axis of length ``extent`` without
+    wrap-around.  Used by the cube-based solver to split a periodic
+    stream into an interior part and cross-cube face transfers.
+    """
+    if abs(shift) >= extent:
+        raise ValueError(f"|shift| must be < extent ({shift} vs {extent})")
+    if shift > 0:
+        return slice(0, extent - shift), slice(shift, extent)
+    if shift < 0:
+        return slice(-shift, extent), slice(0, extent + shift)
+    return slice(0, extent), slice(0, extent)

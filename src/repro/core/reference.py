@@ -1,0 +1,267 @@
+"""Pure-Python loop reference kernels.
+
+These implementations mirror the paper's per-node pseudocode literally —
+triple loops over fluid nodes, a loop over the 19 directions, loops over
+fiber nodes and their neighbours.  They are deliberately slow and exist
+only as an independent oracle: the test suite checks the vectorized
+production kernels against them on tiny inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import DT, DTYPE, Q
+from repro.core.ib.delta import DeltaKernel
+from repro.core.ib.fiber import FiberSheet
+from repro.core.lbm.lattice import E, W
+
+__all__ = [
+    "equilibrium_node",
+    "macroscopic_loop",
+    "collide_loop",
+    "update_velocity_loop",
+    "stream_loop",
+    "spread_loop",
+    "interpolate_loop",
+    "bending_force_loop",
+    "stretching_force_loop",
+]
+
+
+def equilibrium_node(rho: float, u) -> np.ndarray:
+    """Equilibrium of a single node, computed with scalar arithmetic."""
+    u = np.asarray(u, dtype=DTYPE)
+    out = np.empty(Q, dtype=DTYPE)
+    usq = float(u @ u)
+    for i in range(Q):
+        eu = float(E[i] @ u)
+        out[i] = W[i] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * usq)
+    return out
+
+
+def macroscopic_loop(df: np.ndarray, force: np.ndarray | None = None):
+    """Per-node density/velocity moments with explicit loops.
+
+    Returns ``(density, velocity)`` with shapes ``S`` and ``(3, *S)``.
+    """
+    _, nx, ny, nz = df.shape
+    density = np.zeros((nx, ny, nz), dtype=DTYPE)
+    velocity = np.zeros((3, nx, ny, nz), dtype=DTYPE)
+    for x in range(nx):
+        for y in range(ny):
+            for z in range(nz):
+                rho = 0.0
+                mom = np.zeros(3, dtype=DTYPE)
+                for i in range(Q):
+                    f = df[i, x, y, z]
+                    rho += f
+                    mom += f * E[i]
+                if force is not None:
+                    mom += 0.5 * DT * force[:, x, y, z]
+                density[x, y, z] = rho
+                velocity[:, x, y, z] = mom / rho
+    return density, velocity
+
+
+def collide_loop(
+    df: np.ndarray,
+    tau: float,
+    velocity_shifted: np.ndarray,
+) -> np.ndarray:
+    """BGK collision toward the shifted-velocity equilibrium, node by node.
+
+    Mirrors kernel 5 of the velocity-shift forcing scheme: the density
+    is the local zeroth moment, but the equilibrium velocity is the
+    stored ``u*`` written by the previous step's kernel 7.
+    """
+    _, nx, ny, nz = df.shape
+    out = np.empty_like(df)
+    for x in range(nx):
+        for y in range(ny):
+            for z in range(nz):
+                rho = 0.0
+                for i in range(Q):
+                    rho += df[i, x, y, z]
+                u_star = velocity_shifted[:, x, y, z]
+                feq = equilibrium_node(rho, u_star)
+                for i in range(Q):
+                    out[i, x, y, z] = df[i, x, y, z] - (df[i, x, y, z] - feq[i]) / tau
+    return out
+
+
+def update_velocity_loop(
+    df_new: np.ndarray, force: np.ndarray, tau: float
+):
+    """Kernel 7 oracle: per-node physical and shifted velocities.
+
+    Returns ``(density, velocity, velocity_shifted)``.
+    """
+    _, nx, ny, nz = df_new.shape
+    density = np.zeros((nx, ny, nz), dtype=DTYPE)
+    velocity = np.zeros((3, nx, ny, nz), dtype=DTYPE)
+    velocity_shifted = np.zeros((3, nx, ny, nz), dtype=DTYPE)
+    for x in range(nx):
+        for y in range(ny):
+            for z in range(nz):
+                rho = 0.0
+                mom = np.zeros(3, dtype=DTYPE)
+                for i in range(Q):
+                    f = df_new[i, x, y, z]
+                    rho += f
+                    mom += f * E[i]
+                f_vec = force[:, x, y, z]
+                density[x, y, z] = rho
+                velocity[:, x, y, z] = (mom + 0.5 * DT * f_vec) / rho
+                velocity_shifted[:, x, y, z] = (mom + tau * DT * f_vec) / rho
+    return density, velocity, velocity_shifted
+
+
+def stream_loop(df_post: np.ndarray) -> np.ndarray:
+    """Push streaming with explicit loops and periodic wrap."""
+    _, nx, ny, nz = df_post.shape
+    out = np.zeros_like(df_post)
+    for x in range(nx):
+        for y in range(ny):
+            for z in range(nz):
+                for i in range(Q):
+                    dx, dy, dz = (int(c) for c in E[i])
+                    out[i, (x + dx) % nx, (y + dy) % ny, (z + dz) % nz] = df_post[
+                        i, x, y, z
+                    ]
+    return out
+
+
+def _delta_weight(delta: DeltaKernel, r: float) -> float:
+    return float(delta.weight_1d(np.asarray([r], dtype=DTYPE))[0])
+
+
+def spread_loop(
+    sheet: FiberSheet, delta: DeltaKernel, grid_shape: tuple[int, int, int]
+) -> np.ndarray:
+    """Loop-based force spreading; returns a fresh force field."""
+    nx, ny, nz = grid_shape
+    force = np.zeros((3, nx, ny, nz), dtype=DTYPE)
+    s = delta.support
+    for fi in range(sheet.num_fibers):
+        for ni in range(sheet.nodes_per_fiber):
+            if not sheet.active[fi, ni]:
+                continue
+            pos = sheet.positions[fi, ni]
+            f_l = sheet.elastic_force[fi, ni] * sheet.area_element
+            if s % 2 == 0:
+                base = [math.floor(pos[a]) - (s // 2 - 1) for a in range(3)]
+            else:
+                base = [round(pos[a]) - (s - 1) // 2 for a in range(3)]
+            for ox in range(s):
+                for oy in range(s):
+                    for oz in range(s):
+                        gx, gy, gz = base[0] + ox, base[1] + oy, base[2] + oz
+                        w = (
+                            _delta_weight(delta, gx - pos[0])
+                            * _delta_weight(delta, gy - pos[1])
+                            * _delta_weight(delta, gz - pos[2])
+                        )
+                        force[:, gx % nx, gy % ny, gz % nz] += w * f_l
+    return force
+
+
+def interpolate_loop(
+    sheet: FiberSheet, delta: DeltaKernel, velocity: np.ndarray
+) -> np.ndarray:
+    """Loop-based velocity interpolation; returns ``(nf, nn, 3)``."""
+    _, nx, ny, nz = velocity.shape
+    out = np.zeros_like(sheet.positions)
+    s = delta.support
+    for fi in range(sheet.num_fibers):
+        for ni in range(sheet.nodes_per_fiber):
+            if not sheet.active[fi, ni]:
+                continue
+            pos = sheet.positions[fi, ni]
+            if s % 2 == 0:
+                base = [math.floor(pos[a]) - (s // 2 - 1) for a in range(3)]
+            else:
+                base = [round(pos[a]) - (s - 1) // 2 for a in range(3)]
+            acc = np.zeros(3, dtype=DTYPE)
+            for ox in range(s):
+                for oy in range(s):
+                    for oz in range(s):
+                        gx, gy, gz = base[0] + ox, base[1] + oy, base[2] + oz
+                        w = (
+                            _delta_weight(delta, gx - pos[0])
+                            * _delta_weight(delta, gy - pos[1])
+                            * _delta_weight(delta, gz - pos[2])
+                        )
+                        acc += w * velocity[:, gx % nx, gy % ny, gz % nz]
+            out[fi, ni] = acc
+    return out
+
+
+def bending_force_loop(sheet: FiberSheet) -> np.ndarray:
+    """Loop-based bending force with free sheet edges; returns ``(nf, nn, 3)``."""
+
+    def active(fi: int, ni: int) -> bool:
+        nf, nn = sheet.active.shape
+        return 0 <= fi < nf and 0 <= ni < nn and bool(sheet.active[fi, ni])
+
+    def curvature(fi: int, ni: int, axis: int) -> np.ndarray:
+        da = (1, 0) if axis == 0 else (0, 1)
+        lo = (fi - da[0], ni - da[1])
+        hi = (fi + da[0], ni + da[1])
+        if not (active(*lo) and active(fi, ni) and active(*hi)):
+            return np.zeros(3, dtype=DTYPE)
+        return (
+            sheet.positions[lo]
+            - 2.0 * sheet.positions[fi, ni]
+            + sheet.positions[hi]
+        )
+
+    out = np.zeros_like(sheet.positions)
+    nf, nn = sheet.active.shape
+    for fi in range(nf):
+        for ni in range(nn):
+            if not sheet.active[fi, ni]:
+                continue
+            total = np.zeros(3, dtype=DTYPE)
+            for axis in (0, 1):
+                da = (1, 0) if axis == 0 else (0, 1)
+                c_lo = curvature(fi - da[0], ni - da[1], axis)
+                c_mid = curvature(fi, ni, axis)
+                c_hi = curvature(fi + da[0], ni + da[1], axis)
+                total += c_lo - 2.0 * c_mid + c_hi
+            out[fi, ni] = -sheet.bend_coefficient * total
+    return out
+
+
+def stretching_force_loop(sheet: FiberSheet) -> np.ndarray:
+    """Loop-based stretching force; returns ``(nf, nn, 3)``."""
+
+    def active(fi: int, ni: int) -> bool:
+        nf, nn = sheet.active.shape
+        return 0 <= fi < nf and 0 <= ni < nn and bool(sheet.active[fi, ni])
+
+    out = np.zeros_like(sheet.positions)
+    nf, nn = sheet.active.shape
+    neighbours = (
+        ((0, -1), sheet.rest_spacing_fiber),
+        ((0, 1), sheet.rest_spacing_fiber),
+        ((-1, 0), sheet.rest_spacing_cross),
+        ((1, 0), sheet.rest_spacing_cross),
+    )
+    for fi in range(nf):
+        for ni in range(nn):
+            if not sheet.active[fi, ni]:
+                continue
+            total = np.zeros(3, dtype=DTYPE)
+            for (dfi, dni), rest in neighbours:
+                mi, mj = fi + dfi, ni + dni
+                if not active(mi, mj):
+                    continue
+                d = sheet.positions[mi, mj] - sheet.positions[fi, ni]
+                dist = float(np.linalg.norm(d))
+                if dist > 0.0:
+                    total += sheet.stretch_coefficient * (1.0 - rest / dist) * d
+            out[fi, ni] = total
+    return out

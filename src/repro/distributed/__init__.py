@@ -1,0 +1,22 @@
+"""Distributed-memory extension (the paper's first future-work item).
+
+``comm``    — simulated MPI-like communicator (thread ranks, copied
+              message payloads, barriers, allreduce, traffic counters)
+``solver``  — x-slab rank decomposition with halo exchange of the
+              rank-crossing populations and a replicated structure
+``hybrid``  — the same rank decomposition with the *cube-centric* data
+              layout inside every rank (the paper's exact future-work
+              sentence: distributed memory for the cube implementation)
+"""
+
+from repro.distributed.comm import CommStats, RankComm, SimulatedComm
+from repro.distributed.hybrid import HybridCubeLBMIBSolver
+from repro.distributed.solver import DistributedLBMIBSolver
+
+__all__ = [
+    "CommStats",
+    "RankComm",
+    "SimulatedComm",
+    "DistributedLBMIBSolver",
+    "HybridCubeLBMIBSolver",
+]

@@ -1,0 +1,160 @@
+"""Simulated message-passing substrate (the MPI stand-in).
+
+The paper's first future-work item is extending the library "from
+shared memory manycore systems to extreme-scale distributed memory
+manycore systems".  Real MPI is unavailable in this environment, so
+:class:`SimulatedComm` provides the communicator semantics the
+distributed solver needs — point-to-point sends/receives with tags,
+barriers, and allreduce — with ranks running as threads and *no shared
+mutable numerical state*: every transferred array is copied at the
+send boundary, exactly as a network transport would.
+
+Message counts and byte volumes are recorded per rank, so communication
+costs of the distributed algorithm are measurable.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CommStats", "SimulatedComm", "RankComm"]
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication counters."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+
+
+class SimulatedComm:
+    """A communicator over ``size`` thread-ranks.
+
+    Obtain each rank's endpoint with :meth:`rank_comm`; run the ranks
+    with :func:`repro.parallel.executor.run_spmd`.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigurationError(f"communicator size must be positive, got {size}")
+        self.size = size
+        self._mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._mailbox_lock = threading.Lock()
+        self._barrier = threading.Barrier(size)
+        self._reduce_lock = threading.Lock()
+        self._reduce_buffer: np.ndarray | None = None
+        self._reduce_count = 0
+        self._reduce_result: np.ndarray | None = None
+        self.stats = [CommStats() for _ in range(size)]
+
+    def _mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._mailbox_lock:
+            box = self._mailboxes.get(key)
+            if box is None:
+                box = self._mailboxes[key] = queue.Queue()
+            return box
+
+    def rank_comm(self, rank: int) -> "RankComm":
+        """The endpoint for ``rank``."""
+        if not 0 <= rank < self.size:
+            raise ConfigurationError(f"rank {rank} outside communicator of {self.size}")
+        return RankComm(self, rank)
+
+    def total_bytes_sent(self) -> int:
+        """Bytes sent across all ranks."""
+        return sum(s.bytes_sent for s in self.stats)
+
+    def total_messages(self) -> int:
+        """Messages sent across all ranks."""
+        return sum(s.messages_sent for s in self.stats)
+
+
+class RankComm:
+    """One rank's view of a :class:`SimulatedComm`."""
+
+    def __init__(self, comm: SimulatedComm, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks."""
+        return self.comm.size
+
+    # ------------------------------------------------------------------
+    def send(self, dst: int, tag: int, array: np.ndarray) -> None:
+        """Send a copy of ``array`` to ``dst`` (non-blocking deposit)."""
+        if not 0 <= dst < self.size:
+            raise ConfigurationError(f"destination rank {dst} out of range")
+        payload = np.array(array, copy=True)
+        self.comm._mailbox(self.rank, dst, tag).put(payload)
+        st = self.comm.stats[self.rank]
+        st.messages_sent += 1
+        st.bytes_sent += payload.nbytes
+
+    def recv(self, src: int, tag: int, timeout: float = 30.0) -> np.ndarray:
+        """Block until the matching message from ``src`` arrives."""
+        if not 0 <= src < self.size:
+            raise ConfigurationError(f"source rank {src} out of range")
+        try:
+            payload = self.comm._mailbox(src, self.rank, tag).get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"rank {self.rank} timed out waiting for tag {tag} from rank {src}"
+            ) from None
+        st = self.comm.stats[self.rank]
+        st.messages_received += 1
+        st.bytes_received += payload.nbytes
+        return payload
+
+    def sendrecv(
+        self, dst: int, src: int, tag: int, array: np.ndarray
+    ) -> np.ndarray:
+        """Exchange: send to ``dst``, receive the counterpart from ``src``."""
+        self.send(dst, tag, array)
+        return self.recv(src, tag)
+
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        self.comm._barrier.wait()
+
+    def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
+        """Element-wise sum over all ranks; every rank gets the result.
+
+        Deterministic accumulation order (rank 0, 1, ...) would require
+        extra staging; instead contributions are added under a lock in
+        arrival order, which is sufficient for the library's tolerance
+        contracts and matches MPI's unspecified reduction order.
+        """
+        comm = self.comm
+        contribution = np.asarray(array, dtype=np.float64)
+        with comm._reduce_lock:
+            if comm._reduce_buffer is None:
+                comm._reduce_buffer = contribution.copy()
+            else:
+                comm._reduce_buffer = comm._reduce_buffer + contribution
+            comm._reduce_count += 1
+        self.barrier()
+        # buffer complete; publish, then reset after everyone has read it
+        with comm._reduce_lock:
+            if comm._reduce_result is None:
+                comm._reduce_result = comm._reduce_buffer
+        result = comm._reduce_result.copy()
+        self.barrier()
+        with comm._reduce_lock:
+            comm._reduce_buffer = None
+            comm._reduce_result = None
+            comm._reduce_count = 0
+        self.barrier()
+        return result

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the LBM-IB library.
+
+All library-raised exceptions derive from :class:`LBMIBError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class LBMIBError(Exception):
+    """Base class for all errors raised by the LBM-IB library."""
+
+
+class ConfigurationError(LBMIBError, ValueError):
+    """An invalid simulation, machine, or solver configuration was supplied."""
+
+
+class PartitionError(LBMIBError, ValueError):
+    """A domain decomposition request cannot be satisfied.
+
+    Raised, for example, when a fluid grid is not divisible into the
+    requested cube size, or when a thread mesh cannot be factorized for
+    the requested thread count.
+    """
+
+
+class StabilityError(LBMIBError, RuntimeError):
+    """The numerical simulation became unstable (NaN/Inf or runaway values)."""
+
+
+class CheckpointError(LBMIBError, RuntimeError):
+    """A checkpoint file could not be written or restored."""
+
+
+class MachineModelError(LBMIBError, ValueError):
+    """The simulated-machine model was queried with inconsistent inputs."""

@@ -1,0 +1,22 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+========  ==========================================  =====================
+Artifact  Content                                     Module
+========  ==========================================  =====================
+Table I   sequential kernel profile                   ``table1``
+Table II  cache miss rates + load imbalance           ``table2``
+Table III machine description (thog)                  ``table34``
+Table IV  NUMA distance matrix                        ``table34``
+Figure 5  OpenMP strong scaling (32 cores)            ``fig5``
+Figure 8  weak scaling, OpenMP vs cube (64 cores)     ``fig8``
+(extra)   design-choice ablations                     ``ablations``
+========  ==========================================  =====================
+
+``workloads`` defines the paper's inputs and their scaled variants.
+Each driver returns structured rows plus a paper-style text rendering;
+the ``benchmarks/`` suite calls these drivers and prints the tables.
+"""
+
+from repro.experiments import workloads
+
+__all__ = ["workloads"]

@@ -1,0 +1,145 @@
+"""Experiment Figure 8: weak scalability, OpenMP vs cube-based, on thog.
+
+Each core owns 128^3 fluid nodes (the grid doubles with the core
+count); the fiber input is fixed at 104 x 104 nodes.  The paper
+reports the OpenMP execution time growing by +25% (2->4 cores), +36%
+(4->8), +22% per doubling (8->32) and +42% (32->64), while the
+cube-based implementation grows by only +3% (1->2), +13% per doubling
+(2->32) and +18% (32->64); at 64 cores the cube version outperforms
+OpenMP by 53%.
+
+The curves come from the machine model's weak-scaling predictor; this
+driver reports both solvers' times, per-doubling growth rates (model vs
+paper), and the OpenMP/cube ratio per core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.workloads import (
+    WEAK_SCALING_FIBER_SHAPE,
+    WEAK_SCALING_NODES_PER_CORE,
+    weak_scaling_fluid_shape,
+)
+from repro.machine import PerformanceModel, thog
+from repro.profiling.report import render_table
+
+__all__ = [
+    "Fig8Row",
+    "PAPER_FIG8_OPENMP_GROWTH",
+    "PAPER_FIG8_CUBE_GROWTH",
+    "run_fig8",
+    "render_fig8",
+]
+
+#: Paper-stated per-doubling growth of OpenMP execution time, keyed by
+#: the core count the doubling arrives at.
+PAPER_FIG8_OPENMP_GROWTH: dict[int, float] = {
+    4: 1.25,
+    8: 1.36,
+    16: 1.22,
+    32: 1.22,
+    64: 1.42,
+}
+
+#: Paper-stated per-doubling growth of the cube-based implementation.
+PAPER_FIG8_CUBE_GROWTH: dict[int, float] = {
+    2: 1.03,
+    4: 1.13,
+    8: 1.13,
+    16: 1.13,
+    32: 1.13,
+    64: 1.18,
+}
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """One core count of the weak-scaling comparison."""
+
+    cores: int
+    fluid_shape: tuple[int, int, int]
+    openmp_seconds: float
+    cube_seconds: float
+    openmp_growth: float | None
+    cube_growth: float | None
+    paper_openmp_growth: float | None
+    paper_cube_growth: float | None
+
+    @property
+    def openmp_over_cube(self) -> float:
+        """How much slower OpenMP is than cube at this core count."""
+        return self.openmp_seconds / self.cube_seconds
+
+
+def run_fig8(core_counts: list[int] | None = None) -> list[Fig8Row]:
+    """Model the Figure 8 weak-scaling comparison."""
+    if core_counts is None:
+        core_counts = [1, 2, 4, 8, 16, 32, 64]
+    model = PerformanceModel(thog())
+    omp = model.weak_scaling(
+        core_counts, WEAK_SCALING_NODES_PER_CORE, WEAK_SCALING_FIBER_SHAPE, "openmp"
+    )
+    cube = model.weak_scaling(
+        core_counts, WEAK_SCALING_NODES_PER_CORE, WEAK_SCALING_FIBER_SHAPE, "cube"
+    )
+    rows: list[Fig8Row] = []
+    for i, n in enumerate(core_counts):
+        rows.append(
+            Fig8Row(
+                cores=n,
+                fluid_shape=weak_scaling_fluid_shape(n),
+                openmp_seconds=omp[i].seconds,
+                cube_seconds=cube[i].seconds,
+                openmp_growth=(
+                    omp[i].seconds / omp[i - 1].seconds if i else None
+                ),
+                cube_growth=(cube[i].seconds / cube[i - 1].seconds if i else None),
+                paper_openmp_growth=PAPER_FIG8_OPENMP_GROWTH.get(n),
+                paper_cube_growth=PAPER_FIG8_CUBE_GROWTH.get(n),
+            )
+        )
+    return rows
+
+
+def render_fig8(rows: list[Fig8Row]) -> str:
+    """Paper-style text rendering of the Figure 8 reproduction."""
+
+    def growth(g: float | None) -> str:
+        return "-" if g is None else f"+{100 * (g - 1):.0f}%"
+
+    table = render_table(
+        [
+            "Cores",
+            "Grid",
+            "OpenMP s/step",
+            "Cube s/step",
+            "OMP growth (model)",
+            "OMP growth (paper)",
+            "Cube growth (model)",
+            "Cube growth (paper)",
+            "OMP/Cube",
+        ],
+        [
+            [
+                r.cores,
+                "x".join(str(d) for d in r.fluid_shape),
+                f"{r.openmp_seconds:.2f}",
+                f"{r.cube_seconds:.2f}",
+                growth(r.openmp_growth),
+                growth(r.paper_openmp_growth),
+                growth(r.cube_growth),
+                growth(r.paper_cube_growth),
+                f"{r.openmp_over_cube:.2f}x",
+            ]
+            for r in rows
+        ],
+        title="Figure 8: weak scalability on thog (model vs paper growth rates)",
+    )
+    last = rows[-1]
+    return table + (
+        f"\ncube-based outperforms OpenMP by "
+        f"{100 * (last.openmp_over_cube - 1):.0f}% at {last.cores} cores "
+        "(paper: 53%)"
+    )

@@ -1,0 +1,181 @@
+"""Experiment Table II: cache miss rates and load imbalance vs cores.
+
+Three data sources stand in for the paper's OmpP + PAPI measurements:
+
+* **Simulated miss rates** — the set-associative cache simulator (with
+  next-line prefetching) runs one OpenMP thread's slab trace through
+  the Abu Dhabi cache geometry per core count; the cube layout's rates
+  are computed too — the locality contrast behind Section V.  The
+  simulated grid keeps the paper's z extent (so the z-row reuse
+  distances land in the same cache level as at paper scale) while L2/L3
+  capacities scale with the node-count ratio.
+* **Structural load imbalance** — computed from the *paper-sized*
+  partitions our solvers actually produce: x-slabs of the 124-plane
+  grid weighted by the fluid kernels' Table-I share, plus the 52-fiber
+  distribution weighted by the fiber kernels' share.  This captures the
+  partition component of imbalance; the paper's larger values at 16-32
+  cores additionally include memory-contention jitter that only exists
+  on real contended hardware.
+* **Paper values** — Table II as published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.workloads import PROFILING_WORKLOAD
+from repro.machine.counters import SimulatedCounters
+from repro.machine.spec import abu_dhabi
+from repro.machine.workload import KERNEL_WORK, SCALAR_CYCLES_PER_NODE
+from repro.parallel.distribution import FiberDistribution
+from repro.parallel.partition import partition_sizes, static_slabs
+from repro.profiling.report import render_table
+
+__all__ = [
+    "Table2Row",
+    "PAPER_TABLE2",
+    "structural_imbalance",
+    "run_table2",
+    "render_table2",
+]
+
+#: Paper Table II: cores -> (L1 miss %, L2 miss %, load imbalance %).
+PAPER_TABLE2: dict[int, tuple[float, float, float]] = {
+    1: (1.76, 26.1, 0.0),
+    2: (1.75, 26.1, 1.8),
+    4: (1.75, 26.1, 1.4),
+    8: (1.75, 26.2, 5.1),
+    16: (1.74, 27.1, 11.0),
+    32: (1.76, 27.6, 13.0),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One core count's metrics: paper vs simulation/derivation."""
+
+    cores: int
+    paper_l1: float
+    paper_l2: float
+    paper_imbalance: float
+    sim_l1: float
+    sim_l2: float
+    structural_imbalance: float
+    cube_l2: float  # the locality contrast the cube algorithm exploits
+
+
+def structural_imbalance(
+    num_threads: int,
+    fluid_shape: tuple[int, int, int] | None = None,
+    fiber_shape: tuple[int, int] | None = None,
+) -> float:
+    """Partition-derived load imbalance of the OpenMP program.
+
+    Per-thread work combines the x-slab node counts (weighted by each
+    fluid kernel's calibrated cycles) and the fiber distribution
+    (weighted by the fiber kernels' cycles); the result is
+    ``(max - mean) / max`` — OmpP's whole-program metric, restricted to
+    its deterministic partition component.
+    """
+    fluid_shape = fluid_shape or PROFILING_WORKLOAD.fluid_shape
+    fiber_shape = fiber_shape or PROFILING_WORKLOAD.fiber_shape
+    nx, ny, nz = fluid_shape
+    plane_nodes = ny * nz
+    fluid_cycles_per_node = sum(
+        SCALAR_CYCLES_PER_NODE[k] for k, w in KERNEL_WORK.items() if w.unit == "fluid"
+    )
+    fiber_cycles_per_node = sum(
+        SCALAR_CYCLES_PER_NODE[k] for k, w in KERNEL_WORK.items() if w.unit == "fiber"
+    )
+
+    slab_nodes = partition_sizes(static_slabs(nx, num_threads)) * plane_nodes
+    work = slab_nodes.astype(float) * fluid_cycles_per_node
+
+    fibers = FiberDistribution(fiber_shape[0], num_threads)
+    fiber_nodes = fibers.load_per_thread() * fiber_shape[1]
+    work += fiber_nodes.astype(float) * fiber_cycles_per_node
+
+    peak = work.max()
+    if peak <= 0:
+        return 0.0
+    return float((peak - work.mean()) / peak)
+
+
+def run_table2(
+    core_counts: list[int] | None = None,
+    sim_shape: tuple[int, int, int] = (32, 16, 64),
+    cube_size: int = 4,
+) -> list[Table2Row]:
+    """Run the Table II experiment.
+
+    Parameters
+    ----------
+    core_counts:
+        Defaults to the paper's 1..32 powers of two.
+    sim_shape:
+        Reduced grid driven through the cache simulator (keep the last
+        axis at the paper's 64 so the z-row reuse behaves identically).
+    cube_size:
+        Cube edge used for the cube-layout contrast column.
+    """
+    if core_counts is None:
+        core_counts = [1, 2, 4, 8, 16, 32]
+    machine = abu_dhabi()
+    reference_nodes = int(np.prod(PROFILING_WORKLOAD.fluid_shape))
+    counters = SimulatedCounters(machine, reference_nodes)
+
+    cube_miss = counters.cube_miss_rates(sim_shape, cube_size)
+    rows = []
+    for n in core_counts:
+        miss = counters.openmp_miss_rates(sim_shape, num_threads=n, thread_id=0)
+        paper = PAPER_TABLE2.get(n, (float("nan"),) * 3)
+        rows.append(
+            Table2Row(
+                cores=n,
+                paper_l1=paper[0],
+                paper_l2=paper[1],
+                paper_imbalance=paper[2],
+                sim_l1=100 * miss.l1,
+                sim_l2=100 * miss.l2,
+                structural_imbalance=100 * structural_imbalance(n),
+                cube_l2=100 * cube_miss.l2,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """Paper-style text rendering of the Table II reproduction."""
+    table = render_table(
+        [
+            "Cores",
+            "L1 paper",
+            "L1 sim",
+            "L2 paper",
+            "L2 sim",
+            "L2 sim (cube)",
+            "Imb paper",
+            "Imb partition",
+        ],
+        [
+            [
+                r.cores,
+                f"{r.paper_l1:.2f}%",
+                f"{r.sim_l1:.2f}%",
+                f"{r.paper_l2:.1f}%",
+                f"{r.sim_l2:.1f}%",
+                f"{r.cube_l2:.1f}%",
+                f"{r.paper_imbalance:.1f}%",
+                f"{r.structural_imbalance:.1f}%",
+            ]
+            for r in rows
+        ],
+        title="Table II: OpenMP cache behaviour and load imbalance",
+    )
+    return table + (
+        "\nsim L2 runs above the paper's PAPI numbers (only next-line "
+        "prefetch is modelled); trends match: L1 low and flat, L2 roughly "
+        "flat with a slight rise, cube layout substantially lower."
+    )

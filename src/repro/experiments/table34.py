@@ -1,0 +1,75 @@
+"""Experiments Table III and Table IV: the thog machine description.
+
+Table III is the hardware inventory; Table IV is the NUMA distance
+matrix.  Both are inputs to the machine model rather than measurements,
+so "reproducing" them means rendering the presets in the paper's format
+and checking the derived quantities the paper calls out (remote access
+up to 2.2x local, 8 cores per NUMA node, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.numa import distance_table_as_text, interleave_distance_factor
+from repro.machine.spec import MachineSpec, thog
+from repro.profiling.report import render_table
+
+__all__ = ["render_table3", "render_table4", "table3_rows", "max_remote_ratio"]
+
+
+def table3_rows(machine: MachineSpec | None = None) -> list[list[str]]:
+    """Table III rows for a machine (defaults to thog)."""
+    m = machine or thog()
+    l1 = m.cache(1)
+    l2 = m.cache(2)
+    l3 = m.cache(3)
+    return [
+        ["Processor type", f"{m.processor} {m.ghz} GHz"],
+        ["Cores per processor", str(m.cores_per_socket)],
+        ["L1 cache", f"{l1.size_bytes // 1024} KB per core"],
+        [
+            "L2 unified cache",
+            f"{m.cores_per_socket // l2.shared_by} x {l2.size_bytes // (1024 * 1024)} MB, "
+            f"each shared by {l2.shared_by} cores",
+        ],
+        [
+            "L3 unified cache",
+            f"{m.cores_per_socket // l3.shared_by} x {l3.size_bytes // (1024 * 1024)} MB, "
+            f"each shared by {l3.shared_by} cores",
+        ],
+        ["Number of processors", str(m.num_sockets)],
+        ["Number of NUMA nodes", str(m.num_numa_nodes)],
+        ["Cores per NUMA node", str(m.cores_per_numa_node)],
+        ["Memory per NUMA node", f"{m.memory_per_numa_gb:.0f} GB"],
+    ]
+
+
+def render_table3(machine: MachineSpec | None = None) -> str:
+    """Paper-style rendering of Table III."""
+    return render_table(
+        ["Attribute", "Value"],
+        table3_rows(machine),
+        title="Table III: the experimental 64-core computer system",
+    )
+
+
+def max_remote_ratio(machine: MachineSpec | None = None) -> float:
+    """Worst remote/local access-distance ratio (paper: 2.2x on thog)."""
+    m = machine or thog()
+    d = np.asarray(m.numa_distance)
+    return float(d.max() / np.diag(d).min())
+
+
+def render_table4(machine: MachineSpec | None = None) -> str:
+    """Paper-style rendering of Table IV plus derived observations."""
+    m = machine or thog()
+    text = distance_table_as_text(m)
+    ratio = max_remote_ratio(m)
+    factor = interleave_distance_factor(m, m.num_cores)
+    return (
+        "Table IV: node distances between NUMA nodes (numactl --hardware)\n"
+        + text
+        + f"\nworst remote/local ratio: {ratio:.1f}x (paper: 2.2x)"
+        + f"\nmean access factor under interleave=all: {factor:.2f}x local"
+    )

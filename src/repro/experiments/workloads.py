@@ -1,0 +1,108 @@
+"""Workload definitions of the paper's evaluation, plus scaled variants.
+
+The paper's inputs:
+
+* **Profiling input** (Sections III-D, IV-B): fluid grid 124 x 64 x 64,
+  one immersed 2D sheet of 52 x 52 fiber nodes; 500 steps sequential,
+  200 steps for the OpenMP scaling runs.
+* **Weak-scaling input** (Section VI-B): 128^3 fluid nodes *per core*
+  (so the two-core run uses 256 x 128 x 128 and so on), fixed 104 x 104
+  fiber nodes.
+
+Running the paper-sized grids through interpreted Python is not
+practical, so each workload also provides a ``scaled`` variant that
+preserves the shape ratios while shrinking the node counts; the
+machine model extrapolates measured behaviour back to paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimulationConfig, StructureConfig
+
+__all__ = [
+    "PaperWorkload",
+    "PROFILING_WORKLOAD",
+    "WEAK_SCALING_FIBER_SHAPE",
+    "WEAK_SCALING_NODES_PER_CORE",
+    "weak_scaling_fluid_shape",
+    "scaled_profiling_config",
+]
+
+
+@dataclass(frozen=True)
+class PaperWorkload:
+    """One of the paper's experiment inputs."""
+
+    name: str
+    fluid_shape: tuple[int, int, int]
+    fiber_shape: tuple[int, int]
+    num_steps: int
+
+
+#: The Table I / Figure 5 input.
+PROFILING_WORKLOAD = PaperWorkload(
+    name="profiling",
+    fluid_shape=(124, 64, 64),
+    fiber_shape=(52, 52),
+    num_steps=500,
+)
+
+#: Figure 8: fiber input fixed at 104 x 104 nodes.
+WEAK_SCALING_FIBER_SHAPE: tuple[int, int] = (104, 104)
+
+#: Figure 8: fluid nodes per core.
+WEAK_SCALING_NODES_PER_CORE: int = 128**3
+
+
+def weak_scaling_fluid_shape(num_cores: int) -> tuple[int, int, int]:
+    """The paper's grid-growth rule for the weak-scaling experiment.
+
+    1 core: 128^3; doubling cores doubles the grid along one axis in
+    turn (x, then y, then z): 2 cores -> 256x128x128, 4 -> 512x128x128
+    (as stated in the paper), 8 -> 256x256x256 scaled similarly.
+    """
+    if num_cores < 1 or num_cores & (num_cores - 1):
+        raise ValueError(f"core count must be a power of two, got {num_cores}")
+    shape = [128, 128, 128]
+    axis = 0
+    n = num_cores
+    while n > 1:
+        shape[axis] *= 2
+        axis = (axis + 1) % 3
+        n //= 2
+    return tuple(shape)
+
+
+def scaled_profiling_config(
+    scale: int = 4,
+    solver: str = "sequential",
+    num_threads: int = 1,
+    cube_size: int = 4,
+) -> SimulationConfig:
+    """A shrunken version of the profiling workload for real execution.
+
+    ``scale`` divides every grid axis; the fiber sheet shrinks with the
+    grid so that the fiber-to-fluid density matches the paper's setup.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    fluid_shape = (max(8, 124 // scale), max(8, 64 // scale), max(8, 64 // scale))
+    if solver == "cube":
+        fluid_shape = tuple((n // cube_size) * cube_size for n in fluid_shape)
+    fibers = max(4, 52 // scale)
+    return SimulationConfig(
+        fluid_shape=fluid_shape,
+        tau=0.8,
+        structure=StructureConfig(
+            kind="flat_sheet",
+            num_fibers=fibers,
+            nodes_per_fiber=fibers,
+            stretch_coefficient=1.0e-2,
+            bend_coefficient=1.0e-4,
+        ),
+        solver=solver,
+        num_threads=num_threads,
+        cube_size=cube_size,
+    )

@@ -1,0 +1,14 @@
+"""I/O: VTK visualization output, npz checkpointing, CSV result files."""
+
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.io.csvout import read_csv, write_csv
+from repro.io.vtk import write_fluid_vtk, write_structure_vtk
+
+__all__ = [
+    "load_checkpoint",
+    "save_checkpoint",
+    "read_csv",
+    "write_csv",
+    "write_fluid_vtk",
+    "write_structure_vtk",
+]

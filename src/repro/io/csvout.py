@@ -1,0 +1,40 @@
+"""CSV emission for experiment results.
+
+The benchmark harness writes every regenerated table/figure both as a
+paper-style text table and as CSV rows, so downstream plotting (e.g.
+regenerating the figures graphically) needs no re-run.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(
+    path: str | os.PathLike,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write ``rows`` under ``headers`` to ``path``."""
+    ncols = len(headers)
+    for i, row in enumerate(rows):
+        if len(row) != ncols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {ncols}")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        writer.writerows(rows)
+
+
+def read_csv(path: str | os.PathLike) -> tuple[list[str], list[list[str]]]:
+    """Read ``(headers, rows)`` back from ``path``."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    return rows[0], rows[1:]

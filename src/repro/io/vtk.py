@@ -1,0 +1,118 @@
+"""Legacy-VTK writers for visualization.
+
+Produces ASCII VTK files loadable by ParaView/VisIt: the fluid state as
+STRUCTURED_POINTS with velocity/density/vorticity point data, and the
+fiber structure as POLYDATA with points and line connectivity (one
+polyline per fiber), which is how figures like the paper's Figure 1
+simulation snapshot are rendered.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.ib.fiber import FiberSheet, ImmersedStructure
+from repro.core.lbm import analysis
+from repro.core.lbm.fields import FluidGrid
+
+__all__ = ["write_fluid_vtk", "write_structure_vtk"]
+
+
+def _header(kind: str, title: str) -> list[str]:
+    return [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+        f"DATASET {kind}",
+    ]
+
+
+def write_fluid_vtk(
+    path: str | os.PathLike,
+    fluid: FluidGrid,
+    include_vorticity: bool = False,
+) -> None:
+    """Write the fluid state as a legacy-VTK structured-points file.
+
+    Point data: ``density`` (scalar), ``velocity`` (vector), and
+    optionally ``vorticity`` (vector).
+    """
+    nx, ny, nz = fluid.shape
+    lines = _header("STRUCTURED_POINTS", "LBM-IB fluid state")
+    lines += [
+        f"DIMENSIONS {nx} {ny} {nz}",
+        "ORIGIN 0 0 0",
+        "SPACING 1 1 1",
+        f"POINT_DATA {nx * ny * nz}",
+    ]
+    # VTK structured points iterate x fastest; our arrays are C-order
+    # (z fastest), so transpose to (z, y, x) before flattening.
+    rho = fluid.density.transpose(2, 1, 0).reshape(-1)
+    lines.append("SCALARS density double 1")
+    lines.append("LOOKUP_TABLE default")
+    lines.extend(f"{v:.10g}" for v in rho)
+
+    vel = fluid.velocity.transpose(0, 3, 2, 1).reshape(3, -1)
+    lines.append("VECTORS velocity double")
+    lines.extend(f"{vel[0, i]:.10g} {vel[1, i]:.10g} {vel[2, i]:.10g}" for i in range(vel.shape[1]))
+
+    if include_vorticity:
+        w = analysis.vorticity(fluid.velocity).transpose(0, 3, 2, 1).reshape(3, -1)
+        lines.append("VECTORS vorticity double")
+        lines.extend(
+            f"{w[0, i]:.10g} {w[1, i]:.10g} {w[2, i]:.10g}" for i in range(w.shape[1])
+        )
+
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def write_structure_vtk(
+    path: str | os.PathLike, structure: ImmersedStructure
+) -> None:
+    """Write the fiber structure as legacy-VTK polydata.
+
+    Every fiber becomes one polyline over its active nodes; the elastic
+    force magnitude is attached as point data.
+    """
+    points: list[np.ndarray] = []
+    forces: list[float] = []
+    poly_lines: list[list[int]] = []
+    for sheet in structure.sheets:
+        index_of: dict[tuple[int, int], int] = {}
+        for fi in range(sheet.num_fibers):
+            for ni in range(sheet.nodes_per_fiber):
+                if not sheet.active[fi, ni]:
+                    continue
+                index_of[(fi, ni)] = len(points)
+                points.append(sheet.positions[fi, ni])
+                forces.append(float(np.linalg.norm(sheet.elastic_force[fi, ni])))
+        for fi in range(sheet.num_fibers):
+            run: list[int] = []
+            for ni in range(sheet.nodes_per_fiber):
+                if sheet.active[fi, ni]:
+                    run.append(index_of[(fi, ni)])
+                elif len(run) > 1:
+                    poly_lines.append(run)
+                    run = []
+                else:
+                    run = []
+            if len(run) > 1:
+                poly_lines.append(run)
+
+    lines = _header("POLYDATA", "LBM-IB fiber structure")
+    lines.append(f"POINTS {len(points)} double")
+    lines.extend(f"{p[0]:.10g} {p[1]:.10g} {p[2]:.10g}" for p in points)
+    total_ints = sum(len(pl) + 1 for pl in poly_lines)
+    lines.append(f"LINES {len(poly_lines)} {total_ints}")
+    for pl in poly_lines:
+        lines.append(" ".join([str(len(pl))] + [str(i) for i in pl]))
+    lines.append(f"POINT_DATA {len(points)}")
+    lines.append("SCALARS elastic_force_magnitude double 1")
+    lines.append("LOOKUP_TABLE default")
+    lines.extend(f"{f:.10g}" for f in forces)
+
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")

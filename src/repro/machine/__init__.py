@@ -1,0 +1,28 @@
+"""The simulated manycore machine.
+
+This package stands in for the paper's physical 32-/64-core AMD hosts
+(the hardware gate documented in DESIGN.md):
+
+* ``spec`` / ``numa`` — machine descriptions: paper Tables III and IV;
+* ``cache_sim`` / ``traces`` / ``counters`` — a set-associative LRU
+  cache simulator driven by layout-faithful address traces (the PAPI
+  substitute behind Table II);
+* ``workload`` — per-kernel structural costs and the Table-I-calibrated
+  scalar cycle counts;
+* ``memory`` — bandwidth saturation and contention factors;
+* ``calibration`` — every fitted constant, with provenance;
+* ``perf_model`` — the execution-time model behind Figures 5 and 8.
+"""
+
+from repro.machine.perf_model import PerformanceModel, ScalingPoint, StepBreakdown
+from repro.machine.spec import CacheSpec, MachineSpec, abu_dhabi, thog
+
+__all__ = [
+    "PerformanceModel",
+    "ScalingPoint",
+    "StepBreakdown",
+    "CacheSpec",
+    "MachineSpec",
+    "abu_dhabi",
+    "thog",
+]

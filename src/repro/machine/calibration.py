@@ -1,0 +1,108 @@
+"""Calibrated constants of the simulated-machine performance model.
+
+Every constant here was either taken directly from the paper or fitted
+*once* against the paper's published anchor points; this module is the
+single place recording which is which.  Nothing else in the library
+hides tuned numbers.
+
+Model form
+----------
+Per-step execution time on ``n`` cores is::
+
+    strong scaling:  T(n) = (Wc + Wm * (1 + alpha * n**q)) / n + c_sync * log2(n)
+    weak scaling:    T(n) =  Wc + Wm * (1 + alpha * n**q)   + c_sync * log2(n)
+
+``Wc`` is compute time and ``Wm`` memory-stall time at one core; the
+``(1 + alpha * n**q)`` factor models the growth of memory-stall cost
+with core count (bandwidth contention, shared-cache interference, and
+NUMA interleaving combined).  The split ``Wc : Wm`` and the contention
+exponents were least-squares fitted to the paper's curves:
+
+* **Fig. 5** (OpenMP strong scaling, 32-core Abu Dhabi): parallel
+  efficiency 75% @ 8, 56% @ 16, 38% @ 32 cores.  Fitted model gives
+  74.6 / 56.7 / 37.6.
+* **Fig. 8** (weak scaling, 64-core thog): OpenMP execution-time growth
+  +25% (2->4), +36% (4->8), +22% per doubling (8->32), +42% (32->64);
+  cube growth +3% (1->2), +13% per doubling (2->32), +18% (32->64);
+  cube outperforms OpenMP by 53% at 64 cores.
+
+Documented assumptions (values the paper does not state):
+
+* OpenMP weak-scaling growth from 1 to 2 cores assumed +10% (the paper
+  reports growth only from 2 cores upward).
+* The cube solver's one-core overhead factor (1.2818) is *derived*:
+  it is the unique value consistent with the paper's growth rates and
+  the 53%-at-64-cores claim, and reflects the bookkeeping overhead of
+  cube-blocked storage at low core counts (the two curves cross near
+  8 cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ContentionFit",
+    "OPENMP_STRONG_ABU_DHABI",
+    "OPENMP_WEAK_THOG",
+    "CUBE_WEAK_THOG",
+    "CUBE_SINGLE_CORE_OVERHEAD",
+    "SCALAR_ACCESSES_PER_ARRAY_ACCESS",
+    "PAPER_SEQUENTIAL_SECONDS",
+    "PAPER_SEQUENTIAL_STEPS",
+]
+
+
+@dataclass(frozen=True)
+class ContentionFit:
+    """Fitted contention-curve parameters (see module docstring).
+
+    ``wc`` and ``wm`` are *relative* weights (only their ratio matters;
+    the absolute scale comes from the Table-I-calibrated kernel cycle
+    counts in :mod:`repro.machine.workload`).
+    """
+
+    wc: float
+    wm: float
+    alpha: float
+    q: float
+    c_sync: float = 0.0
+
+    @property
+    def memory_share(self) -> float:
+        """Memory-stall share of one-core time, ``Wm' / (Wc + Wm')``."""
+        wm1 = self.wm * (1.0 + self.alpha)
+        return wm1 / (self.wc + wm1)
+
+    def relative_time(self, n: float, weak: bool = False) -> float:
+        """Unnormalized model time at ``n`` cores."""
+        import math
+
+        work = self.wc + self.wm * (1.0 + self.alpha * n**self.q)
+        if not weak:
+            work /= n
+        return work + self.c_sync * math.log2(max(n, 1.0))
+
+
+#: Fig. 5 fit — OpenMP strong scaling on the 32-core Abu Dhabi machine.
+OPENMP_STRONG_ABU_DHABI = ContentionFit(
+    wc=0.77879, wm=0.48097, alpha=0.10730, q=1.0, c_sync=0.0035748
+)
+
+#: Fig. 8 fit — OpenMP weak scaling on thog (with the assumed +10% 1->2).
+OPENMP_WEAK_THOG = ContentionFit(wc=0.91570, wm=1.34128, alpha=1.15732, q=0.50327)
+
+#: Fig. 8 fit — cube-based weak scaling on thog.
+CUBE_WEAK_THOG = ContentionFit(wc=0.95444, wm=0.73999, alpha=0.66269, q=0.40542)
+
+#: Cube-blocked bookkeeping overhead at one core (derived; see docstring).
+CUBE_SINGLE_CORE_OVERHEAD: float = 1.2818
+
+#: Register/stack accesses per array access in scalar C code; sets the
+#: denominator of the simulated L1 miss rate the way PAPI sees it
+#: (calibrated so the simulated L1 miss rate lands near Table II's 1.75%).
+SCALAR_ACCESSES_PER_ARRAY_ACCESS: float = 6.0
+
+#: Paper Section III-D: the sequential reference run.
+PAPER_SEQUENTIAL_SECONDS: float = 967.0
+PAPER_SEQUENTIAL_STEPS: int = 500

@@ -1,0 +1,96 @@
+"""PAPI-style counter facade over the cache simulator.
+
+The paper measures L1/L2 data-cache miss rates with PAPI (Table II).
+:class:`SimulatedCounters` provides the same two numbers, computed by
+running layout-faithful address traces through the set-associative
+cache simulator with the hardware geometry of a
+:class:`~repro.machine.spec.MachineSpec`.
+
+Problem sizes are reduced for simulation speed; L2/L3 capacities are
+scaled *with* the working set (capacity-limited behaviour is preserved
+under joint scaling) while L1 keeps its real size (its behaviour is
+dominated by spatial locality within cache lines, which does not scale
+with the problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine import traces
+from repro.machine.cache_sim import CacheHierarchy, SetAssociativeCache, scaled_cache
+from repro.machine.calibration import SCALAR_ACCESSES_PER_ARRAY_ACCESS
+from repro.machine.spec import MachineSpec
+
+__all__ = ["MissRates", "SimulatedCounters"]
+
+
+@dataclass(frozen=True)
+class MissRates:
+    """L1/L2 data-cache miss rates, PAPI accounting."""
+
+    l1: float
+    l2: float
+
+
+class SimulatedCounters:
+    """Measure miss rates of a solver layout on a machine.
+
+    Parameters
+    ----------
+    machine:
+        Hardware description (cache geometry).
+    reference_nodes:
+        The *real* experiment's fluid-node count; the ratio between it
+        and the simulated grid sets the cache scaling factor.
+    """
+
+    def __init__(self, machine: MachineSpec, reference_nodes: int) -> None:
+        self.machine = machine
+        self.reference_nodes = reference_nodes
+
+    def _hierarchy(self, sim_nodes: int) -> CacheHierarchy:
+        scale = min(1.0, sim_nodes / self.reference_nodes)
+        l1 = SetAssociativeCache.from_spec(self.machine.cache(1))
+        l2 = scaled_cache(self.machine.cache(2), scale, next_line_prefetch=True)
+        levels = [l1, l2]
+        try:
+            l3 = scaled_cache(self.machine.cache(3), scale, next_line_prefetch=True)
+            levels.append(l3)
+        except Exception:  # machine without L3
+            pass
+        return CacheHierarchy(
+            levels, scalar_hits_per_access=SCALAR_ACCESSES_PER_ARRAY_ACCESS
+        )
+
+    def openmp_miss_rates(
+        self,
+        shape: tuple[int, int, int],
+        num_threads: int = 1,
+        thread_id: int = 0,
+    ) -> MissRates:
+        """Miss rates of one OpenMP thread's slab on the global layout."""
+        nx = shape[0]
+        from repro.parallel.partition import static_slabs
+
+        slab = static_slabs(nx, num_threads)[thread_id]
+        sim_nodes = shape[0] * shape[1] * shape[2]
+        hierarchy = self._hierarchy(sim_nodes)
+        addrs = traces.global_step_addresses(shape, slab.start, slab.stop)
+        hierarchy.access_addresses(addrs)
+        return MissRates(hierarchy.miss_rate(1), hierarchy.miss_rate(2))
+
+    def cube_miss_rates(
+        self,
+        shape: tuple[int, int, int],
+        cube_size: int,
+        cube_ids: np.ndarray | None = None,
+    ) -> MissRates:
+        """Miss rates of one cube-solver thread's cube subset."""
+        sim_nodes = shape[0] * shape[1] * shape[2]
+        hierarchy = self._hierarchy(sim_nodes)
+        addrs = traces.cube_step_addresses(shape, cube_size, cube_ids)
+        hierarchy.access_addresses(addrs)
+        return MissRates(hierarchy.miss_rate(1), hierarchy.miss_rate(2))

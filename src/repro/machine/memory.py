@@ -1,0 +1,68 @@
+"""Memory-bandwidth and contention model.
+
+The paper attributes the OpenMP program's scaling collapse to memory:
+a large working set with poor locality saturates the shared memory
+links as cores are added (Sections IV-B, V, VI-B).  This module gives
+the model-level view of that mechanism:
+
+* :func:`effective_bandwidth` — aggregate bandwidth available to ``n``
+  cores, with smooth saturation ``B(n) = n * b1 / (1 + n / n_half)``;
+* :func:`contention_factor` — the fitted stall-inflation factor
+  ``1 + alpha * n**q`` used by the performance model;
+* :func:`bandwidth_demand` — a solver's per-second traffic demand, for
+  roofline-style saturation diagnostics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineModelError
+from repro.machine.calibration import ContentionFit
+from repro.machine.spec import MachineSpec
+
+__all__ = [
+    "effective_bandwidth",
+    "contention_factor",
+    "bandwidth_demand",
+    "saturation_core_count",
+]
+
+
+def effective_bandwidth(machine: MachineSpec, num_threads: int) -> float:
+    """Aggregate sustainable bandwidth (GB/s) for ``num_threads`` cores.
+
+    Smooth-saturation form: each core alone sustains
+    ``per_core_bandwidth_gbs``; the aggregate approaches
+    ``b1 * n_half`` as the memory system saturates.
+    """
+    if not 1 <= num_threads <= machine.num_cores:
+        raise MachineModelError(
+            f"thread count {num_threads} outside [1, {machine.num_cores}]"
+        )
+    b1 = machine.per_core_bandwidth_gbs
+    nh = machine.bandwidth_half_point
+    return num_threads * b1 / (1.0 + num_threads / nh)
+
+
+def contention_factor(fit: ContentionFit, num_threads: int) -> float:
+    """Memory-stall inflation ``1 + alpha * n**q`` at ``num_threads``."""
+    if num_threads < 1:
+        raise MachineModelError(f"thread count must be >= 1, got {num_threads}")
+    return 1.0 + fit.alpha * num_threads**fit.q
+
+
+def bandwidth_demand(step_bytes: float, step_seconds: float) -> float:
+    """Traffic demand in GB/s of a solver step."""
+    if step_seconds <= 0:
+        raise MachineModelError("step time must be positive")
+    return step_bytes / step_seconds / 1e9
+
+
+def saturation_core_count(machine: MachineSpec, fraction: float = 0.8) -> int:
+    """Smallest core count reaching ``fraction`` of asymptotic bandwidth."""
+    if not 0 < fraction < 1:
+        raise MachineModelError(f"fraction must be in (0, 1), got {fraction}")
+    asymptote = machine.per_core_bandwidth_gbs * machine.bandwidth_half_point
+    for n in range(1, machine.num_cores + 1):
+        if effective_bandwidth(machine, n) >= fraction * asymptote:
+            return n
+    return machine.num_cores

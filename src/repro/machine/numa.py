@@ -1,0 +1,64 @@
+"""NUMA topology helpers (paper Table IV).
+
+The paper runs every experiment under ``numactl --interleave=all``, so
+pages are spread round-robin across all NUMA nodes while threads fill
+cores compactly.  This module answers the questions the performance
+model asks about that configuration: how many NUMA nodes are active for
+a given thread count, what the expected access distance (and therefore
+the remote-access slowdown) is, and how much aggregate memory bandwidth
+the active nodes expose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineModelError
+from repro.machine.spec import MachineSpec
+
+__all__ = [
+    "active_numa_nodes",
+    "interleave_distance_factor",
+    "remote_access_fraction",
+    "distance_table_as_text",
+]
+
+
+def active_numa_nodes(machine: MachineSpec, num_threads: int) -> int:
+    """NUMA nodes hosting at least one thread under compact placement."""
+    if not 1 <= num_threads <= machine.num_cores:
+        raise MachineModelError(
+            f"thread count {num_threads} outside [1, {machine.num_cores}]"
+        )
+    per_node = machine.cores_per_numa_node
+    return int(np.ceil(num_threads / per_node))
+
+
+def interleave_distance_factor(machine: MachineSpec, num_threads: int) -> float:
+    """Mean access-latency factor relative to all-local access.
+
+    With ``interleave=all``, a thread's accesses spread uniformly over
+    every NUMA node regardless of where the thread runs, so the expected
+    distance is the mean of its distance row.  The diagonal of the
+    distance table is 10 (= local), so dividing by 10 yields the
+    slowdown factor; on thog the factor is about 1.75, matching the
+    paper's observation that remote access can cost 2.2x local.
+    """
+    active = active_numa_nodes(machine, num_threads)
+    return machine.mean_numa_distance(active) / 10.0
+
+
+def remote_access_fraction(machine: MachineSpec, num_threads: int) -> float:
+    """Fraction of interleaved accesses that land on a remote node."""
+    return 1.0 - 1.0 / machine.num_numa_nodes if machine.num_numa_nodes > 1 else 0.0
+
+
+def distance_table_as_text(machine: MachineSpec) -> str:
+    """Render the NUMA distance matrix like ``numactl --hardware`` does."""
+    n = machine.num_numa_nodes
+    header = "node " + "  ".join(f"{j:>3d}" for j in range(n))
+    lines = [header]
+    for i in range(n):
+        row = "  ".join(f"{int(machine.numa_distance[i, j]):>3d}" for j in range(n))
+        lines.append(f"{i:>3d}: {row}")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Analytic execution-time model for the simulated manycore machine.
+
+This is the layer that stands in for the paper's 32- and 64-core AMD
+hosts (see DESIGN.md, "Hardware gate and the substitution we make").
+Absolute time comes from the Table-I-calibrated per-kernel cycle counts
+(:mod:`repro.machine.workload`); scaling behaviour comes from the
+fitted contention curves (:mod:`repro.machine.calibration`), which
+encode bandwidth saturation, shared-cache interference and NUMA effects
+as a single stall-inflation factor.
+
+The model answers exactly the questions the paper's evaluation asks:
+
+* :meth:`PerformanceModel.sequential_step` — per-kernel breakdown of a
+  sequential step (paper Table I and the 967 s headline);
+* :meth:`PerformanceModel.strong_scaling` — OpenMP speedup/efficiency
+  on 1..32 cores (paper Figure 5);
+* :meth:`PerformanceModel.weak_scaling` — OpenMP vs cube execution
+  time, fixed per-core work, 1..64 cores (paper Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+from repro.machine import calibration as cal
+from repro.machine import workload as wl
+from repro.machine.spec import MachineSpec
+
+__all__ = ["StepBreakdown", "ScalingPoint", "PerformanceModel"]
+
+
+@dataclass(frozen=True)
+class StepBreakdown:
+    """Per-kernel seconds of one modelled time step."""
+
+    kernel_seconds: dict[str, float]
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum over kernels."""
+        return sum(self.kernel_seconds.values())
+
+    def percentages(self) -> dict[str, float]:
+        """Kernel shares of the total, in percent, descending."""
+        total = self.total_seconds
+        items = sorted(
+            self.kernel_seconds.items(), key=lambda kv: kv[1], reverse=True
+        )
+        return {k: 100.0 * v / total for k, v in items}
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    cores: int
+    seconds: float
+    speedup: float
+    efficiency: float
+
+
+class PerformanceModel:
+    """Execution-time predictions for a :class:`MachineSpec`.
+
+    Parameters
+    ----------
+    machine:
+        The modelled host (presets: ``thog()``, ``abu_dhabi()``).
+    """
+
+    def __init__(self, machine: MachineSpec) -> None:
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    # sequential (Table I)
+    # ------------------------------------------------------------------
+    def sequential_step(
+        self, fluid_shape: tuple[int, int, int], fiber_shape: tuple[int, int]
+    ) -> StepBreakdown:
+        """Modelled per-kernel seconds of one sequential step."""
+        fluid_nodes = fluid_shape[0] * fluid_shape[1] * fluid_shape[2]
+        fiber_nodes = fiber_shape[0] * fiber_shape[1]
+        seconds = wl.step_scalar_seconds(fluid_nodes, fiber_nodes, self.machine.ghz)
+        return StepBreakdown(seconds)
+
+    def sequential_total_seconds(
+        self,
+        fluid_shape: tuple[int, int, int],
+        fiber_shape: tuple[int, int],
+        num_steps: int,
+    ) -> float:
+        """Modelled wall time of a sequential run (paper: 967 s)."""
+        if num_steps < 0:
+            raise MachineModelError("num_steps must be non-negative")
+        return self.sequential_step(fluid_shape, fiber_shape).total_seconds * num_steps
+
+    # ------------------------------------------------------------------
+    # scaling curves
+    # ------------------------------------------------------------------
+    def _fit_for(self, solver: str, weak: bool) -> cal.ContentionFit:
+        key = (solver, weak)
+        table = {
+            ("openmp", False): cal.OPENMP_STRONG_ABU_DHABI,
+            ("openmp", True): cal.OPENMP_WEAK_THOG,
+            ("cube", True): cal.CUBE_WEAK_THOG,
+            # The cube solver's strong-scaling behaviour reuses its weak
+            # contention exponents (the paper evaluates it weakly only).
+            ("cube", False): cal.CUBE_WEAK_THOG,
+        }
+        if key not in table:
+            raise MachineModelError(
+                f"no contention fit for solver={solver!r} weak={weak}"
+            )
+        return table[key]
+
+    def _check_cores(self, cores: int) -> None:
+        if not 1 <= cores <= self.machine.num_cores:
+            raise MachineModelError(
+                f"core count {cores} outside [1, {self.machine.num_cores}] "
+                f"of machine {self.machine.name!r}"
+            )
+
+    def strong_scaling(
+        self,
+        core_counts: list[int],
+        fluid_shape: tuple[int, int, int],
+        fiber_shape: tuple[int, int],
+        solver: str = "openmp",
+    ) -> list[ScalingPoint]:
+        """Fixed-size scaling (paper Figure 5).
+
+        ``T(n) = T(1) * rel(n) / rel(1)`` where ``rel`` is the fitted
+        contention curve and ``T(1)`` the calibrated sequential step
+        time for this problem size.
+        """
+        fit = self._fit_for(solver, weak=False)
+        t1 = self.sequential_step(fluid_shape, fiber_shape).total_seconds
+        if solver == "cube":
+            t1 *= cal.CUBE_SINGLE_CORE_OVERHEAD
+        rel1 = fit.relative_time(1, weak=False)
+        points = []
+        for n in core_counts:
+            self._check_cores(n)
+            t = t1 * fit.relative_time(n, weak=False) / rel1
+            speedup = t1 / t
+            points.append(ScalingPoint(n, t, speedup, speedup / n))
+        return points
+
+    def weak_scaling(
+        self,
+        core_counts: list[int],
+        fluid_nodes_per_core: int,
+        fiber_shape: tuple[int, int],
+        solver: str = "openmp",
+    ) -> list[ScalingPoint]:
+        """Fixed per-core work scaling (paper Figure 8).
+
+        The fiber input stays constant (104 x 104 in the paper) while
+        the fluid grid grows with the core count.  Ideal behaviour is a
+        flat line; ``efficiency`` below is ``T(1) / T(n)``.
+        """
+        fit = self._fit_for(solver, weak=True)
+        fiber_nodes = fiber_shape[0] * fiber_shape[1]
+        seconds = wl.step_scalar_seconds(
+            fluid_nodes_per_core, fiber_nodes, self.machine.ghz
+        )
+        t1 = sum(seconds.values())
+        if solver == "cube":
+            t1 *= cal.CUBE_SINGLE_CORE_OVERHEAD
+        rel1 = fit.relative_time(1, weak=True)
+        points = []
+        for n in core_counts:
+            self._check_cores(n)
+            t = t1 * fit.relative_time(n, weak=True) / rel1
+            points.append(ScalingPoint(n, t, t1 / t, t1 / t))
+        return points
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def memory_share(self, solver: str = "openmp", weak: bool = False) -> float:
+        """Modelled memory-stall share of one-core time for a solver."""
+        return self._fit_for(solver, weak).memory_share

@@ -1,0 +1,219 @@
+"""Machine descriptions (paper Table III).
+
+:class:`MachineSpec` captures the hardware parameters the performance
+model and cache simulator need.  Two presets mirror the paper's
+experimental systems:
+
+* :func:`thog` — the 64-core system of Section VI: 4x AMD Opteron 6380
+  (Piledriver) 2.5 GHz, 16 cores per processor, per-core 16 KB L1d,
+  8x 2 MB L2 (each shared by two cores), 2x 12 MB L3 (each shared by
+  eight cores), 8 NUMA nodes of 8 cores / 32 GB each.
+* :func:`abu_dhabi` — the 32-core machine of Sections III-IV: 2x AMD
+  Opteron 16-core "Abu Dhabi" 2.9 GHz, 64 GB memory (4 NUMA nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MachineModelError
+
+__all__ = ["CacheSpec", "MachineSpec", "thog", "abu_dhabi", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One cache level.
+
+    Parameters
+    ----------
+    level:
+        1, 2, or 3.
+    size_bytes:
+        Capacity of one cache instance.
+    line_bytes:
+        Cache-line size.
+    associativity:
+        Number of ways.
+    shared_by:
+        How many cores share one instance.
+    """
+
+    level: int
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    shared_by: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise MachineModelError("cache sizes must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise MachineModelError(
+                f"L{self.level}: size {self.size_bytes} not divisible into "
+                f"{self.associativity}-way sets of {self.line_bytes}B lines"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A shared-memory manycore machine.
+
+    Attributes mirror paper Table III plus the model parameters the
+    performance model needs (clock, per-core bandwidth, issue width).
+    """
+
+    name: str
+    processor: str
+    num_sockets: int
+    cores_per_socket: int
+    ghz: float
+    caches: tuple[CacheSpec, ...]
+    num_numa_nodes: int
+    memory_per_numa_gb: float
+    numa_distance: np.ndarray = field(repr=False)
+    #: Peak sustainable memory bandwidth of a single core (GB/s).
+    per_core_bandwidth_gbs: float = 6.0
+    #: Smooth-saturation half point: aggregate bandwidth follows
+    #: ``n * b1 / (1 + n / n_half)`` (see repro.machine.memory).
+    bandwidth_half_point: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.num_sockets < 1 or self.cores_per_socket < 1:
+            raise MachineModelError("socket/core counts must be positive")
+        d = np.asarray(self.numa_distance, dtype=float)
+        if d.shape != (self.num_numa_nodes, self.num_numa_nodes):
+            raise MachineModelError(
+                f"NUMA distance matrix shape {d.shape} does not match "
+                f"{self.num_numa_nodes} nodes"
+            )
+        if not np.allclose(d, d.T):
+            raise MachineModelError("NUMA distance matrix must be symmetric")
+        object.__setattr__(self, "numa_distance", d)
+
+    @property
+    def num_cores(self) -> int:
+        """Total core count."""
+        return self.num_sockets * self.cores_per_socket
+
+    @property
+    def cores_per_numa_node(self) -> int:
+        """Cores per NUMA node (assumes an even split)."""
+        return self.num_cores // self.num_numa_nodes
+
+    def cache(self, level: int) -> CacheSpec:
+        """The cache spec at ``level``; raises if the machine lacks it."""
+        for c in self.caches:
+            if c.level == level:
+                return c
+        raise MachineModelError(f"{self.name} has no L{level} cache")
+
+    def numa_node_of_core(self, core: int) -> int:
+        """NUMA node of ``core`` under compact (fill-first) placement."""
+        if not 0 <= core < self.num_cores:
+            raise MachineModelError(
+                f"core {core} outside machine of {self.num_cores} cores"
+            )
+        return core // self.cores_per_numa_node
+
+    def mean_numa_distance(self, num_active_nodes: int | None = None) -> float:
+        """Average access distance under the ``interleave=all`` policy.
+
+        With pages interleaved across all NUMA nodes, a core's expected
+        access distance is the mean of its distance row; averaging over
+        the active nodes gives the machine-level expectation.  The
+        diagonal entry 10 represents local access, so the returned value
+        divided by 10 is the mean slowdown factor relative to all-local.
+        """
+        n = self.num_numa_nodes if num_active_nodes is None else num_active_nodes
+        if not 1 <= n <= self.num_numa_nodes:
+            raise MachineModelError(
+                f"active node count {n} outside [1, {self.num_numa_nodes}]"
+            )
+        # Cores live on nodes 0..n-1 (compact placement); pages are
+        # interleaved over all nodes.
+        return float(self.numa_distance[:n, :].mean())
+
+
+#: Paper Table IV, generated by ``numactl -hardware`` on thog.
+THOG_NUMA_DISTANCE = np.array(
+    [
+        [10, 16, 16, 22, 16, 22, 16, 22],
+        [16, 10, 22, 16, 22, 16, 22, 16],
+        [16, 22, 10, 16, 16, 22, 16, 22],
+        [22, 16, 16, 10, 22, 16, 22, 16],
+        [16, 22, 16, 22, 10, 16, 16, 22],
+        [22, 16, 22, 16, 16, 10, 22, 16],
+        [16, 22, 16, 22, 16, 22, 10, 16],
+        [22, 16, 22, 16, 22, 16, 16, 10],
+    ],
+    dtype=float,
+)
+
+
+def thog() -> MachineSpec:
+    """The 64-core experimental system of paper Tables III and IV."""
+    return MachineSpec(
+        name="thog",
+        processor="AMD Opteron 6380",
+        num_sockets=4,
+        cores_per_socket=16,
+        ghz=2.5,
+        caches=(
+            CacheSpec(level=1, size_bytes=16 * 1024, line_bytes=64, associativity=4, shared_by=1),
+            CacheSpec(level=2, size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=16, shared_by=2),
+            CacheSpec(level=3, size_bytes=12 * 1024 * 1024, line_bytes=64, associativity=48, shared_by=8),
+        ),
+        num_numa_nodes=8,
+        memory_per_numa_gb=32.0,
+        numa_distance=THOG_NUMA_DISTANCE,
+        per_core_bandwidth_gbs=6.0,
+        bandwidth_half_point=18.0,
+    )
+
+
+def abu_dhabi() -> MachineSpec:
+    """The 32-core profiling machine of paper Sections III-IV.
+
+    Two 16-core AMD Opteron "Abu Dhabi" 2.9 GHz processors, 64 GB
+    memory.  Each Piledriver die is one NUMA node of 8 cores; the
+    4-node distance matrix is the standard two-socket G34 topology
+    (on-package 12, cross-socket 16/22-scaled approximation).
+    """
+    distance = np.array(
+        [
+            [10, 12, 16, 16],
+            [12, 10, 16, 16],
+            [16, 16, 10, 12],
+            [16, 16, 12, 10],
+        ],
+        dtype=float,
+    )
+    return MachineSpec(
+        name="abu-dhabi-32",
+        processor="AMD Opteron 16-core Abu Dhabi",
+        num_sockets=2,
+        cores_per_socket=16,
+        ghz=2.9,
+        caches=(
+            CacheSpec(level=1, size_bytes=16 * 1024, line_bytes=64, associativity=4, shared_by=1),
+            CacheSpec(level=2, size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=16, shared_by=2),
+            CacheSpec(level=3, size_bytes=8 * 1024 * 1024, line_bytes=64, associativity=64, shared_by=8),
+        ),
+        num_numa_nodes=4,
+        memory_per_numa_gb=16.0,
+        numa_distance=distance,
+        per_core_bandwidth_gbs=6.0,
+        bandwidth_half_point=16.0,
+    )
+
+
+#: Named machine presets.
+PRESETS = {"thog": thog, "abu_dhabi": abu_dhabi}

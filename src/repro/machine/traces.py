@@ -1,0 +1,237 @@
+"""Address-trace generators for the cache simulator.
+
+The traces replay the memory behaviour of the four expensive fluid
+kernels (collision, streaming, velocity update, buffer copy — 97% of
+the paper's runtime) for the two data layouts the paper compares.
+
+Layouts
+-------
+The paper's C code keeps an **array of structs**: Algorithm 2 indexes
+``fluid_nodes[x,y,z].distri_freq[direction]``, i.e. each fluid node's 19
+present distributions, 19 new distributions, velocities and force live
+contiguously in one record.
+
+* :func:`global_step_addresses` — the sequential/OpenMP layout: one big
+  node-record array over the whole grid in C (x, y, z) order; a thread
+  walks its x-slab.  Streaming writes touch the 18 neighbour records,
+  whose reuse distances are one z-line (~Nz records), one y-plane
+  (~Ny*Nz records), and so on — the L2-resident reuse the paper's 26%
+  L2 miss rate reflects.
+* :func:`cube_step_addresses` — the cube layout: node records grouped
+  by cube, each cube contiguous (paper Section V-A), with collision and
+  streaming fused per cube (loop 2 of Algorithm 4).  Neighbour reuse
+  distances shrink to the cube scale, which is the locality advantage
+  the cube-centric algorithm is designed around.
+
+Node record layout (48 doubles = 384 bytes):
+
+====== ================= =======
+offset field             doubles
+====== ================= =======
+0      df (present)      19
+19     df_new            19
+38     velocity_shifted  3
+41     velocity          3
+44     force             3
+47     density           1
+====== ================= =======
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lbm.lattice import E, Q
+from repro.errors import MachineModelError
+
+__all__ = [
+    "RECORD_DOUBLES",
+    "RECORD_BYTES",
+    "global_step_addresses",
+    "cube_step_addresses",
+]
+
+_D = 8  # bytes per double
+
+#: Doubles per node record.
+RECORD_DOUBLES = 48
+#: Bytes per node record.
+RECORD_BYTES = RECORD_DOUBLES * _D
+
+_OFF_DF = 0
+_OFF_DF_NEW = 19
+_OFF_USTAR = 38
+_OFF_U = 41
+_OFF_FORCE = 44
+_OFF_RHO = 47
+
+
+def _interleave(columns: list[np.ndarray]) -> np.ndarray:
+    """Stack per-node address columns and flatten in per-node order."""
+    return np.stack(columns, axis=1).reshape(-1)
+
+
+def _step_trace(records: np.ndarray, neighbor_records: list[np.ndarray]) -> np.ndarray:
+    """Assemble the four-kernel trace given record indices.
+
+    Parameters
+    ----------
+    records:
+        Record index of every node the thread owns, in visit order.
+    neighbor_records:
+        Per direction ``i``, the record index of each node's neighbour
+        along ``E[i]`` (destination of the streaming push).
+    """
+    base = records * RECORD_BYTES
+    parts: list[np.ndarray] = []
+
+    # kernel 5: collision — read df (19) + u* (3), write df (19)
+    cols = [base + (_OFF_DF + i) * _D for i in range(Q)]
+    cols += [base + (_OFF_USTAR + c) * _D for c in range(3)]
+    cols += [base + (_OFF_DF + i) * _D for i in range(Q)]
+    parts.append(_interleave(cols))
+
+    # kernel 6: streaming — read own df[i], write neighbour df_new[i]
+    cols = []
+    for i in range(Q):
+        cols.append(base + (_OFF_DF + i) * _D)
+        cols.append(neighbor_records[i] * RECORD_BYTES + (_OFF_DF_NEW + i) * _D)
+    parts.append(_interleave(cols))
+
+    # kernel 7: update — read df_new (19) + force (3); write rho/u/u* (7)
+    cols = [base + (_OFF_DF_NEW + i) * _D for i in range(Q)]
+    cols += [base + (_OFF_FORCE + c) * _D for c in range(3)]
+    cols += [base + _OFF_RHO * _D]
+    cols += [base + (_OFF_U + c) * _D for c in range(3)]
+    cols += [base + (_OFF_USTAR + c) * _D for c in range(3)]
+    parts.append(_interleave(cols))
+
+    # kernel 9: copy — read df_new, write df
+    cols = []
+    for i in range(Q):
+        cols.append(base + (_OFF_DF_NEW + i) * _D)
+        cols.append(base + (_OFF_DF + i) * _D)
+    parts.append(_interleave(cols))
+
+    return np.concatenate(parts)
+
+
+def global_step_addresses(
+    shape: tuple[int, int, int], x_start: int = 0, x_stop: int | None = None
+) -> np.ndarray:
+    """One thread's addresses for one step on the global AoS layout.
+
+    Parameters
+    ----------
+    shape:
+        Full grid shape ``(Nx, Ny, Nz)``.
+    x_start, x_stop:
+        The thread's slab ``[x_start, x_stop)`` (defaults to the whole
+        grid, i.e. the sequential program).
+    """
+    nx, ny, nz = shape
+    if x_stop is None:
+        x_stop = nx
+    if not 0 <= x_start < x_stop <= nx:
+        raise MachineModelError(f"bad slab [{x_start}, {x_stop}) for Nx={nx}")
+
+    x, y, z = np.meshgrid(
+        np.arange(x_start, x_stop), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    xf, yf, zf = (a.reshape(-1).astype(np.int64) for a in (x, y, z))
+    records = (xf * ny + yf) * nz + zf
+
+    neighbor_records = []
+    for i in range(Q):
+        ex, ey, ez = (int(c) for c in E[i])
+        nrec = (((xf + ex) % nx) * ny + ((yf + ey) % ny)) * nz + ((zf + ez) % nz)
+        neighbor_records.append(nrec)
+    return _step_trace(records, neighbor_records)
+
+
+def cube_step_addresses(
+    shape: tuple[int, int, int], cube_size: int, cube_ids: np.ndarray | None = None
+) -> np.ndarray:
+    """One thread's addresses for one step on the cube AoS layout.
+
+    Records are stored cube-major: record index = ``c * k^3 + local``
+    where ``local`` is the C-order index within cube ``c``.  Collision
+    and streaming are fused per cube, then loop 3 (update) and loop 5
+    (copy) sweep the thread's cubes again — matching Algorithm 4.
+
+    Parameters
+    ----------
+    shape:
+        Full grid shape, divisible by ``cube_size``.
+    cube_size:
+        Cube edge ``k``.
+    cube_ids:
+        Linear cube indices owned by the thread (default: all cubes).
+    """
+    nx, ny, nz = shape
+    k = cube_size
+    if nx % k or ny % k or nz % k:
+        raise MachineModelError(f"grid {shape} not divisible by cube size {k}")
+    ncx, ncy, ncz = nx // k, ny // k, nz // k
+    num_cubes = ncx * ncy * ncz
+    k3 = k * k * k
+    if cube_ids is None:
+        cube_ids = np.arange(num_cubes, dtype=np.int64)
+    cube_ids = np.asarray(cube_ids, dtype=np.int64)
+
+    lx, ly, lz = np.meshgrid(np.arange(k), np.arange(k), np.arange(k), indexing="ij")
+    lxf, lyf, lzf = (a.reshape(-1).astype(np.int64) for a in (lx, ly, lz))
+    local = (lxf * k + lyf) * k + lzf
+
+    def cube_records(c: int) -> np.ndarray:
+        return c * k3 + local
+
+    def neighbor_records_of(c: int) -> list[np.ndarray]:
+        ci = c // (ncy * ncz)
+        cj = (c // ncz) % ncy
+        ck = c % ncz
+        out = []
+        for i in range(Q):
+            ex, ey, ez = (int(v) for v in E[i])
+            gx = ci * k + lxf + ex
+            gy = cj * k + lyf + ey
+            gz = ck * k + lzf + ez
+            nci, nlx = (gx // k) % ncx, gx % k
+            ncj, nly = (gy // k) % ncy, gy % k
+            nck, nlz = (gz // k) % ncz, gz % k
+            ncid = (nci * ncy + ncj) * ncz + nck
+            out.append(ncid * k3 + (nlx * k + nly) * k + nlz)
+        return out
+
+    parts: list[np.ndarray] = []
+    # loop 2: collision + streaming fused per cube
+    for c in cube_ids.tolist():
+        base = cube_records(c) * RECORD_BYTES
+        cols = [base + (_OFF_DF + i) * _D for i in range(Q)]
+        cols += [base + (_OFF_USTAR + comp) * _D for comp in range(3)]
+        cols += [base + (_OFF_DF + i) * _D for i in range(Q)]
+        parts.append(_interleave(cols))
+        nrecs = neighbor_records_of(c)
+        cols = []
+        for i in range(Q):
+            cols.append(base + (_OFF_DF + i) * _D)
+            cols.append(nrecs[i] * RECORD_BYTES + (_OFF_DF_NEW + i) * _D)
+        parts.append(_interleave(cols))
+    # loop 3: update per cube
+    for c in cube_ids.tolist():
+        base = cube_records(c) * RECORD_BYTES
+        cols = [base + (_OFF_DF_NEW + i) * _D for i in range(Q)]
+        cols += [base + (_OFF_FORCE + comp) * _D for comp in range(3)]
+        cols += [base + _OFF_RHO * _D]
+        cols += [base + (_OFF_U + comp) * _D for comp in range(3)]
+        cols += [base + (_OFF_USTAR + comp) * _D for comp in range(3)]
+        parts.append(_interleave(cols))
+    # loop 5: copy per cube
+    for c in cube_ids.tolist():
+        base = cube_records(c) * RECORD_BYTES
+        cols = []
+        for i in range(Q):
+            cols.append(base + (_OFF_DF_NEW + i) * _D)
+            cols.append(base + (_OFF_DF + i) * _D)
+        parts.append(_interleave(cols))
+    return np.concatenate(parts)

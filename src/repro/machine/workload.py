@@ -1,0 +1,197 @@
+"""Per-kernel work characteristics.
+
+Two complementary descriptions of each of the nine kernels:
+
+* **Structural costs** (:data:`KERNEL_WORK`): floating-point operations
+  and bytes moved per node, derived from the kernel definitions (19
+  populations of 8 bytes, 3 velocity components, the 4x4x4 = 64-node
+  influential domain...).  These numbers feed the cache-simulator
+  traces and the roofline sanity checks and are layout-independent
+  facts about the algorithm.
+* **Calibrated scalar costs** (:data:`SCALAR_CYCLES_PER_NODE`): CPU
+  cycles per node of the paper's sequential C implementation, derived
+  from paper Table I (kernel percentages of the 967 s / 500 step run on
+  the 2.9 GHz Abu Dhabi machine with a 124x64x64 grid and 52x52 fiber
+  nodes).  The performance model uses these as the absolute time scale
+  so that modelled runtimes correspond to the paper's code, not to our
+  vectorized NumPy kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "KernelWork",
+    "KERNEL_WORK",
+    "SCALAR_CYCLES_PER_NODE",
+    "FLUID_KERNELS",
+    "FIBER_KERNELS",
+    "PAPER_TABLE1_PERCENTAGES",
+    "step_scalar_seconds",
+    "step_bytes",
+]
+
+#: Bytes of one double.
+_D = 8
+
+
+@dataclass(frozen=True)
+class KernelWork:
+    """Structural per-node cost of one kernel.
+
+    Attributes
+    ----------
+    unit:
+        ``"fluid"`` if the kernel visits every fluid node, ``"fiber"``
+        if it visits every fiber node (the two kernel classes of paper
+        Section IV-A).
+    flops:
+        Floating point operations per node.
+    bytes_read / bytes_written:
+        Data touched per node in the global-array layout.
+    cube_bytes_read:
+        Bytes read per node in the cube layout, accounting for the
+        fusion of collision + streaming in loop 2 of Algorithm 4 (the
+        post-collision populations are still cache-resident when the
+        cube is streamed, so streaming's re-read of ``df`` is free).
+    """
+
+    unit: str
+    flops: int
+    bytes_read: int
+    bytes_written: int
+    cube_bytes_read: int | None = None
+
+    @property
+    def bytes_total(self) -> int:
+        """Read + written bytes per node (global layout)."""
+        return self.bytes_read + self.bytes_written
+
+    def cube_bytes_total(self) -> int:
+        """Read + written bytes per node (cube layout)."""
+        read = self.cube_bytes_read if self.cube_bytes_read is not None else self.bytes_read
+        return read + self.bytes_written
+
+
+#: Structural work of the nine kernels, keyed by paper kernel name.
+KERNEL_WORK: dict[str, KernelWork] = {
+    # --- fiber kernels (per fiber node) ---
+    "compute_bending_force_in_fibers": KernelWork(
+        unit="fiber", flops=70, bytes_read=9 * 3 * _D, bytes_written=3 * _D
+    ),
+    "compute_stretching_force_in_fibers": KernelWork(
+        unit="fiber", flops=90, bytes_read=5 * 3 * _D, bytes_written=3 * _D
+    ),
+    "compute_elastic_force_in_fibers": KernelWork(
+        unit="fiber", flops=10, bytes_read=2 * 3 * _D, bytes_written=3 * _D
+    ),
+    "spread_force_from_fibers_to_fluid": KernelWork(
+        # 64-node influential domain, read+write of 3 force components,
+        # plus the delta-weight evaluation (12 cosine evaluations).
+        unit="fiber",
+        flops=64 * 16 + 200,
+        bytes_read=64 * 3 * _D + 3 * _D,
+        bytes_written=64 * 3 * _D,
+    ),
+    # --- fluid kernels (per fluid node) ---
+    "compute_fluid_collision": KernelWork(
+        unit="fluid",
+        flops=390,
+        bytes_read=19 * _D + 3 * _D,  # df + shifted velocity
+        bytes_written=19 * _D,
+    ),
+    "stream_fluid_velocity_distribution": KernelWork(
+        unit="fluid",
+        flops=20,
+        bytes_read=19 * _D,
+        bytes_written=19 * _D,
+        cube_bytes_read=0,  # fused with collision: df still in cache
+    ),
+    "update_fluid_velocity": KernelWork(
+        unit="fluid",
+        flops=170,
+        bytes_read=19 * _D + 3 * _D,  # df_new + force
+        bytes_written=7 * _D,  # rho + u + u*
+    ),
+    "move_fibers": KernelWork(
+        unit="fiber",
+        flops=64 * 13 + 200,
+        bytes_read=64 * 3 * _D,
+        bytes_written=6 * _D,
+    ),
+    "copy_fluid_velocity_distribution": KernelWork(
+        unit="fluid", flops=0, bytes_read=19 * _D, bytes_written=19 * _D
+    ),
+}
+
+#: Fluid-node kernels (the expensive class of paper Table I).
+FLUID_KERNELS: tuple[str, ...] = tuple(
+    k for k, w in KERNEL_WORK.items() if w.unit == "fluid"
+)
+
+#: Fiber-node kernels.
+FIBER_KERNELS: tuple[str, ...] = tuple(
+    k for k, w in KERNEL_WORK.items() if w.unit == "fiber"
+)
+
+#: Paper Table I: percentage of total sequential time per kernel.
+PAPER_TABLE1_PERCENTAGES: dict[str, float] = {
+    "compute_fluid_collision": 73.2,
+    "update_fluid_velocity": 12.6,
+    "copy_fluid_velocity_distribution": 5.9,
+    "stream_fluid_velocity_distribution": 5.4,
+    "spread_force_from_fibers_to_fluid": 1.4,
+    "move_fibers": 0.7,
+    "compute_bending_force_in_fibers": 0.03,
+    "compute_stretching_force_in_fibers": 0.02,
+    "compute_elastic_force_in_fibers": 0.005,  # "0.00%" in the paper
+}
+
+# Derivation of the calibrated cycle counts (documented, reproducible):
+#   total = 967 s for 500 steps  ->  1.934 s/step
+#   fluid nodes = 124 * 64 * 64 = 507904; fiber nodes = 52 * 52 = 2704
+#   cycles/node = pct/100 * 1.934 s * 2.9e9 Hz / nodes
+_STEP_SECONDS = 967.0 / 500.0
+_FLUID_NODES = 124 * 64 * 64
+_FIBER_NODES = 52 * 52
+_GHZ = 2.9e9
+
+#: Cycles per node of the paper's sequential implementation (see above).
+SCALAR_CYCLES_PER_NODE: dict[str, float] = {
+    name: (
+        PAPER_TABLE1_PERCENTAGES[name]
+        / 100.0
+        * _STEP_SECONDS
+        * _GHZ
+        / (_FLUID_NODES if KERNEL_WORK[name].unit == "fluid" else _FIBER_NODES)
+    )
+    for name in KERNEL_WORK
+}
+
+
+def step_scalar_seconds(
+    fluid_nodes: int, fiber_nodes: int, ghz: float
+) -> dict[str, float]:
+    """Modelled per-kernel seconds of one sequential step.
+
+    Uses the Table-I-calibrated cycle counts, scaled to an arbitrary
+    problem size and clock rate.
+    """
+    out: dict[str, float] = {}
+    for name, work in KERNEL_WORK.items():
+        nodes = fluid_nodes if work.unit == "fluid" else fiber_nodes
+        out[name] = SCALAR_CYCLES_PER_NODE[name] * nodes / (ghz * 1e9)
+    return out
+
+
+def step_bytes(fluid_nodes: int, fiber_nodes: int, layout: str = "global") -> float:
+    """Total bytes moved per step for a problem size and data layout."""
+    if layout not in ("global", "cube"):
+        raise ValueError(f"layout must be 'global' or 'cube', got {layout!r}")
+    total = 0.0
+    for work in KERNEL_WORK.values():
+        nodes = fluid_nodes if work.unit == "fluid" else fiber_nodes
+        per_node = work.bytes_total if layout == "global" else work.cube_bytes_total()
+        total += per_node * nodes
+    return total

@@ -1,0 +1,79 @@
+"""Instrumented global barrier (``thread_barrier_wait`` of Algorithm 4).
+
+Wraps :class:`threading.Barrier` and records, per crossing, how long
+each thread waited.  The wait-time spread is the direct measurement of
+load imbalance that feeds both the OmpP-style profile (paper Table II)
+and the analytic performance model's synchronization-overhead term.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["BarrierStats", "InstrumentedBarrier"]
+
+
+@dataclass
+class BarrierStats:
+    """Aggregated barrier statistics.
+
+    Attributes
+    ----------
+    crossings:
+        Number of completed barrier episodes (all threads arrived).
+    total_wait_seconds:
+        Sum over all threads and crossings of the time spent waiting.
+    max_wait_seconds:
+        Longest single wait observed.
+    """
+
+    crossings: int = 0
+    total_wait_seconds: float = 0.0
+    max_wait_seconds: float = 0.0
+
+    def record(self, waited: float) -> None:
+        """Fold one thread's wait time into the stats."""
+        self.total_wait_seconds += waited
+        self.max_wait_seconds = max(self.max_wait_seconds, waited)
+
+
+class InstrumentedBarrier:
+    """A reusable barrier that measures per-thread wait times.
+
+    Parameters
+    ----------
+    parties:
+        Number of threads that must arrive before any may proceed.
+    name:
+        Label used in traces (e.g. ``"after_stream"``).
+    """
+
+    def __init__(self, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise ValueError(f"parties must be positive, got {parties}")
+        self.parties = parties
+        self.name = name
+        self._barrier = threading.Barrier(parties)
+        self._lock = threading.Lock()
+        self.stats = BarrierStats()
+
+    def wait(self) -> int:
+        """Block until all parties arrive; returns the arrival index.
+
+        Thread-safe; each call's wait duration is added to ``stats``.
+        """
+        start = time.perf_counter()
+        index = self._barrier.wait()
+        waited = time.perf_counter() - start
+        with self._lock:
+            self.stats.record(waited)
+            if index == 0:
+                self.stats.crossings += 1
+        return index
+
+    def reset_stats(self) -> None:
+        """Zero the accumulated statistics."""
+        with self._lock:
+            self.stats = BarrierStats()

@@ -1,0 +1,233 @@
+"""Cube-centric fluid storage (paper Section V-A).
+
+The cube-based algorithm divides the ``Nx x Ny x Nz`` fluid grid into a
+3D array of ``k x k x k`` sub-grids ("cubes"), each stored in its own
+contiguous memory block — a much smaller working set and better locality
+than the global-array layout.  A grid of ``Nx x Ny x Nz`` nodes becomes
+``Nx/k x Ny/k x Nz/k`` cubes.
+
+:class:`CubeGrid` owns, per cube, the same field set as
+:class:`~repro.core.lbm.fields.FluidGrid` (two distribution buffers,
+density, physical and shifted velocity, force), plus converters to and
+from the global layout (used for initialization and verification) and
+index arithmetic for locating arbitrary global nodes — the operation
+force spreading and velocity interpolation need to address influential
+domains that straddle cube boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import DTYPE, Q
+from repro.core.lbm.fields import FluidGrid
+from repro.errors import PartitionError
+
+__all__ = ["CubeGrid"]
+
+
+@dataclass
+class CubeGrid:
+    """Cube-blocked storage of the fluid state.
+
+    Parameters
+    ----------
+    shape:
+        Global grid dimensions ``(Nx, Ny, Nz)``; each must be divisible
+        by ``cube_size``.
+    cube_size:
+        Edge length ``k`` of a cube.
+    tau:
+        BGK relaxation time (carried along for the kernels).
+
+    Attributes
+    ----------
+    df, df_new:
+        Distributions, shape ``(num_cubes, 19, k, k, k)`` — cube-major,
+        so ``df[c]`` is one cube's contiguous block.
+    density:
+        ``(num_cubes, k, k, k)``.
+    velocity, velocity_shifted, force:
+        ``(num_cubes, 3, k, k, k)``.
+    """
+
+    shape: tuple[int, int, int]
+    cube_size: int
+    tau: float = 1.0
+    #: Collision operator used by kernel 5 (mirrors FluidGrid).
+    collision_operator: str = "bgk"
+    #: TRT magic number (mirrors FluidGrid).
+    trt_magic: float = 3.0 / 16.0
+    df: np.ndarray = field(init=False, repr=False)
+    df_new: np.ndarray = field(init=False, repr=False)
+    density: np.ndarray = field(init=False, repr=False)
+    velocity: np.ndarray = field(init=False, repr=False)
+    velocity_shifted: np.ndarray = field(init=False, repr=False)
+    force: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        nx, ny, nz = (int(n) for n in self.shape)
+        k = int(self.cube_size)
+        if k < 1:
+            raise PartitionError(f"cube_size must be positive, got {k}")
+        if nx % k or ny % k or nz % k:
+            raise PartitionError(
+                f"grid {self.shape} is not divisible into cubes of size {k}"
+            )
+        self.shape = (nx, ny, nz)
+        self.cube_size = k
+        self.cube_counts = (nx // k, ny // k, nz // k)
+        n_cubes = self.num_cubes
+        self.df = np.zeros((n_cubes, Q, k, k, k), dtype=DTYPE)
+        self.df_new = np.zeros((n_cubes, Q, k, k, k), dtype=DTYPE)
+        self.density = np.ones((n_cubes, k, k, k), dtype=DTYPE)
+        self.velocity = np.zeros((n_cubes, 3, k, k, k), dtype=DTYPE)
+        self.velocity_shifted = np.zeros((n_cubes, 3, k, k, k), dtype=DTYPE)
+        self.force = np.zeros((n_cubes, 3, k, k, k), dtype=DTYPE)
+
+    # ------------------------------------------------------------------
+    # index arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def tau_odd(self) -> float:
+        """Odd-moment relaxation time (mirrors FluidGrid.tau_odd)."""
+        if self.collision_operator == "trt":
+            return self.trt_magic / (self.tau - 0.5) + 0.5
+        return self.tau
+
+    @property
+    def num_cubes(self) -> int:
+        """Total cube count."""
+        ncx, ncy, ncz = self.cube_counts
+        return ncx * ncy * ncz
+
+    def cube_linear(self, ci, cj, ck):
+        """Linear cube index of cube coordinates; vectorized."""
+        ncx, ncy, ncz = self.cube_counts
+        return (np.asarray(ci) * ncy + np.asarray(cj)) * ncz + np.asarray(ck)
+
+    def cube_coords(self, c: int) -> tuple[int, int, int]:
+        """Cube coordinates of a linear cube index."""
+        ncx, ncy, ncz = self.cube_counts
+        ck = c % ncz
+        cj = (c // ncz) % ncy
+        ci = c // (ncy * ncz)
+        return (ci, cj, ck)
+
+    def neighbor_cube(self, coords: tuple[int, int, int], offset: tuple[int, int, int]) -> int:
+        """Linear index of the periodic neighbour cube at ``coords + offset``."""
+        ncx, ncy, ncz = self.cube_counts
+        ci = (coords[0] + offset[0]) % ncx
+        cj = (coords[1] + offset[1]) % ncy
+        ck = (coords[2] + offset[2]) % ncz
+        return int(self.cube_linear(ci, cj, ck))
+
+    def locate_flat(self, flat_global: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split raveled global node indices into (cube, within-cube) indices.
+
+        Parameters
+        ----------
+        flat_global:
+            C-order raveled indices into the ``(Nx, Ny, Nz)`` grid.
+
+        Returns
+        -------
+        (cube_linear, local_flat):
+            ``cube_linear`` indexes the cube-major arrays; ``local_flat``
+            is the C-order raveled index into the cube's ``k^3`` block.
+        """
+        nx, ny, nz = self.shape
+        k = self.cube_size
+        flat_global = np.asarray(flat_global, dtype=np.int64)
+        x = flat_global // (ny * nz)
+        rem = flat_global % (ny * nz)
+        y = rem // nz
+        z = rem % nz
+        ci, lx = x // k, x % k
+        cj, ly = y // k, y % k
+        ck, lz = z // k, z % k
+        cube = self.cube_linear(ci, cj, ck)
+        local = (lx * k + ly) * k + lz
+        return cube, local
+
+    # ------------------------------------------------------------------
+    # layout conversion
+    # ------------------------------------------------------------------
+    def _to_cubes(self, global_field: np.ndarray) -> np.ndarray:
+        """Global ``(C, Nx, Ny, Nz)`` (or ``(Nx,Ny,Nz)``) -> cube-major copy."""
+        nx, ny, nz = self.shape
+        k = self.cube_size
+        ncx, ncy, ncz = self.cube_counts
+        if global_field.ndim == 3:
+            blocked = global_field.reshape(ncx, k, ncy, k, ncz, k)
+            return np.ascontiguousarray(
+                blocked.transpose(0, 2, 4, 1, 3, 5).reshape(self.num_cubes, k, k, k)
+            )
+        comp = global_field.shape[0]
+        blocked = global_field.reshape(comp, ncx, k, ncy, k, ncz, k)
+        return np.ascontiguousarray(
+            blocked.transpose(1, 3, 5, 0, 2, 4, 6).reshape(
+                self.num_cubes, comp, k, k, k
+            )
+        )
+
+    def _to_global(self, cube_field: np.ndarray) -> np.ndarray:
+        """Cube-major field -> global-layout copy (inverse of ``_to_cubes``)."""
+        nx, ny, nz = self.shape
+        k = self.cube_size
+        ncx, ncy, ncz = self.cube_counts
+        if cube_field.ndim == 4:  # (num_cubes, k, k, k)
+            blocked = cube_field.reshape(ncx, ncy, ncz, k, k, k)
+            return np.ascontiguousarray(
+                blocked.transpose(0, 3, 1, 4, 2, 5).reshape(nx, ny, nz)
+            )
+        comp = cube_field.shape[1]
+        blocked = cube_field.reshape(ncx, ncy, ncz, comp, k, k, k)
+        return np.ascontiguousarray(
+            blocked.transpose(3, 0, 4, 1, 5, 2, 6).reshape(comp, nx, ny, nz)
+        )
+
+    @classmethod
+    def from_fluid_grid(cls, fluid: FluidGrid, cube_size: int) -> "CubeGrid":
+        """Build cube-blocked storage holding the same state as ``fluid``."""
+        cg = cls(
+            fluid.shape,
+            cube_size,
+            tau=fluid.tau,
+            collision_operator=fluid.collision_operator,
+            trt_magic=fluid.trt_magic,
+        )
+        cg.df[...] = cg._to_cubes(fluid.df)
+        cg.df_new[...] = cg._to_cubes(fluid.df_new)
+        cg.density[...] = cg._to_cubes(fluid.density)
+        cg.velocity[...] = cg._to_cubes(fluid.velocity)
+        cg.velocity_shifted[...] = cg._to_cubes(fluid.velocity_shifted)
+        cg.force[...] = cg._to_cubes(fluid.force)
+        return cg
+
+    def to_fluid_grid(self) -> FluidGrid:
+        """Gather the cube-blocked state back into a global-layout grid."""
+        fluid = FluidGrid(
+            self.shape,
+            tau=self.tau,
+            collision_operator=self.collision_operator,
+            trt_magic=self.trt_magic,
+        )
+        fluid.df[...] = self._to_global(self.df)
+        fluid.df_new[...] = self._to_global(self.df_new)
+        fluid.density[...] = self._to_global(self.density)
+        fluid.velocity[...] = self._to_global(self.velocity)
+        fluid.velocity_shifted[...] = self._to_global(self.velocity_shifted)
+        fluid.force[...] = self._to_global(self.force)
+        return fluid
+
+    # ------------------------------------------------------------------
+    @property
+    def cube_nbytes(self) -> int:
+        """Bytes of one cube's full field set (the per-cube working set)."""
+        k3 = self.cube_size**3
+        itemsize = np.dtype(DTYPE).itemsize
+        # df + df_new + density + velocity + velocity_shifted + force
+        return (Q + Q + 1 + 3 + 3 + 3) * k3 * itemsize

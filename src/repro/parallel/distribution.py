@@ -1,0 +1,193 @@
+"""Data distribution functions (paper Section V-A).
+
+``cube2thread(cube_x, cube_y, cube_z)`` maps a cube coordinate to the
+thread that owns it; ``fiber2thread(fiber_i)`` does the same for fibers.
+Following the paper, the distribution function is user-definable and
+three standard methods are provided: *block*, *cyclic*, and
+*block-cyclic*.  All of them operate per axis against the 3D thread
+mesh: the cube's coordinate along each axis picks a mesh coordinate,
+and the mesh linearizes the triple into a thread ID (paper Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.parallel.thread_mesh import ThreadMesh
+
+__all__ = [
+    "block_map_1d",
+    "cyclic_map_1d",
+    "block_cyclic_map_1d",
+    "CubeDistribution",
+    "FiberDistribution",
+    "DISTRIBUTION_METHODS",
+]
+
+#: Names of the built-in distribution methods.
+DISTRIBUTION_METHODS: tuple[str, ...] = ("block", "cyclic", "block_cyclic")
+
+
+def block_map_1d(index: np.ndarray | int, extent: int, parts: int) -> np.ndarray:
+    """Contiguous block distribution of ``extent`` items over ``parts``.
+
+    The first ``extent % parts`` parts get one extra item, so part sizes
+    differ by at most one.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    if extent < 1 or parts < 1:
+        raise PartitionError(f"extent/parts must be positive ({extent}, {parts})")
+    base = extent // parts
+    rem = extent % parts
+    cut = (base + 1) * rem  # first index handled by the small parts
+    return np.where(
+        index < cut,
+        index // (base + 1) if base + 1 > 0 else 0,
+        rem + (index - cut) // max(base, 1),
+    )
+
+
+def cyclic_map_1d(index: np.ndarray | int, extent: int, parts: int) -> np.ndarray:
+    """Round-robin distribution: item ``i`` belongs to part ``i % parts``."""
+    index = np.asarray(index, dtype=np.int64)
+    if parts < 1:
+        raise PartitionError(f"parts must be positive, got {parts}")
+    return index % parts
+
+
+def block_cyclic_map_1d(
+    index: np.ndarray | int, extent: int, parts: int, block: int = 2
+) -> np.ndarray:
+    """Block-cyclic distribution: blocks of ``block`` items round-robin."""
+    index = np.asarray(index, dtype=np.int64)
+    if parts < 1 or block < 1:
+        raise PartitionError(
+            f"parts/block must be positive ({parts}, {block})"
+        )
+    return (index // block) % parts
+
+
+def _map_1d(method: str, block: int) -> Callable[[np.ndarray, int, int], np.ndarray]:
+    if method == "block":
+        return block_map_1d
+    if method == "cyclic":
+        return cyclic_map_1d
+    if method == "block_cyclic":
+        return lambda idx, extent, parts: block_cyclic_map_1d(
+            idx, extent, parts, block=block
+        )
+    raise PartitionError(
+        f"unknown distribution method {method!r}; choose from {DISTRIBUTION_METHODS}"
+    )
+
+
+@dataclass(frozen=True)
+class CubeDistribution:
+    """``cube2thread``: maps cube coordinates onto a thread mesh.
+
+    Parameters
+    ----------
+    cube_counts:
+        Number of cubes along each axis ``(ncx, ncy, ncz)``.
+    mesh:
+        The ``P x Q x R`` thread mesh.
+    method:
+        ``"block"`` (default, paper Figure 6), ``"cyclic"``, or
+        ``"block_cyclic"``.
+    block:
+        Block size for the block-cyclic method.
+    """
+
+    cube_counts: tuple[int, int, int]
+    mesh: ThreadMesh
+    method: str = "block"
+    block: int = 2
+
+    def __post_init__(self) -> None:
+        for extent, parts in zip(self.cube_counts, self.mesh.dims):
+            if extent < 1:
+                raise PartitionError(
+                    f"cube counts must be positive, got {self.cube_counts}"
+                )
+            if parts > extent:
+                raise PartitionError(
+                    f"thread mesh {self.mesh.dims} has more parts than cubes "
+                    f"{self.cube_counts} along an axis"
+                )
+        _map_1d(self.method, self.block)  # validate method eagerly
+
+    def cube2thread(self, cx, cy, cz):
+        """Owning thread ID of cube ``(cx, cy, cz)``; vectorized."""
+        fn = _map_1d(self.method, self.block)
+        p, q, r = self.mesh.dims
+        ncx, ncy, ncz = self.cube_counts
+        mi = fn(np.asarray(cx, dtype=np.int64), ncx, p)
+        mj = fn(np.asarray(cy, dtype=np.int64), ncy, q)
+        mk = fn(np.asarray(cz, dtype=np.int64), ncz, r)
+        return (mi * q + mj) * r + mk
+
+    def owner_table(self) -> np.ndarray:
+        """Full ``(ncx, ncy, ncz)`` owner map (thread ID per cube)."""
+        ncx, ncy, ncz = self.cube_counts
+        cx, cy, cz = np.meshgrid(
+            np.arange(ncx), np.arange(ncy), np.arange(ncz), indexing="ij"
+        )
+        return self.cube2thread(cx, cy, cz)
+
+    def cubes_of(self, tid: int) -> np.ndarray:
+        """Cube coordinates owned by ``tid``, shape ``(m, 3)``."""
+        table = self.owner_table()
+        coords = np.argwhere(table == tid)
+        return coords
+
+    def load_per_thread(self) -> np.ndarray:
+        """Number of cubes owned by each thread, shape ``(n_threads,)``."""
+        table = self.owner_table()
+        return np.bincount(table.ravel(), minlength=self.mesh.num_threads)
+
+
+@dataclass(frozen=True)
+class FiberDistribution:
+    """``fiber2thread``: maps fiber indices to threads (1D distribution).
+
+    The paper distributes whole fibers; one fiber is only ever assigned
+    to one thread, which guarantees race-free per-fiber force writes.
+    """
+
+    num_fibers: int
+    num_threads: int
+    method: str = "block"
+    block: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_fibers < 1:
+            raise PartitionError(f"num_fibers must be positive, got {self.num_fibers}")
+        if self.num_threads < 1:
+            raise PartitionError(
+                f"num_threads must be positive, got {self.num_threads}"
+            )
+        _map_1d(self.method, self.block)
+
+    def fiber2thread(self, fiber_index):
+        """Owning thread of ``fiber_index``; vectorized."""
+        fn = _map_1d(self.method, self.block)
+        idx = np.asarray(fiber_index, dtype=np.int64)
+        # When there are more threads than fibers, the block method would
+        # degenerate; clip the part count to the fiber count so every
+        # fiber still gets exactly one owner.
+        parts = min(self.num_threads, self.num_fibers)
+        return fn(idx, self.num_fibers, parts)
+
+    def fibers_of(self, tid: int) -> np.ndarray:
+        """Fiber indices owned by ``tid``."""
+        idx = np.arange(self.num_fibers, dtype=np.int64)
+        return idx[self.fiber2thread(idx) == tid]
+
+    def load_per_thread(self) -> np.ndarray:
+        """Number of fibers owned by each thread."""
+        idx = np.arange(self.num_fibers, dtype=np.int64)
+        return np.bincount(self.fiber2thread(idx), minlength=self.num_threads)

@@ -1,0 +1,143 @@
+"""Thread-team execution substrate.
+
+Two styles, matching the two parallel programs of the paper:
+
+* :class:`WorkerPool` — a persistent team with a fork-join ``dispatch``
+  primitive, the analogue of OpenMP parallel regions (Algorithm 2/3):
+  the master publishes a function, every worker runs it with its thread
+  ID, and the master waits for all workers to finish.
+* :func:`run_spmd` — launch a function once per thread and join, the
+  analogue of the Pthreads ``create_thread(Thread_entry_fn, ...)`` loop
+  in Algorithm 4 (each thread then iterates over all time steps itself,
+  synchronizing only through barriers and locks).
+
+Worker exceptions are captured and re-raised in the caller with the
+originating thread ID attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["WorkerPool", "run_spmd", "WorkerError"]
+
+
+class WorkerError(RuntimeError):
+    """An exception raised inside a worker thread, with its thread ID."""
+
+    def __init__(self, tid: int, original: BaseException) -> None:
+        super().__init__(f"worker thread {tid} failed: {original!r}")
+        self.tid = tid
+        self.original = original
+
+
+def run_spmd(num_threads: int, fn: Callable[[int], None]) -> None:
+    """Run ``fn(tid)`` on ``num_threads`` fresh threads and join them all.
+
+    The Pthreads-style entry point of Algorithm 4: every thread executes
+    the whole time-stepping loop itself.  The first worker exception is
+    re-raised as :class:`WorkerError` after all threads have exited.
+    """
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be positive, got {num_threads}")
+    errors: list[WorkerError] = []
+    errors_lock = threading.Lock()
+
+    def entry(tid: int) -> None:
+        try:
+            fn(tid)
+        except BaseException as exc:  # noqa: BLE001 - propagated to caller
+            with errors_lock:
+                errors.append(WorkerError(tid, exc))
+
+    threads = [
+        threading.Thread(target=entry, args=(tid,), name=f"lbmib-worker-{tid}")
+        for tid in range(num_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class WorkerPool:
+    """A persistent pool with OpenMP-style fork-join dispatch.
+
+    Usage::
+
+        with WorkerPool(8) as pool:
+            pool.dispatch(lambda tid: do_work(tid))   # a parallel region
+            pool.dispatch(other_kernel)               # the next region
+
+    Each ``dispatch`` is a full fork-join episode: all workers run the
+    function, and ``dispatch`` returns only after the slowest worker
+    finishes (the implicit barrier at the end of an OpenMP ``parallel
+    for``).
+    """
+
+    def __init__(self, num_threads: int) -> None:
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        self.num_threads = num_threads
+        self._start = threading.Barrier(num_threads + 1)
+        self._done = threading.Barrier(num_threads + 1)
+        self._task: Callable[[int], None] | None = None
+        self._shutdown = False
+        self._errors: list[WorkerError] = []
+        self._errors_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._worker, args=(tid,), name=f"lbmib-pool-{tid}")
+            for tid in range(num_threads)
+        ]
+        for t in self._threads:
+            t.daemon = True
+            t.start()
+        self.dispatch_count = 0
+
+    def _worker(self, tid: int) -> None:
+        while True:
+            self._start.wait()
+            if self._shutdown:
+                return
+            task = self._task
+            try:
+                if task is not None:
+                    task(tid)
+            except BaseException as exc:  # noqa: BLE001 - propagated to caller
+                with self._errors_lock:
+                    self._errors.append(WorkerError(tid, exc))
+            finally:
+                self._done.wait()
+
+    def dispatch(self, fn: Callable[[int], None]) -> None:
+        """Run ``fn(tid)`` on every worker; block until all complete."""
+        if self._shutdown:
+            raise RuntimeError("worker pool already shut down")
+        self._task = fn
+        self._start.wait()
+        self._done.wait()
+        self._task = None
+        self.dispatch_count += 1
+        with self._errors_lock:
+            if self._errors:
+                err = self._errors[0]
+                self._errors.clear()
+                raise err
+
+    def shutdown(self) -> None:
+        """Terminate the workers; the pool is unusable afterwards."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        self._start.wait()
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

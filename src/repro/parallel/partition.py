@@ -1,0 +1,69 @@
+"""Slab partitioning for the OpenMP-style solver (paper Algorithm 2).
+
+The OpenMP implementation divides the 3D fluid grid into contiguous
+segments of 2D y-z surfaces along the x axis ("static scheduling"), one
+segment per thread.  Fiber loops are split the same way over fibers.
+This module computes those 1D range partitions and the per-thread work
+counts consumed by the load-imbalance metric of paper Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+__all__ = ["Slab", "static_slabs", "chunked_ranges", "partition_sizes"]
+
+
+@dataclass(frozen=True)
+class Slab:
+    """A contiguous index range ``[start, stop)`` along one axis."""
+
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        """Number of indices in the slab."""
+        return self.stop - self.start
+
+    def indices(self) -> np.ndarray:
+        """The slab's indices as an array."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+def static_slabs(extent: int, num_threads: int) -> list[Slab]:
+    """OpenMP static schedule: split ``extent`` into ``num_threads`` slabs.
+
+    Sizes differ by at most one; threads past the extent get empty
+    slabs (a 2-node grid on 4 threads leaves two threads idle, exactly
+    like OpenMP static scheduling would).
+    """
+    if extent < 1:
+        raise PartitionError(f"extent must be positive, got {extent}")
+    if num_threads < 1:
+        raise PartitionError(f"num_threads must be positive, got {num_threads}")
+    base = extent // num_threads
+    rem = extent % num_threads
+    slabs: list[Slab] = []
+    start = 0
+    for tid in range(num_threads):
+        size = base + (1 if tid < rem else 0)
+        slabs.append(Slab(start, start + size))
+        start += size
+    return slabs
+
+
+def chunked_ranges(extent: int, chunk: int) -> list[Slab]:
+    """Split ``extent`` into chunks of ``chunk`` (dynamic-schedule units)."""
+    if chunk < 1:
+        raise PartitionError(f"chunk must be positive, got {chunk}")
+    return [Slab(s, min(s + chunk, extent)) for s in range(0, extent, chunk)]
+
+
+def partition_sizes(slabs: list[Slab]) -> np.ndarray:
+    """Per-slab sizes; input to the load-imbalance metric."""
+    return np.asarray([s.size for s in slabs], dtype=np.int64)

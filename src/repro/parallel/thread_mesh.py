@@ -1,0 +1,90 @@
+"""3D thread-mesh factorization (paper Section V-A).
+
+The cube-based algorithm lays the ``n`` threads out in a 3D mesh so that
+``n = P x Q x R``; cube ``(cx, cy, cz)`` is then mapped to thread
+``(cx', cy', cz')`` coordinates by the distribution function.  This
+module factorizes a thread count into a near-balanced ``(P, Q, R)``
+triple (paper Figure 6 uses ``2 x 2 x 2`` for 8 threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+
+__all__ = ["ThreadMesh", "factorize_3d"]
+
+
+def factorize_3d(n: int) -> tuple[int, int, int]:
+    """Near-cubic factorization ``n = P * Q * R`` with ``P >= Q >= R``.
+
+    Chooses the factor triple minimizing ``P - R`` (the spread), i.e. the
+    most cube-like mesh, which minimizes the surface-to-volume ratio of
+    each thread's cube subset.
+    """
+    if n < 1:
+        raise PartitionError(f"thread count must be positive, got {n}")
+    best: tuple[int, int, int] | None = None
+    for r in range(1, int(round(n ** (1.0 / 3.0))) + 2):
+        if n % r:
+            continue
+        m = n // r
+        for q in range(r, int(m**0.5) + 1):
+            if m % q:
+                continue
+            p = m // q
+            if p < q:
+                continue
+            cand = (p, q, r)
+            if best is None or (cand[0] - cand[2]) < (best[0] - best[2]):
+                best = cand
+    if best is None:  # n is prime and r=1 always divides, so unreachable
+        raise PartitionError(f"cannot factorize thread count {n}")  # pragma: no cover
+    return best
+
+
+@dataclass(frozen=True)
+class ThreadMesh:
+    """A ``P x Q x R`` layout of thread IDs.
+
+    Thread ``(i, j, k)`` has the linear ID ``(i * Q + j) * R + k``; the
+    linearization is only a naming convention — what matters is that the
+    mapping is a bijection between mesh coordinates and ``0..n-1``.
+    """
+
+    dims: tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        p, q, r = self.dims
+        if p < 1 or q < 1 or r < 1:
+            raise PartitionError(f"thread mesh dims must be positive, got {self.dims}")
+
+    @classmethod
+    def for_threads(cls, n: int) -> "ThreadMesh":
+        """Near-cubic mesh for ``n`` threads."""
+        return cls(factorize_3d(n))
+
+    @property
+    def num_threads(self) -> int:
+        """Total number of threads ``P * Q * R``."""
+        p, q, r = self.dims
+        return p * q * r
+
+    def linear_id(self, coords: tuple[int, int, int]) -> int:
+        """Linear thread ID of mesh coordinates ``(i, j, k)``."""
+        i, j, k = coords
+        p, q, r = self.dims
+        if not (0 <= i < p and 0 <= j < q and 0 <= k < r):
+            raise PartitionError(f"coords {coords} outside mesh {self.dims}")
+        return (i * q + j) * r + k
+
+    def coords(self, tid: int) -> tuple[int, int, int]:
+        """Mesh coordinates of linear thread ID ``tid``."""
+        p, q, r = self.dims
+        if not 0 <= tid < self.num_threads:
+            raise PartitionError(f"thread id {tid} outside mesh of {self.num_threads}")
+        k = tid % r
+        j = (tid // r) % q
+        i = tid // (q * r)
+        return (i, j, k)

@@ -1,0 +1,99 @@
+"""Execution tracing for the parallel solvers.
+
+Both parallel solvers record, per kernel and per thread, the amount of
+work done (node counts) and the wall time spent.  The trace is the raw
+material for:
+
+* the OmpP-style load-imbalance metric of paper Table II
+  (:mod:`repro.profiling.ompp`), and
+* the analytic machine model, which replaces measured seconds with
+  modelled seconds but keeps the *work* numbers from the real
+  partitions (:mod:`repro.machine.perf_model`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["KernelEvent", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One thread's execution of one kernel in one time step."""
+
+    step: int
+    kernel: str
+    tid: int
+    seconds: float
+    work_items: int
+
+
+class ExecutionTrace:
+    """Thread-safe accumulation of :class:`KernelEvent` records."""
+
+    def __init__(self, num_threads: int) -> None:
+        self.num_threads = num_threads
+        self._events: list[KernelEvent] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self, step: int, kernel: str, tid: int, seconds: float, work_items: int
+    ) -> None:
+        """Append one event (thread-safe)."""
+        with self._lock:
+            self._events.append(
+                KernelEvent(step, kernel, tid, seconds, work_items)
+            )
+
+    @property
+    def events(self) -> list[KernelEvent]:
+        """Snapshot of the recorded events."""
+        with self._lock:
+            return list(self._events)
+
+    # ------------------------------------------------------------------
+    # aggregations
+    # ------------------------------------------------------------------
+    def seconds_by_kernel(self) -> dict[str, float]:
+        """Total thread-seconds per kernel."""
+        out: dict[str, float] = defaultdict(float)
+        for ev in self.events:
+            out[ev.kernel] += ev.seconds
+        return dict(out)
+
+    def seconds_by_thread(self) -> np.ndarray:
+        """Total busy seconds per thread, shape ``(num_threads,)``."""
+        out = np.zeros(self.num_threads)
+        for ev in self.events:
+            out[ev.tid] += ev.seconds
+        return out
+
+    def work_by_thread(self, kernel: str | None = None) -> np.ndarray:
+        """Total work items per thread (optionally for one kernel)."""
+        out = np.zeros(self.num_threads, dtype=np.int64)
+        for ev in self.events:
+            if kernel is None or ev.kernel == kernel:
+                out[ev.tid] += ev.work_items
+        return out
+
+    def load_imbalance(self, kernel: str | None = None) -> float:
+        """Relative load imbalance ``(max - mean) / max`` of per-thread work.
+
+        0 means perfectly balanced; the paper's Table II reports this
+        ratio relative to the whole program (``kernel=None``).
+        """
+        work = self.work_by_thread(kernel).astype(float)
+        peak = work.max()
+        if peak <= 0:
+            return 0.0
+        return float((peak - work.mean()) / peak)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,118 @@
+"""OmpP-style parallel-region profiling (paper Table II).
+
+The paper uses the OmpP profiler to attribute time to parallel regions
+and quantify load imbalance.  :class:`ParallelProfile` performs the
+same analysis over an :class:`~repro.parallel.trace.ExecutionTrace`
+(which both parallel solvers populate) plus the instrumented barriers:
+
+* per-region total/mean/max thread time,
+* whole-program load imbalance ``(max - mean) / max`` over per-thread
+  busy time — the metric of Table II's last column,
+* barrier wait shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.barrier import InstrumentedBarrier
+from repro.parallel.trace import ExecutionTrace
+
+__all__ = ["RegionStats", "ParallelProfile"]
+
+
+@dataclass(frozen=True)
+class RegionStats:
+    """Aggregate statistics of one parallel region (kernel)."""
+
+    name: str
+    total_seconds: float
+    mean_thread_seconds: float
+    max_thread_seconds: float
+
+    @property
+    def imbalance(self) -> float:
+        """``(max - mean) / max`` of per-thread time in this region."""
+        if self.max_thread_seconds <= 0:
+            return 0.0
+        return (
+            self.max_thread_seconds - self.mean_thread_seconds
+        ) / self.max_thread_seconds
+
+
+class ParallelProfile:
+    """OmpP-like analysis of a parallel solver run."""
+
+    def __init__(
+        self,
+        trace: ExecutionTrace,
+        barriers: dict[str, InstrumentedBarrier] | None = None,
+    ) -> None:
+        self.trace = trace
+        self.barriers = barriers or {}
+
+    def region_stats(self) -> list[RegionStats]:
+        """Per-kernel statistics, ordered by total time descending."""
+        per_kernel_thread: dict[str, np.ndarray] = {}
+        for ev in self.trace.events:
+            arr = per_kernel_thread.setdefault(
+                ev.kernel, np.zeros(self.trace.num_threads)
+            )
+            arr[ev.tid] += ev.seconds
+        stats = [
+            RegionStats(
+                name=k,
+                total_seconds=float(v.sum()),
+                mean_thread_seconds=float(v.mean()),
+                max_thread_seconds=float(v.max()),
+            )
+            for k, v in per_kernel_thread.items()
+        ]
+        stats.sort(key=lambda s: s.total_seconds, reverse=True)
+        return stats
+
+    def whole_program_imbalance(self, by: str = "time") -> float:
+        """Load imbalance relative to the whole program (Table II).
+
+        Parameters
+        ----------
+        by:
+            ``"time"`` uses per-thread busy seconds (what OmpP sees);
+            ``"work"`` uses per-thread work items (deterministic,
+            partition-derived).
+        """
+        if by == "time":
+            busy = self.trace.seconds_by_thread()
+            peak = busy.max()
+            if peak <= 0:
+                return 0.0
+            return float((peak - busy.mean()) / peak)
+        if by == "work":
+            return self.trace.load_imbalance()
+        raise ValueError(f"by must be 'time' or 'work', got {by!r}")
+
+    def barrier_wait_seconds(self) -> float:
+        """Total time threads spent waiting at the instrumented barriers."""
+        return sum(b.stats.total_wait_seconds for b in self.barriers.values())
+
+    def as_table(self) -> str:
+        """Render the per-region profile as fixed-width text."""
+        lines = [
+            f"{'Region':42s} {'Total(s)':>9} {'Mean(s)':>9} {'Max(s)':>9} {'Imb':>6}",
+            "-" * 80,
+        ]
+        for st in self.region_stats():
+            lines.append(
+                f"{st.name:42s} {st.total_seconds:>9.4f} "
+                f"{st.mean_thread_seconds:>9.4f} {st.max_thread_seconds:>9.4f} "
+                f"{100 * st.imbalance:>5.1f}%"
+            )
+        lines.append("-" * 80)
+        lines.append(
+            f"whole-program load imbalance: "
+            f"{100 * self.whole_program_imbalance():.1f}% (by time), "
+            f"{100 * self.whole_program_imbalance(by='work'):.1f}% (by work)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Fixed-width text tables in the paper's style.
+
+Every experiment driver renders its results through
+:func:`render_table` so that benchmark output visually matches the
+tables of the paper (a header row, aligned columns, a rule).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_seconds", "format_percent"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table.
+
+    Column widths adapt to content; numeric-looking cells are
+    right-aligned, text cells left-aligned.
+    """
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncols} (headers: {headers})"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in str_rows)) if str_rows else len(str(headers[c]))
+        for c in range(ncols)
+    ]
+    numeric = [
+        all(_is_numeric(r[c]) for r in str_rows) if str_rows else False
+        for c in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row([str(h) for h in headers]))
+    lines.append("-" * (sum(widths) + 2 * (ncols - 1)))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def _is_numeric(s: str) -> bool:
+    if not s:
+        return False
+    t = s.rstrip("%x")
+    try:
+        float(t)
+        return True
+    except ValueError:
+        return False
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-oriented duration string."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.2f} s"
+
+
+def format_percent(fraction: float) -> str:
+    """A fraction as a percent string."""
+    return f"{100.0 * fraction:.2f}%"

@@ -1,0 +1,58 @@
+"""Small timing utilities shared by the profilers and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "Timer"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates elapsed time over multiple start/stop episodes."""
+
+    elapsed: float = 0.0
+    _started: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Begin an episode; raises if already running."""
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the episode; returns its duration and accumulates it."""
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        dt = time.perf_counter() - self._started
+        self._started = None
+        self.elapsed += dt
+        return dt
+
+    def reset(self) -> None:
+        """Zero the accumulated time (must be stopped)."""
+        if self._started is not None:
+            raise RuntimeError("stopwatch running; stop it before reset")
+        self.elapsed = 0.0
+
+
+class Timer:
+    """Context manager measuring one block's wall time.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,62 @@
+"""Shared fixtures for the LBM-IB test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ib.delta import CosineDelta
+from repro.core.ib.fiber import FiberSheet, ImmersedStructure
+from repro.core.lbm.fields import FluidGrid
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator."""
+    return np.random.default_rng(20150715)  # ICPP 2015
+
+
+@pytest.fixture
+def small_grid() -> FluidGrid:
+    """An 8x6x4 fluid grid at tau = 0.8."""
+    return FluidGrid((8, 6, 4), tau=0.8)
+
+
+@pytest.fixture
+def randomized_grid(rng) -> FluidGrid:
+    """A small grid with a perturbed, physically sane state.
+
+    Density near 1, small velocities; both buffers set to the
+    equilibrium of that state so all invariants hold.
+    """
+    grid = FluidGrid((8, 6, 4), tau=0.8)
+    density = 1.0 + 0.02 * rng.standard_normal(grid.shape)
+    velocity = 0.02 * rng.standard_normal((3,) + grid.shape)
+    grid.initialize_equilibrium(density=density, velocity=velocity)
+    grid.force[...] = 1e-4 * rng.standard_normal((3,) + grid.shape)
+    return grid
+
+
+@pytest.fixture
+def small_sheet(rng) -> FiberSheet:
+    """A 5x6 fiber sheet inside an 8x6x4-ish box, slightly perturbed."""
+    base = np.zeros((5, 6, 3))
+    base[..., 0] = 3.5
+    base[..., 1] = 1.0 + 0.7 * np.arange(5)[:, None]
+    base[..., 2] = 0.5 + 0.5 * np.arange(6)[None, :]
+    positions = base + 0.05 * rng.standard_normal(base.shape)
+    return FiberSheet(
+        positions, stretch_coefficient=2e-2, bend_coefficient=5e-4
+    )
+
+
+@pytest.fixture
+def small_structure(small_sheet) -> ImmersedStructure:
+    """A one-sheet structure."""
+    return ImmersedStructure([small_sheet])
+
+
+@pytest.fixture
+def cosine_delta() -> CosineDelta:
+    """The paper's 4-point delta kernel."""
+    return CosineDelta()

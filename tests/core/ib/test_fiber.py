@@ -1,0 +1,142 @@
+"""Tests of the fiber-sheet data structures (paper Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ib.fiber import FiberSheet, ImmersedStructure
+from repro.errors import ConfigurationError
+
+
+def _flat_positions(nf=4, nn=5):
+    pos = np.zeros((nf, nn, 3))
+    pos[..., 1] = np.arange(nf)[:, None]
+    pos[..., 2] = np.arange(nn)[None, :]
+    return pos
+
+
+class TestConstruction:
+    def test_counts(self):
+        sheet = FiberSheet(_flat_positions(8, 5))
+        assert sheet.num_fibers == 8
+        assert sheet.nodes_per_fiber == 5
+        assert sheet.num_nodes == 40
+        assert sheet.num_active_nodes == 40
+
+    def test_figure4_shape(self):
+        """Paper Figure 4: a sheet of 8 fibers with 5 nodes each."""
+        sheet = FiberSheet(_flat_positions(8, 5))
+        assert sheet.positions.shape == (8, 5, 3)
+
+    def test_rest_spacings_from_geometry(self):
+        pos = _flat_positions()
+        pos[..., 1] *= 2.0  # fibers 2 apart
+        pos[..., 2] *= 0.5  # nodes 0.5 apart
+        sheet = FiberSheet(pos)
+        assert sheet.rest_spacing_cross == pytest.approx(2.0)
+        assert sheet.rest_spacing_fiber == pytest.approx(0.5)
+        assert sheet.area_element == pytest.approx(1.0)
+
+    def test_explicit_rest_spacings_kept(self):
+        sheet = FiberSheet(
+            _flat_positions(), rest_spacing_fiber=0.3, rest_spacing_cross=0.7
+        )
+        assert sheet.rest_spacing_fiber == 0.3
+        assert sheet.rest_spacing_cross == 0.7
+
+    def test_buffers_zeroed(self):
+        sheet = FiberSheet(_flat_positions())
+        assert not sheet.bending_force.any()
+        assert not sheet.stretching_force.any()
+        assert not sheet.elastic_force.any()
+        assert not sheet.velocity.any()
+
+    def test_anchors_copy_initial_positions(self):
+        sheet = FiberSheet(_flat_positions())
+        np.testing.assert_array_equal(sheet.anchors, sheet.positions)
+        sheet.positions += 1.0
+        assert (sheet.anchors != sheet.positions).all()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError, match="shape"):
+            FiberSheet(np.zeros((4, 5)))
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            FiberSheet(_flat_positions(), stretch_coefficient=-1.0)
+
+    def test_rejects_bad_active_mask(self):
+        with pytest.raises(ConfigurationError, match="active"):
+            FiberSheet(_flat_positions(4, 5), active=np.ones((3, 5), dtype=bool))
+
+    def test_rejects_tethered_without_stiffness(self):
+        teth = np.zeros((4, 5), dtype=bool)
+        teth[2, 2] = True
+        with pytest.raises(ConfigurationError, match="tether_coefficient"):
+            FiberSheet(_flat_positions(), tethered=teth)
+
+    def test_single_node_sheet_allowed(self):
+        sheet = FiberSheet(np.zeros((1, 1, 3)))
+        assert sheet.rest_spacing_fiber == 1.0  # fallback
+
+
+class TestMasksAndViews:
+    def test_active_positions_filtering(self):
+        active = np.ones((4, 5), dtype=bool)
+        active[0, 0] = False
+        sheet = FiberSheet(_flat_positions(), active=active)
+        assert sheet.active_positions().shape == (19, 3)
+        assert sheet.num_active_nodes == 19
+
+    def test_centroid(self):
+        sheet = FiberSheet(_flat_positions(3, 3))
+        np.testing.assert_allclose(sheet.centroid(), [0.0, 1.0, 1.0])
+
+    def test_reset_forces(self):
+        sheet = FiberSheet(_flat_positions())
+        sheet.bending_force[...] = 1.0
+        sheet.stretching_force[...] = 2.0
+        sheet.elastic_force[...] = 3.0
+        sheet.reset_forces()
+        assert not sheet.bending_force.any()
+        assert not sheet.stretching_force.any()
+        assert not sheet.elastic_force.any()
+
+
+class TestCopyCompare:
+    def test_copy_is_deep(self, small_sheet):
+        clone = small_sheet.copy()
+        assert clone.state_allclose(small_sheet)
+        clone.positions[0, 0, 0] += 1.0
+        assert not clone.state_allclose(small_sheet)
+
+    def test_copy_preserves_parameters(self, small_sheet):
+        clone = small_sheet.copy()
+        assert clone.stretch_coefficient == small_sheet.stretch_coefficient
+        assert clone.bend_coefficient == small_sheet.bend_coefficient
+        assert clone.rest_spacing_fiber == small_sheet.rest_spacing_fiber
+
+
+class TestImmersedStructure:
+    def test_requires_a_sheet(self):
+        with pytest.raises(ConfigurationError):
+            ImmersedStructure([])
+
+    def test_multi_sheet_counts(self):
+        s = ImmersedStructure(
+            [FiberSheet(_flat_positions(4, 5)), FiberSheet(_flat_positions(2, 3))]
+        )
+        assert s.num_nodes == 20 + 6
+        assert s.num_fibers == 6
+
+    def test_reset_forces_hits_all_sheets(self):
+        s = ImmersedStructure([FiberSheet(_flat_positions()) for _ in range(2)])
+        for sheet in s.sheets:
+            sheet.elastic_force[...] = 1.0
+        s.reset_forces()
+        assert not any(sheet.elastic_force.any() for sheet in s.sheets)
+
+    def test_copy_and_compare(self, small_structure):
+        clone = small_structure.copy()
+        assert clone.state_allclose(small_structure)
+        clone.sheets[0].positions += 0.1
+        assert not clone.state_allclose(small_structure)

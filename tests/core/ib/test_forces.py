@@ -1,0 +1,181 @@
+"""Tests of the fiber force kernels (paper kernels 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import reference
+from repro.core.ib import forces
+from repro.core.ib.fiber import FiberSheet
+
+
+def _sheet_from_seed(seed: int, nf: int = 5, nn: int = 6, masked: bool = False):
+    rng = np.random.default_rng(seed)
+    pos = np.zeros((nf, nn, 3))
+    pos[..., 1] = np.arange(nf)[:, None]
+    pos[..., 2] = np.arange(nn)[None, :]
+    pos += 0.2 * rng.standard_normal(pos.shape)
+    active = None
+    if masked:
+        active = rng.random((nf, nn)) > 0.2
+        active[0, 0] = True  # keep at least one node
+    return FiberSheet(
+        pos, stretch_coefficient=0.02, bend_coefficient=0.003, active=active
+    )
+
+
+class TestSecondDifference:
+    def test_interior_values(self):
+        x = np.arange(6.0).reshape(1, 6, 1) ** 2
+        d2 = forces.second_difference(x, axis=1)
+        np.testing.assert_allclose(d2[0, 1:-1, 0], 2.0)
+        assert d2[0, 0, 0] == 0.0 and d2[0, -1, 0] == 0.0
+
+    def test_padded_form_covers_ends(self):
+        x = np.ones((1, 4, 1))
+        d2 = forces.second_difference(x, axis=1, padded=True)
+        np.testing.assert_allclose(d2[0, :, 0], [-1.0, 0.0, 0.0, -1.0])
+
+    def test_padded_rejects_mask(self):
+        with pytest.raises(ValueError, match="interior"):
+            forces.second_difference(
+                np.ones((2, 3, 1)), axis=0, valid=np.ones((2, 3), bool), padded=True
+            )
+
+    def test_short_axis_gives_zero(self):
+        d2 = forces.second_difference(np.ones((1, 2, 3)), axis=1)
+        assert not d2.any()
+
+    def test_mask_invalidates_stencil(self):
+        x = np.arange(5.0).reshape(1, 5, 1) ** 2
+        valid = np.ones((1, 5), dtype=bool)
+        valid[0, 2] = False
+        d2 = forces.second_difference(x, axis=1, valid=valid)
+        # nodes 1, 2, 3 all have node 2 in their stencil -> zeroed
+        assert not d2[0, 1:4].any()
+
+
+class TestAgainstReference:
+    @given(seed=st.integers(0, 2**31), masked=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_bending_matches_loop(self, seed, masked):
+        sheet = _sheet_from_seed(seed, masked=masked)
+        forces.compute_bending_force(sheet)
+        expected = reference.bending_force_loop(sheet)
+        np.testing.assert_allclose(
+            sheet.bending_force, expected, rtol=1e-10, atol=1e-13
+        )
+
+    @given(seed=st.integers(0, 2**31), masked=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_stretching_matches_loop(self, seed, masked):
+        sheet = _sheet_from_seed(seed, masked=masked)
+        forces.compute_stretching_force(sheet)
+        expected = reference.stretching_force_loop(sheet)
+        np.testing.assert_allclose(
+            sheet.stretching_force, expected, rtol=1e-10, atol=1e-13
+        )
+
+
+class TestPhysicalInvariants:
+    def test_flat_sheet_has_no_force(self):
+        pos = np.zeros((5, 5, 3))
+        pos[..., 1] = np.arange(5)[:, None]
+        pos[..., 2] = np.arange(5)[None, :]
+        sheet = FiberSheet(pos, stretch_coefficient=0.1, bend_coefficient=0.1)
+        forces.compute_bending_force(sheet)
+        forces.compute_stretching_force(sheet)
+        forces.compute_elastic_force(sheet)
+        assert np.abs(sheet.elastic_force).max() < 1e-13
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_internal_forces_sum_to_zero(self, seed):
+        """Bending + stretching are internal: total momentum input is 0."""
+        sheet = _sheet_from_seed(seed)
+        forces.compute_bending_force(sheet)
+        forces.compute_stretching_force(sheet)
+        forces.compute_elastic_force(sheet)
+        np.testing.assert_allclose(
+            sheet.elastic_force.sum(axis=(0, 1)), 0.0, atol=1e-12
+        )
+
+    def test_stretched_link_pulls_nodes_together(self):
+        pos = np.zeros((1, 2, 3))
+        pos[0, 1, 2] = 2.0  # rest spacing defaults to 2.0 then
+        sheet = FiberSheet(pos, stretch_coefficient=1.0, rest_spacing_fiber=1.0)
+        forces.compute_stretching_force(sheet)
+        assert sheet.stretching_force[0, 0, 2] > 0  # pulled toward node 1
+        assert sheet.stretching_force[0, 1, 2] < 0
+
+    def test_compressed_link_pushes_nodes_apart(self):
+        pos = np.zeros((1, 2, 3))
+        pos[0, 1, 2] = 0.5
+        sheet = FiberSheet(pos, stretch_coefficient=1.0, rest_spacing_fiber=1.0)
+        forces.compute_stretching_force(sheet)
+        assert sheet.stretching_force[0, 0, 2] < 0
+        assert sheet.stretching_force[0, 1, 2] > 0
+
+    def test_bending_force_opposes_kink(self):
+        pos = np.zeros((1, 5, 3))
+        pos[0, :, 2] = np.arange(5)
+        pos[0, 2, 0] = 0.5  # kink the middle node out of line
+        sheet = FiberSheet(pos, bend_coefficient=1.0)
+        forces.compute_bending_force(sheet)
+        assert sheet.bending_force[0, 2, 0] < 0  # restoring
+
+    def test_coincident_nodes_produce_no_nan(self):
+        pos = np.zeros((1, 3, 3))  # all nodes coincide
+        sheet = FiberSheet(pos, stretch_coefficient=1.0, rest_spacing_fiber=1.0)
+        forces.compute_stretching_force(sheet)
+        assert np.isfinite(sheet.stretching_force).all()
+
+
+class TestRowsRestriction:
+    def test_rows_write_only_selected_fibers(self):
+        sheet = _sheet_from_seed(7)
+        sheet.bending_force[...] = 99.0
+        forces.compute_bending_force(sheet, rows=[1, 3])
+        assert (sheet.bending_force[0] == 99.0).all()
+        assert (sheet.bending_force[2] == 99.0).all()
+        assert not (sheet.bending_force[1] == 99.0).all()
+
+    def test_row_union_equals_full_computation(self):
+        full = _sheet_from_seed(11)
+        forces.compute_bending_force(full)
+        forces.compute_stretching_force(full)
+        forces.compute_elastic_force(full)
+
+        split = _sheet_from_seed(11)
+        for rows in ([0, 2, 4], [1, 3]):
+            forces.compute_bending_force(split, rows=rows)
+            forces.compute_stretching_force(split, rows=rows)
+            forces.compute_elastic_force(split, rows=rows)
+        np.testing.assert_allclose(split.elastic_force, full.elastic_force)
+
+
+class TestTether:
+    def test_tether_pulls_toward_anchor(self):
+        pos = np.zeros((2, 2, 3))
+        pos[..., 1] = np.arange(2)[:, None]
+        pos[..., 2] = np.arange(2)[None, :]
+        teth = np.zeros((2, 2), dtype=bool)
+        teth[0, 0] = True
+        sheet = FiberSheet(
+            pos, stretch_coefficient=0.0, bend_coefficient=0.0,
+            tethered=teth, tether_coefficient=2.0,
+        )
+        sheet.positions[0, 0, 0] = 0.5  # displaced from anchor
+        forces.compute_bending_force(sheet)
+        forces.compute_stretching_force(sheet)
+        forces.compute_elastic_force(sheet)
+        assert sheet.elastic_force[0, 0, 0] == pytest.approx(-1.0)
+        assert not sheet.elastic_force[1].any()
+
+    def test_inactive_nodes_carry_no_force(self):
+        sheet = _sheet_from_seed(3, masked=True)
+        forces.compute_bending_force(sheet)
+        forces.compute_stretching_force(sheet)
+        forces.compute_elastic_force(sheet)
+        assert not sheet.elastic_force[~sheet.active].any()

@@ -1,0 +1,113 @@
+"""Tests of the structure geometry builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.ib import geometry
+from repro.errors import ConfigurationError
+
+
+class TestSheetNodeGrid:
+    def test_shape_and_plane(self):
+        pos = geometry.sheet_node_grid(4, 6, 3.0, 5.0, (8.0, 8.0, 8.0), normal_axis=0)
+        assert pos.shape == (4, 6, 3)
+        np.testing.assert_allclose(pos[..., 0], 8.0)
+
+    def test_spans(self):
+        pos = geometry.sheet_node_grid(5, 5, 4.0, 2.0, (0.0, 10.0, 10.0), normal_axis=0)
+        assert pos[..., 1].max() - pos[..., 1].min() == pytest.approx(4.0)
+        assert pos[..., 2].max() - pos[..., 2].min() == pytest.approx(2.0)
+
+    def test_centered(self):
+        pos = geometry.sheet_node_grid(5, 5, 4.0, 4.0, (1.0, 7.0, 9.0))
+        np.testing.assert_allclose(pos.mean(axis=(0, 1)), [1.0, 7.0, 9.0])
+
+    def test_normal_axis_variants(self):
+        for axis in (0, 1, 2):
+            pos = geometry.sheet_node_grid(3, 3, 2.0, 2.0, (5.0, 5.0, 5.0), normal_axis=axis)
+            assert np.ptp(pos[..., axis]) == 0.0
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ConfigurationError):
+            geometry.sheet_node_grid(3, 3, 1.0, 1.0, (0, 0, 0), normal_axis=3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            geometry.sheet_node_grid(0, 3, 1.0, 1.0, (0, 0, 0))
+
+
+class TestFlatSheet:
+    def test_defaults_fit_in_box(self):
+        s = geometry.flat_sheet((24, 24, 24))
+        pos = s.sheets[0].positions
+        assert (pos >= 0).all() and (pos <= 23).all()
+
+    def test_paper_figure4_dimensions(self):
+        s = geometry.flat_sheet((32, 32, 32), num_fibers=8, nodes_per_fiber=5)
+        assert s.sheets[0].num_fibers == 8
+        assert s.sheets[0].nodes_per_fiber == 5
+
+    def test_too_large_sheet_rejected(self):
+        with pytest.raises(ConfigurationError, match="leaves the fluid box"):
+            geometry.flat_sheet((8, 8, 8), width=20.0, height=20.0)
+
+    def test_coefficients_forwarded(self):
+        s = geometry.flat_sheet(
+            (24, 24, 24), stretch_coefficient=0.5, bend_coefficient=0.25
+        )
+        assert s.sheets[0].stretch_coefficient == 0.5
+        assert s.sheets[0].bend_coefficient == 0.25
+
+    def test_all_nodes_active_untethered(self):
+        s = geometry.flat_sheet((24, 24, 24))
+        assert s.sheets[0].active.all()
+        assert not s.sheets[0].tethered.any()
+
+
+class TestCircularPlate:
+    def test_active_mask_is_a_disk(self):
+        s = geometry.circular_plate((32, 32, 32), num_fibers=15, nodes_per_fiber=15)
+        sheet = s.sheets[0]
+        assert sheet.active.sum() < sheet.num_nodes  # corners cut
+        # the disk contains the centre and not the corner
+        assert sheet.active[7, 7]
+        assert not sheet.active[0, 0]
+
+    def test_fastened_middle_region(self):
+        """Paper Figure 1: the plate is fastened in the middle region."""
+        s = geometry.circular_plate(
+            (32, 32, 32), num_fibers=15, nodes_per_fiber=15,
+            fastened_radius_fraction=0.3,
+        )
+        sheet = s.sheets[0]
+        assert sheet.tethered.any()
+        assert sheet.tethered.sum() < sheet.active.sum()
+        assert sheet.tethered[7, 7]  # centre is fastened
+        assert (sheet.tethered <= sheet.active).all()
+        assert sheet.tether_coefficient > 0
+
+    def test_no_fastening_when_fraction_zero(self):
+        s = geometry.circular_plate(
+            (32, 32, 32), fastened_radius_fraction=0.0, num_fibers=9, nodes_per_fiber=9
+        )
+        # only the exact-centre node(s) may be caught; radius 0 catches none
+        # for an even grid offset, but must never exceed the active disk
+        sheet = s.sheets[0]
+        assert (sheet.tethered <= sheet.active).all()
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError, match="fraction"):
+            geometry.circular_plate((32, 32, 32), fastened_radius_fraction=1.5)
+
+    def test_radius_respected(self):
+        s = geometry.circular_plate(
+            (40, 40, 40), num_fibers=21, nodes_per_fiber=21, radius=6.0
+        )
+        sheet = s.sheets[0]
+        center = np.asarray([19.5, 19.5])
+        d = np.sqrt(
+            (sheet.positions[..., 1] - center[0]) ** 2
+            + (sheet.positions[..., 2] - center[1]) ** 2
+        )
+        assert (d[sheet.active] <= 6.0 + 1e-6).all()
+        assert (d[~sheet.active] > 6.0 - 1e-6).all()

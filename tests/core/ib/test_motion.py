@@ -1,0 +1,68 @@
+"""Tests of fiber motion (paper kernel 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ib import motion
+from repro.core.ib.delta import CosineDelta
+from repro.core.ib.fiber import FiberSheet
+
+
+def _sheet(grid=(10, 10, 10)):
+    pos = np.zeros((3, 3, 3))
+    pos[..., 0] = 5.0
+    pos[..., 1] = 4.0 + np.arange(3)[:, None]
+    pos[..., 2] = 4.0 + np.arange(3)[None, :]
+    return FiberSheet(pos)
+
+
+class TestMoveFibers:
+    def test_uniform_flow_advects_exactly(self):
+        sheet = _sheet()
+        velocity = np.zeros((3, 10, 10, 10))
+        velocity[0] = 0.25
+        before = sheet.positions.copy()
+        motion.move_fibers(sheet, CosineDelta(), velocity, dt=1.0)
+        np.testing.assert_allclose(sheet.positions[..., 0], before[..., 0] + 0.25, rtol=1e-12)
+        np.testing.assert_allclose(sheet.positions[..., 1:], before[..., 1:], atol=1e-13)
+
+    def test_dt_scales_displacement(self):
+        velocity = np.zeros((3, 10, 10, 10))
+        velocity[1] = 0.1
+        a, b = _sheet(), _sheet()
+        motion.move_fibers(a, CosineDelta(), velocity, dt=1.0)
+        motion.move_fibers(b, CosineDelta(), velocity, dt=0.5)
+        da = a.positions[..., 1] - 4.0 - np.arange(3)[:, None]
+        db = b.positions[..., 1] - 4.0 - np.arange(3)[:, None]
+        np.testing.assert_allclose(da, 2 * db, rtol=1e-12)
+
+    def test_velocity_buffer_updated(self):
+        sheet = _sheet()
+        velocity = np.zeros((3, 10, 10, 10))
+        velocity[2] = -0.05
+        motion.move_fibers(sheet, CosineDelta(), velocity)
+        np.testing.assert_allclose(sheet.velocity[..., 2], -0.05, rtol=1e-12)
+
+    def test_rows_restriction_moves_only_selected(self):
+        sheet = _sheet()
+        velocity = np.zeros((3, 10, 10, 10))
+        velocity[0] = 0.3
+        before = sheet.positions.copy()
+        motion.move_fibers(sheet, CosineDelta(), velocity, rows=[0])
+        assert (sheet.positions[0, :, 0] > before[0, :, 0]).all()
+        np.testing.assert_array_equal(sheet.positions[1:], before[1:])
+
+    def test_inactive_nodes_do_not_move(self):
+        sheet = _sheet()
+        sheet.active[1, 1] = False
+        velocity = np.zeros((3, 10, 10, 10))
+        velocity[0] = 0.3
+        before = sheet.positions.copy()
+        motion.move_fibers(sheet, CosineDelta(), velocity)
+        np.testing.assert_array_equal(sheet.positions[1, 1], before[1, 1])
+
+    def test_zero_velocity_is_a_fixed_point(self):
+        sheet = _sheet()
+        before = sheet.positions.copy()
+        motion.move_fibers(sheet, CosineDelta(), np.zeros((3, 10, 10, 10)))
+        np.testing.assert_array_equal(sheet.positions, before)

@@ -1,0 +1,142 @@
+"""Tests of multi-sheet structures and elastic-energy diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.ib import forces, geometry
+from repro.core.ib.fiber import FiberSheet
+from repro.core.lbm.fields import FluidGrid
+from repro.core.solver import SequentialLBMIBSolver
+from repro.errors import ConfigurationError
+
+
+class TestParallelSheets:
+    def test_builds_requested_sheet_count(self):
+        s = geometry.parallel_sheets((24, 16, 16), num_sheets=4, num_fibers=5, nodes_per_fiber=5)
+        assert len(s.sheets) == 4
+        assert s.num_nodes == 4 * 25
+
+    def test_sheets_evenly_spaced_and_centered(self):
+        s = geometry.parallel_sheets(
+            (24, 16, 16), num_sheets=3, spacing=4.0, num_fibers=3, nodes_per_fiber=3
+        )
+        xs = [sheet.positions[0, 0, 0] for sheet in s.sheets]
+        assert xs == pytest.approx([7.5, 11.5, 15.5])
+
+    def test_rejects_overfull_stack(self):
+        with pytest.raises(ConfigurationError, match="do not fit"):
+            geometry.parallel_sheets((12, 16, 16), num_sheets=5, spacing=4.0)
+
+    def test_rejects_zero_sheets(self):
+        with pytest.raises(ConfigurationError):
+            geometry.parallel_sheets((24, 16, 16), num_sheets=0)
+
+    def test_multisheet_solvers_agree(self):
+        from repro.parallel import CubeGrid, CubeLBMIBSolver, OpenMPLBMIBSolver
+
+        shape = (24, 16, 16)
+
+        def make():
+            grid = FluidGrid(shape, tau=0.8)
+            s = geometry.parallel_sheets(
+                shape, num_sheets=2, num_fibers=4, nodes_per_fiber=4,
+                stretch_coefficient=0.03,
+            )
+            s.sheets[0].positions[1, 1, 0] += 0.5
+            return grid, s
+
+        g0, s0 = make()
+        SequentialLBMIBSolver(g0, s0).run(4)
+        g1, s1 = make()
+        with OpenMPLBMIBSolver(g1, s1, num_threads=3) as solver:
+            solver.run(4)
+        assert g0.state_allclose(g1, rtol=1e-10, atol=1e-12)
+        assert s0.state_allclose(s1, rtol=1e-10, atol=1e-12)
+        g2, s2 = make()
+        cg = CubeGrid.from_fluid_grid(g2, cube_size=4)
+        CubeLBMIBSolver(cg, s2, num_threads=4).run(4)
+        assert g0.state_allclose(cg.to_fluid_grid(), rtol=1e-10, atol=1e-12)
+
+    def test_sheets_interact_through_fluid(self):
+        """Perturbing one sheet eventually moves its neighbour."""
+        shape = (24, 16, 16)
+        grid = FluidGrid(shape, tau=0.8)
+        s = geometry.parallel_sheets(
+            shape, num_sheets=2, spacing=3.0, num_fibers=5, nodes_per_fiber=5,
+            stretch_coefficient=0.05,
+        )
+        s.sheets[0].positions[2, 2, 0] += 1.0
+        before = s.sheets[1].positions.copy()
+        SequentialLBMIBSolver(grid, s).run(30)
+        assert np.abs(s.sheets[1].positions - before).max() > 1e-6
+
+
+class TestElasticEnergy:
+    def _rest_sheet(self):
+        pos = np.zeros((4, 4, 3))
+        pos[..., 1] = np.arange(4)[:, None]
+        pos[..., 2] = np.arange(4)[None, :]
+        return FiberSheet(pos, stretch_coefficient=0.5, bend_coefficient=0.25)
+
+    def test_zero_at_rest(self):
+        sheet = self._rest_sheet()
+        assert sheet.stretch_energy() == pytest.approx(0.0, abs=1e-25)
+        assert sheet.bend_energy() == pytest.approx(0.0, abs=1e-25)
+        assert sheet.max_stretch_ratio() == pytest.approx(1.0)
+
+    def test_stretch_energy_of_one_extended_link(self):
+        # a single fiber, so stretching one end link affects nothing else
+        pos = np.zeros((1, 4, 3))
+        pos[0, :, 2] = np.arange(4)
+        sheet = FiberSheet(pos, stretch_coefficient=0.5, bend_coefficient=0.0)
+        sheet.positions[0, 3, 2] += 0.5  # end link now 1.5 long (rest 1)
+        assert sheet.stretch_energy() == pytest.approx(0.5 * 0.5 * 0.25)
+        assert sheet.max_stretch_ratio() == pytest.approx(1.5)
+
+    def test_bend_energy_of_kink(self):
+        sheet = self._rest_sheet()
+        sheet.positions[0, 1, 0] += 0.1  # curvature appears around node 1
+        assert sheet.bend_energy() > 0
+
+    def test_force_is_negative_energy_gradient(self):
+        """Central-difference check of F = -dE/dX for one coordinate."""
+        sheet = self._rest_sheet()
+        rng = np.random.default_rng(1)
+        sheet.positions += 0.1 * rng.standard_normal(sheet.positions.shape)
+        forces.compute_bending_force(sheet)
+        forces.compute_stretching_force(sheet)
+        forces.compute_elastic_force(sheet)
+        h = 1e-6
+        for idx in [(1, 2, 0), (2, 1, 1), (0, 0, 2)]:
+            up = sheet.copy()
+            up.positions[idx] += h
+            down = sheet.copy()
+            down.positions[idx] -= h
+            grad = (up.elastic_energy() - down.elastic_energy()) / (2 * h)
+            assert sheet.elastic_force[idx] == pytest.approx(-grad, rel=1e-4, abs=1e-9)
+
+    def test_energy_dissipates_in_fluid(self):
+        shape = (16, 12, 12)
+        grid = FluidGrid(shape, tau=0.8)
+        s = geometry.flat_sheet(
+            shape, num_fibers=5, nodes_per_fiber=5, stretch_coefficient=0.03
+        )
+        s.sheets[0].positions[2, 2, 0] += 0.8
+        e0 = s.elastic_energy()
+        SequentialLBMIBSolver(grid, s).run(60)
+        assert s.elastic_energy() < e0
+
+    def test_masked_nodes_excluded(self):
+        sheet = self._rest_sheet()
+        sheet.positions[0, 3, 2] += 5.0  # huge stretch on the end link
+        sheet.active[0, 3] = False  # but the node is inactive
+        assert sheet.stretch_energy() == pytest.approx(0.0, abs=1e-20)
+        assert sheet.max_stretch_ratio() == pytest.approx(1.0)
+
+    def test_structure_aggregates(self):
+        s = geometry.parallel_sheets((24, 16, 16), num_sheets=2, num_fibers=4, nodes_per_fiber=4)
+        s.sheets[0].positions[0, 0, 2] += 0.5
+        assert s.elastic_energy() == pytest.approx(
+            s.sheets[0].elastic_energy() + s.sheets[1].elastic_energy()
+        )
+        assert s.max_stretch_ratio() >= s.sheets[1].max_stretch_ratio()

@@ -1,0 +1,120 @@
+"""Tests of force spreading (paper kernel 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import reference
+from repro.core.ib import spreading
+from repro.core.ib.delta import CosineDelta, LinearDelta
+from repro.core.ib.fiber import FiberSheet
+
+
+def _random_sheet(seed, grid_shape=(8, 8, 8), nf=3, nn=4):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(2.0, min(grid_shape) - 3.0, size=(nf, nn, 3))
+    sheet = FiberSheet(pos, stretch_coefficient=0.02, bend_coefficient=0.001)
+    sheet.elastic_force[...] = rng.standard_normal(sheet.elastic_force.shape)
+    return sheet
+
+
+class TestFlattenStencil:
+    def test_flat_indices_match_coordinates(self, cosine_delta, rng):
+        grid_shape = (8, 6, 5)
+        pos = rng.uniform(2, 3, size=(4, 3))
+        idx, w = cosine_delta.stencil(pos, grid_shape=grid_shape)
+        flat, fw = spreading.flatten_stencil(idx, w, grid_shape)
+        assert flat.shape == (4, 64)
+        assert fw.shape == (4, 64)
+        # check one entry by hand
+        n, a, b, c = 2, 1, 2, 3
+        expect = (
+            idx[n, a, 0] * (6 * 5) + idx[n, b, 1] * 5 + idx[n, c, 2]
+        )
+        assert flat[n, (a * 4 + b) * 4 + c] == expect
+        assert fw[n, (a * 4 + b) * 4 + c] == w[n, a, b, c]
+
+    def test_indices_within_grid(self, cosine_delta, rng):
+        grid_shape = (6, 6, 6)
+        pos = rng.uniform(0, 6, size=(10, 3))
+        idx, w = cosine_delta.stencil(pos, grid_shape=grid_shape)
+        flat, _ = spreading.flatten_stencil(idx, w, grid_shape)
+        assert flat.min() >= 0 and flat.max() < 216
+
+
+class TestSpreadValues:
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_loop_reference(self, seed):
+        sheet = _random_sheet(seed)
+        delta = CosineDelta()
+        target = np.zeros((3, 8, 8, 8))
+        spreading.spread_forces(sheet, delta, target)
+        expected = reference.spread_loop(sheet, delta, (8, 8, 8))
+        np.testing.assert_allclose(target, expected, rtol=1e-10, atol=1e-13)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_total_force_conserved(self, seed):
+        """Partition of unity: the grid receives exactly sum(f) * dA."""
+        sheet = _random_sheet(seed)
+        target = np.zeros((3, 8, 8, 8))
+        spreading.spread_forces(sheet, CosineDelta(), target)
+        expected = sheet.elastic_force.sum(axis=(0, 1)) * sheet.area_element
+        np.testing.assert_allclose(
+            target.sum(axis=(1, 2, 3)), expected, rtol=1e-10, atol=1e-12
+        )
+
+    def test_accumulates_rather_than_overwrites(self):
+        sheet = _random_sheet(5)
+        target = np.zeros((3, 8, 8, 8))
+        spreading.spread_forces(sheet, CosineDelta(), target)
+        once = target.copy()
+        spreading.spread_forces(sheet, CosineDelta(), target)
+        np.testing.assert_allclose(target, 2 * once, rtol=1e-12)
+
+    def test_periodic_wrap_spreading(self):
+        """A point near the boundary exerts force on wrapped nodes."""
+        pos = np.array([[[0.5, 4.0, 4.0]]])
+        sheet = FiberSheet(pos)
+        sheet.elastic_force[...] = 1.0
+        target = np.zeros((3, 8, 8, 8))
+        spreading.spread_forces(sheet, CosineDelta(), target)
+        assert np.abs(target[:, 7]).sum() > 0  # wrapped to the far face
+
+    def test_rows_restriction(self):
+        sheet = _random_sheet(9)
+        full = np.zeros((3, 8, 8, 8))
+        spreading.spread_forces(sheet, CosineDelta(), full)
+        parts = np.zeros((3, 8, 8, 8))
+        spreading.spread_forces(sheet, CosineDelta(), parts, rows=[0, 2])
+        spreading.spread_forces(sheet, CosineDelta(), parts, rows=[1])
+        np.testing.assert_allclose(parts, full, rtol=1e-12, atol=1e-15)
+
+    def test_inactive_nodes_do_not_spread(self):
+        sheet = _random_sheet(12)
+        sheet.active[1, 1] = False
+        target = np.zeros((3, 8, 8, 8))
+        spreading.spread_forces(sheet, CosineDelta(), target)
+        active_only = sheet.elastic_force[sheet.active].sum(axis=0)
+        np.testing.assert_allclose(
+            target.sum(axis=(1, 2, 3)),
+            active_only * sheet.area_element,
+            rtol=1e-10,
+        )
+
+    def test_empty_positions_are_fine(self):
+        target = np.zeros((3, 4, 4, 4))
+        out = spreading.spread_values(
+            np.zeros((0, 3)), np.zeros((0, 3)), CosineDelta(), target
+        )
+        assert out is target and not target.any()
+
+    def test_linear_delta_touches_8_nodes(self):
+        pos = np.array([[[3.3, 3.3, 3.3]]])
+        sheet = FiberSheet(pos)
+        sheet.elastic_force[...] = 1.0
+        target = np.zeros((3, 8, 8, 8))
+        spreading.spread_forces(sheet, LinearDelta(), target)
+        assert (np.abs(target[0]) > 1e-12).sum() == 8

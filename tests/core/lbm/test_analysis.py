@@ -1,0 +1,130 @@
+"""Tests of the derived flow quantities."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CS2
+from repro.core.lbm import analysis
+
+
+def _shear_field(n=8):
+    """u = (c*y, 0, 0): constant shear du_x/dy = c."""
+    c = 0.01
+    u = np.zeros((3, n, n, n))
+    u[0] = c * np.arange(n)[None, :, None]
+    return u, c
+
+
+class TestPressure:
+    def test_equation_of_state(self):
+        rho = np.full((2, 2, 2), 1.5)
+        np.testing.assert_allclose(analysis.pressure(rho), CS2 * 1.5)
+
+
+class TestGradientsAndVorticity:
+    def test_gradient_of_linear_field_interior(self):
+        u, c = _shear_field()
+        g = analysis.velocity_gradient(u)
+        # interior rows (periodic differences wrap at the edges)
+        np.testing.assert_allclose(g[0, 1][:, 1:-1, :], c, rtol=1e-12)
+        np.testing.assert_allclose(g[0, 0], 0.0, atol=1e-15)
+        np.testing.assert_allclose(g[1], 0.0, atol=1e-15)
+
+    def test_vorticity_of_shear_flow(self):
+        u, c = _shear_field()
+        w = analysis.vorticity(u)
+        # omega_z = du_y/dx - du_x/dy = -c in the interior
+        np.testing.assert_allclose(w[2][:, 1:-1, :], -c, rtol=1e-12)
+        np.testing.assert_allclose(w[0], 0.0, atol=1e-15)
+
+    def test_vorticity_of_rigid_rotation(self):
+        """u = Omega x r has curl = 2 Omega."""
+        n = 10
+        omega = 0.001
+        x = np.arange(n) - (n - 1) / 2
+        X, Y, _ = np.meshgrid(x, x, x, indexing="ij")
+        u = np.zeros((3, n, n, n))
+        u[0] = -omega * Y
+        u[1] = omega * X
+        w = analysis.vorticity(u)
+        interior = (slice(1, -1),) * 3
+        np.testing.assert_allclose(w[2][interior], 2 * omega, rtol=1e-10)
+
+    def test_strain_rate_is_symmetric(self, rng):
+        u = 0.01 * rng.standard_normal((3, 6, 6, 6))
+        s = analysis.strain_rate(u)
+        np.testing.assert_allclose(s, np.swapaxes(s, 0, 1))
+
+    def test_shear_stress_magnitude(self):
+        u, c = _shear_field()
+        rho = np.ones((8, 8, 8))
+        sigma = analysis.shear_stress(u, rho, nu=0.1)
+        # sigma_xy = 2 rho nu * c/2 = rho nu c in the interior
+        np.testing.assert_allclose(
+            sigma[0, 1][:, 1:-1, :], 0.1 * c, rtol=1e-12
+        )
+
+
+class TestIntegrals:
+    def test_kinetic_energy_uniform_flow(self):
+        u = np.zeros((3, 4, 4, 4))
+        u[0] = 0.1
+        ke = analysis.kinetic_energy(u)
+        assert ke == pytest.approx(0.5 * 0.01 * 64)
+
+    def test_kinetic_energy_with_density(self):
+        u = np.zeros((3, 2, 2, 2))
+        u[0] = 1.0
+        rho = np.full((2, 2, 2), 2.0)
+        assert analysis.kinetic_energy(u, rho) == pytest.approx(8.0)
+
+    def test_enstrophy_zero_for_irrotational(self):
+        u = np.zeros((3, 4, 4, 4))
+        u[0] = 0.05
+        assert analysis.enstrophy(u) == pytest.approx(0.0, abs=1e-15)
+
+    def test_max_velocity_magnitude(self):
+        u = np.zeros((3, 3, 3, 3))
+        u[:, 1, 1, 1] = [0.3, 0.4, 0.0]
+        assert analysis.max_velocity_magnitude(u) == pytest.approx(0.5)
+
+
+class TestNoneqStress:
+    def test_couette_shear_matches_analytic(self):
+        """sigma_xy from distribution moments equals rho*nu*du/dy."""
+        from repro.constants import viscosity_from_tau
+        from repro.core.lbm.boundaries import BounceBackWall
+        from repro.core.lbm.fields import FluidGrid
+        from repro.core.solver import SequentialLBMIBSolver
+
+        h, tau, uw = 10, 0.8, 0.02
+        nu = viscosity_from_tau(tau)
+        grid = FluidGrid((4, h, 4), tau=tau)
+        SequentialLBMIBSolver(
+            grid,
+            None,
+            boundaries=[
+                BounceBackWall(1, "low"),
+                BounceBackWall(1, "high", wall_velocity=(uw, 0, 0)),
+            ],
+        ).run(3000)
+        sigma = analysis.noneq_stress(grid.df, grid.density, grid.velocity, tau)
+        assert sigma[0, 1, 0, h // 2, 0] == pytest.approx(nu * uw / h, rel=1e-3)
+
+    def test_zero_at_equilibrium(self, randomized_grid):
+        from repro.core.lbm import macroscopic
+
+        rho = macroscopic.compute_density(randomized_grid.df)
+        vel, _ = macroscopic.compute_velocity(randomized_grid.df)
+        sigma = analysis.noneq_stress(randomized_grid.df, rho, vel, 0.8)
+        # the fixture initializes both buffers at equilibrium
+        np.testing.assert_allclose(sigma, 0.0, atol=1e-12)
+
+    def test_symmetric_tensor(self, randomized_grid, rng):
+        from repro.core.lbm import macroscopic
+
+        df = randomized_grid.df + 1e-3 * rng.standard_normal(randomized_grid.df.shape)
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        sigma = analysis.noneq_stress(df, rho, vel, 0.8)
+        np.testing.assert_allclose(sigma, np.swapaxes(sigma, 0, 1))

@@ -1,0 +1,169 @@
+"""Tests of the face boundary conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core.lbm import boundaries, streaming
+from repro.core.lbm.fields import FluidGrid
+from repro.core.lbm.lattice import E, OPPOSITE
+from repro.errors import ConfigurationError
+
+
+def _streamed(grid):
+    streaming.stream(grid.df, grid.df_new)
+    return grid
+
+
+class TestFaceIndex:
+    def test_low_face(self):
+        idx = boundaries.face_index(1, "low", (4, 5, 6))
+        assert idx == (slice(None), 0, slice(None))
+
+    def test_high_face(self):
+        idx = boundaries.face_index(2, "high", (4, 5, 6))
+        assert idx == (slice(None), slice(None), 5)
+
+    def test_bad_axis(self):
+        with pytest.raises(ConfigurationError):
+            boundaries.face_index(3, "low", (4, 5, 6))
+
+    def test_bad_side(self):
+        with pytest.raises(ConfigurationError):
+            boundaries.face_index(0, "top", (4, 5, 6))
+
+
+class TestIncomingDirections:
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_low_side_points_inward(self, axis):
+        b = boundaries.BounceBackWall(axis, "low")
+        assert (E[b.incoming_directions(), axis] > 0).all()
+        assert len(b.incoming_directions()) == 5
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_high_side_points_inward(self, axis):
+        b = boundaries.BounceBackWall(axis, "high")
+        assert (E[b.incoming_directions(), axis] < 0).all()
+
+
+class TestPeriodic:
+    def test_apply_is_noop(self, randomized_grid):
+        _streamed(randomized_grid)
+        before = randomized_grid.df_new.copy()
+        boundaries.PeriodicBoundary(0, "low").apply(
+            randomized_grid.df, randomized_grid.df_new
+        )
+        np.testing.assert_array_equal(randomized_grid.df_new, before)
+
+
+class TestBounceBack:
+    def test_reflects_opposite_population(self, randomized_grid):
+        _streamed(randomized_grid)
+        wall = boundaries.BounceBackWall(0, "low")
+        wall.apply(randomized_grid.df, randomized_grid.df_new)
+        for i in wall.incoming_directions():
+            np.testing.assert_allclose(
+                randomized_grid.df_new[i, 0],
+                randomized_grid.df[OPPOSITE[i], 0],
+            )
+
+    def test_static_wall_produces_no_slip_velocity(self):
+        """A uniform resting fluid stays at rest beside a fixed wall."""
+        grid = FluidGrid((4, 6, 4), tau=0.8)
+        from repro.core import kernels
+
+        walls = [
+            boundaries.BounceBackWall(1, "low"),
+            boundaries.BounceBackWall(1, "high"),
+        ]
+        for _ in range(3):
+            kernels.compute_fluid_collision(grid)
+            kernels.stream_fluid_velocity_distribution(grid)
+            for w in walls:
+                w.apply(grid.df, grid.df_new)
+            kernels.update_fluid_velocity(grid)
+            kernels.copy_fluid_velocity_distribution(grid)
+        assert np.abs(grid.velocity).max() < 1e-14
+
+    def test_moving_wall_drags_fluid(self):
+        """A tangentially moving wall imparts momentum (Couette start-up)."""
+        grid = FluidGrid((4, 8, 4), tau=0.8)
+        from repro.core import kernels
+
+        walls = [
+            boundaries.BounceBackWall(1, "low"),
+            boundaries.BounceBackWall(1, "high", wall_velocity=(0.05, 0.0, 0.0)),
+        ]
+        for _ in range(10):
+            kernels.compute_fluid_collision(grid)
+            kernels.stream_fluid_velocity_distribution(grid)
+            for w in walls:
+                w.apply(grid.df, grid.df_new)
+            kernels.update_fluid_velocity(grid)
+            kernels.copy_fluid_velocity_distribution(grid)
+        ux = grid.velocity[0, 0, :, 0]
+        assert ux[-1] > 1e-4, "fluid near the moving wall must be dragged"
+        assert ux[-1] > ux[0], "velocity decays away from the moving wall"
+
+    def test_mass_conserved_by_fixed_walls(self, randomized_grid):
+        from repro.core import kernels
+
+        walls = [
+            boundaries.BounceBackWall(0, "low"),
+            boundaries.BounceBackWall(0, "high"),
+        ]
+        m0 = randomized_grid.total_mass()
+        for _ in range(5):
+            kernels.compute_fluid_collision(randomized_grid)
+            kernels.stream_fluid_velocity_distribution(randomized_grid)
+            for w in walls:
+                w.apply(randomized_grid.df, randomized_grid.df_new)
+            kernels.update_fluid_velocity(randomized_grid)
+            kernels.copy_fluid_velocity_distribution(randomized_grid)
+        assert randomized_grid.total_mass() == pytest.approx(m0, rel=1e-12)
+
+
+class TestOutflow:
+    def test_copies_interior_layer(self, randomized_grid):
+        _streamed(randomized_grid)
+        out = boundaries.OutflowBoundary(0, "high")
+        out.apply(randomized_grid.df, randomized_grid.df_new)
+        nx = randomized_grid.shape[0]
+        for i in out.incoming_directions():
+            np.testing.assert_allclose(
+                randomized_grid.df_new[i, nx - 1],
+                randomized_grid.df_new[i, nx - 2],
+            )
+
+    def test_needs_two_layers(self):
+        grid = FluidGrid((1, 4, 4), tau=0.8)
+        out = boundaries.OutflowBoundary(0, "low")
+        with pytest.raises(ConfigurationError, match="two layers"):
+            out.apply(grid.df, grid.df_new)
+
+
+class TestValidation:
+    def test_duplicate_faces_rejected(self):
+        with pytest.raises(ConfigurationError, match="multiple"):
+            boundaries.validate_boundaries(
+                [
+                    boundaries.BounceBackWall(0, "low"),
+                    boundaries.OutflowBoundary(0, "low"),
+                ]
+            )
+
+    def test_distinct_faces_accepted(self):
+        boundaries.validate_boundaries(
+            [
+                boundaries.BounceBackWall(0, "low"),
+                boundaries.BounceBackWall(0, "high"),
+                boundaries.BounceBackWall(1, "low"),
+            ]
+        )
+
+    def test_bad_constructor_axis(self):
+        with pytest.raises(ConfigurationError):
+            boundaries.BounceBackWall(5, "low")
+
+    def test_bad_constructor_side(self):
+        with pytest.raises(ConfigurationError):
+            boundaries.BounceBackWall(0, "middle")

@@ -1,0 +1,113 @@
+"""Tests of the BGK collision kernel (paper kernel 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import reference
+from repro.core.lbm import collision, equilibrium, macroscopic
+from repro.core.lbm.lattice import E_FLOAT
+
+
+class TestConservation:
+    def test_mass_conserved_without_force(self, randomized_grid):
+        df = randomized_grid.df.copy()
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        before = df.sum()
+        collision.bgk_collide(df, rho, vel, tau=0.8)
+        assert df.sum() == pytest.approx(before, rel=1e-13)
+
+    def test_momentum_conserved_without_force(self, randomized_grid):
+        df = randomized_grid.df.copy()
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        before = np.einsum("ia,ix->a", E_FLOAT, df.reshape(19, -1))
+        collision.bgk_collide(df, rho, vel, tau=0.8)
+        after = np.einsum("ia,ix->a", E_FLOAT, df.reshape(19, -1))
+        np.testing.assert_allclose(after, before, rtol=1e-10, atol=1e-12)
+
+    def test_shifted_velocity_injects_momentum(self, rng):
+        """Colliding toward u* = u + tau*F/rho adds exactly F of momentum.
+
+        This is the velocity-shift forcing identity the solvers rely on.
+        """
+        tau = 0.8
+        shape = (3, 3, 3)
+        rho = np.ones(shape)
+        u = 0.02 * rng.standard_normal((3,) + shape)
+        df = equilibrium.equilibrium(rho, u)
+        force = 1e-3 * rng.standard_normal((3,) + shape)
+        u_star = u + tau * force / rho[None]
+        before = np.einsum("ia,ixyz->a", E_FLOAT, df)
+        collision.bgk_collide(df, rho, u_star, tau)
+        after = np.einsum("ia,ixyz->a", E_FLOAT, df)
+        np.testing.assert_allclose(
+            after - before, force.sum(axis=(1, 2, 3)), rtol=1e-10, atol=1e-14
+        )
+
+
+class TestRelaxation:
+    def test_equilibrium_is_fixed_point(self, rng):
+        rho = 1.0 + 0.05 * rng.standard_normal((2, 2, 2))
+        u = 0.03 * rng.standard_normal((3, 2, 2, 2))
+        df = equilibrium.equilibrium(rho, u)
+        out = collision.bgk_collide(df.copy(), rho, u, tau=0.7)
+        np.testing.assert_allclose(out, df, rtol=1e-12, atol=1e-15)
+
+    def test_tau_one_reaches_equilibrium_in_one_step(self, randomized_grid):
+        df = randomized_grid.df.copy()
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        collision.bgk_collide(df, rho, vel, tau=1.0)
+        np.testing.assert_allclose(
+            df, equilibrium.equilibrium(rho, vel), rtol=1e-12, atol=1e-15
+        )
+
+    def test_matches_loop_reference(self, randomized_grid):
+        df = randomized_grid.df
+        u_star = randomized_grid.velocity_shifted
+        u_star[...] = 0.01  # some arbitrary shifted field
+        expected = reference.collide_loop(df, 0.8, u_star)
+        out = collision.bgk_collide(df.copy(), df.sum(axis=0), u_star, tau=0.8)
+        np.testing.assert_allclose(out, expected, rtol=1e-11, atol=1e-14)
+
+    def test_out_of_place(self, randomized_grid):
+        df = randomized_grid.df
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        out = np.empty_like(df)
+        result = collision.bgk_collide(df, rho, vel, tau=0.9, out=out)
+        assert result is out
+        in_place = collision.bgk_collide(df.copy(), rho, vel, tau=0.9)
+        np.testing.assert_allclose(out, in_place, rtol=1e-13)
+
+    def test_feq_scratch_reuse_is_safe(self, randomized_grid):
+        df = randomized_grid.df
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        scratch = np.empty_like(df)
+        a = collision.bgk_collide(df.copy(), rho, vel, 0.8, feq_scratch=scratch)
+        b = collision.bgk_collide(df.copy(), rho, vel, 0.8)
+        np.testing.assert_allclose(a, b, rtol=1e-13)
+
+
+class TestGuoSource:
+    """The Guo forcing term is kept as an alternative coupling scheme."""
+
+    def test_first_moment_of_source(self, rng):
+        """sum_i e_i S_i = (1 - 1/2tau) F."""
+        tau = 0.9
+        u = 0.02 * rng.standard_normal((3, 2, 2, 2))
+        force = 1e-3 * rng.standard_normal((3, 2, 2, 2))
+        s = collision.guo_source_term(u, force, tau)
+        moment = np.einsum("ia,ixyz->axyz", E_FLOAT, s)
+        np.testing.assert_allclose(
+            moment, (1.0 - 0.5 / tau) * force, rtol=1e-10, atol=1e-15
+        )
+
+    def test_zeroth_moment_of_source(self, rng):
+        """sum_i S_i = -3 (1 - 1/2tau) u.F ... vanishes at u = 0."""
+        s = collision.guo_source_term(
+            np.zeros((3, 2, 2, 2)), np.ones((3, 2, 2, 2)), 0.8
+        )
+        np.testing.assert_allclose(s.sum(axis=0), 0.0, atol=1e-13)

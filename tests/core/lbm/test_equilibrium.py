@@ -1,0 +1,73 @@
+"""Tests of the discrete equilibrium distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import reference
+from repro.core.lbm import equilibrium
+from repro.core.lbm.lattice import E_FLOAT
+
+
+class TestEquilibriumValues:
+    def test_matches_scalar_reference_on_random_states(self, rng):
+        rho = 1.0 + 0.1 * rng.standard_normal((4, 3, 2))
+        u = 0.05 * rng.standard_normal((3, 4, 3, 2))
+        feq = equilibrium.equilibrium(rho, u)
+        for idx in np.ndindex(4, 3, 2):
+            expected = reference.equilibrium_node(
+                rho[idx], u[(slice(None),) + idx]
+            )
+            np.testing.assert_allclose(feq[(slice(None),) + idx], expected, rtol=1e-13)
+
+    def test_zero_velocity_gives_weighted_density(self):
+        from repro.core.lbm.lattice import W
+
+        feq = equilibrium.equilibrium(2.0, np.zeros((3, 2, 2, 2)))
+        for i in range(19):
+            np.testing.assert_allclose(feq[i], 2.0 * W[i])
+
+    def test_scalar_density_broadcasts(self):
+        u = np.zeros((3, 2, 2))
+        feq = equilibrium.equilibrium(1.5, u)
+        assert feq.shape == (19, 2, 2)
+
+    def test_out_parameter_used_in_place(self):
+        u = np.zeros((3, 2, 2))
+        out = np.empty((19, 2, 2))
+        result = equilibrium.equilibrium(1.0, u, out=out)
+        assert result is out
+
+    def test_out_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="out has shape"):
+            equilibrium.equilibrium(1.0, np.zeros((3, 2)), out=np.empty((19, 3)))
+
+    def test_velocity_without_component_axis_rejected(self):
+        with pytest.raises(ValueError, match="component axis"):
+            equilibrium.equilibrium(1.0, np.zeros((2, 3, 4)))
+
+
+class TestEquilibriumMoments:
+    """The equilibrium must carry exactly the prescribed moments."""
+
+    @given(
+        rho=st.floats(0.5, 2.0),
+        ux=st.floats(-0.1, 0.1),
+        uy=st.floats(-0.1, 0.1),
+        uz=st.floats(-0.1, 0.1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mass_and_momentum_moments(self, rho, ux, uy, uz):
+        u = np.array([ux, uy, uz])
+        feq = equilibrium.equilibrium_single(rho, u)
+        assert feq.sum() == pytest.approx(rho, rel=1e-12)
+        momentum = E_FLOAT.T @ feq
+        np.testing.assert_allclose(momentum, rho * u, rtol=1e-10, atol=1e-14)
+
+    def test_positive_for_moderate_velocities(self):
+        feq = equilibrium.equilibrium_single(1.0, [0.1, 0.05, -0.08])
+        assert (feq > 0).all()
+
+    def test_single_wrapper_shape(self):
+        assert equilibrium.equilibrium_single(1.0, [0, 0, 0]).shape == (19,)

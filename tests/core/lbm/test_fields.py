@@ -1,0 +1,97 @@
+"""Tests of the FluidGrid data structure (paper Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import RHO0
+from repro.core.lbm.fields import FluidGrid
+from repro.errors import ConfigurationError, StabilityError
+
+
+class TestConstruction:
+    def test_shapes(self, small_grid):
+        assert small_grid.df.shape == (19, 8, 6, 4)
+        assert small_grid.df_new.shape == (19, 8, 6, 4)
+        assert small_grid.velocity.shape == (3, 8, 6, 4)
+        assert small_grid.velocity_shifted.shape == (3, 8, 6, 4)
+        assert small_grid.density.shape == (8, 6, 4)
+        assert small_grid.force.shape == (3, 8, 6, 4)
+
+    def test_starts_at_rest_equilibrium(self, small_grid):
+        assert small_grid.total_mass() == pytest.approx(
+            RHO0 * small_grid.num_nodes, rel=1e-12
+        )
+        np.testing.assert_allclose(small_grid.total_momentum(), 0.0, atol=1e-13)
+        np.testing.assert_array_equal(small_grid.df, small_grid.df_new)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            FluidGrid((0, 4, 4))
+        with pytest.raises(ConfigurationError):
+            FluidGrid((4, 4))
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ConfigurationError, match="0.5"):
+            FluidGrid((4, 4, 4), tau=0.5)
+
+    def test_num_nodes(self, small_grid):
+        assert small_grid.num_nodes == 8 * 6 * 4
+
+    def test_nbytes_counts_all_fields(self, small_grid):
+        n = small_grid.num_nodes
+        expected = 8 * n * (19 + 19 + 1 + 3 + 3 + 3)
+        assert small_grid.nbytes == expected
+
+
+class TestInitializeEquilibrium:
+    def test_with_velocity_field(self, rng):
+        grid = FluidGrid((4, 4, 4))
+        u = 0.02 * rng.standard_normal((3, 4, 4, 4))
+        grid.initialize_equilibrium(velocity=u)
+        np.testing.assert_allclose(grid.velocity, u)
+        np.testing.assert_allclose(grid.velocity_shifted, u)
+        mom = grid.total_momentum()
+        np.testing.assert_allclose(mom, u.sum(axis=(1, 2, 3)), rtol=1e-10, atol=1e-13)
+
+    def test_with_density_field(self, rng):
+        grid = FluidGrid((4, 4, 4))
+        rho = 1.0 + 0.1 * rng.standard_normal((4, 4, 4))
+        grid.initialize_equilibrium(density=rho)
+        assert grid.total_mass() == pytest.approx(rho.sum(), rel=1e-12)
+
+
+class TestCopyAndCompare:
+    def test_copy_is_deep(self, randomized_grid):
+        clone = randomized_grid.copy()
+        assert clone.state_allclose(randomized_grid)
+        clone.df[0, 0, 0, 0] += 1.0
+        assert not clone.state_allclose(randomized_grid)
+        assert clone.df is not randomized_grid.df
+
+    def test_allclose_detects_each_field(self, randomized_grid):
+        for field in ("df", "df_new", "density", "velocity", "velocity_shifted", "force"):
+            clone = randomized_grid.copy()
+            getattr(clone, field).flat[0] += 1.0
+            assert not randomized_grid.state_allclose(clone), field
+
+    def test_allclose_shape_mismatch(self, randomized_grid):
+        other = FluidGrid((4, 4, 4))
+        assert not randomized_grid.state_allclose(other)
+
+
+class TestValidateFinite:
+    def test_clean_state_passes(self, randomized_grid):
+        randomized_grid.validate_finite()
+
+    @pytest.mark.parametrize(
+        "field", ["df", "df_new", "density", "velocity", "velocity_shifted", "force"]
+    )
+    def test_nan_detected_in_every_field(self, randomized_grid, field):
+        getattr(randomized_grid, field).flat[3] = np.nan
+        with pytest.raises(StabilityError, match=field):
+            randomized_grid.validate_finite()
+
+    def test_inf_detected(self, randomized_grid):
+        randomized_grid.df.flat[0] = np.inf
+        with pytest.raises(StabilityError):
+            randomized_grid.validate_finite()

@@ -1,0 +1,85 @@
+"""Tests of the D3Q19 lattice definition (paper Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CS2
+from repro.core.lbm import lattice
+
+
+class TestVelocitySet:
+    def test_has_19_directions(self):
+        assert lattice.E.shape == (19, 3)
+
+    def test_rest_direction_is_zero(self):
+        assert (lattice.E[lattice.REST_DIRECTION] == 0).all()
+
+    def test_six_axis_directions(self):
+        speeds = np.abs(lattice.E[lattice.AXIS_DIRECTIONS]).sum(axis=1)
+        assert (speeds == 1).all()
+        assert len(lattice.AXIS_DIRECTIONS) == 6
+
+    def test_twelve_diagonal_directions(self):
+        speeds = np.abs(lattice.E[lattice.DIAGONAL_DIRECTIONS]).sum(axis=1)
+        assert (speeds == 2).all()
+        assert len(lattice.DIAGONAL_DIRECTIONS) == 12
+
+    def test_directions_are_unique(self):
+        assert len({tuple(v) for v in lattice.E.tolist()}) == 19
+
+    def test_velocity_set_is_symmetric(self):
+        vectors = {tuple(v) for v in lattice.E.tolist()}
+        assert {tuple(-np.asarray(v)) for v in vectors} == vectors
+
+    def test_a_particle_can_move_along_18_directions(self):
+        moving = [i for i in range(19) if np.any(lattice.E[i])]
+        assert len(moving) == 18
+
+
+class TestWeights:
+    def test_weights_sum_to_one(self):
+        assert lattice.W.sum() == pytest.approx(1.0, rel=1e-15)
+
+    def test_rest_weight(self):
+        assert lattice.W[0] == pytest.approx(1.0 / 3.0)
+
+    def test_axis_weights(self):
+        assert np.allclose(lattice.W[lattice.AXIS_DIRECTIONS], 1.0 / 18.0)
+
+    def test_diagonal_weights(self):
+        assert np.allclose(lattice.W[lattice.DIAGONAL_DIRECTIONS], 1.0 / 36.0)
+
+    def test_moment_conditions(self):
+        assert lattice.lattice_moments_ok()
+
+    def test_second_moment_is_isotropic(self):
+        second = np.einsum("i,ia,ib->ab", lattice.W, lattice.E_FLOAT, lattice.E_FLOAT)
+        assert np.allclose(second, CS2 * np.eye(3))
+
+
+class TestOpposite:
+    def test_opposite_is_involution(self):
+        assert (lattice.OPPOSITE[lattice.OPPOSITE] == np.arange(19)).all()
+
+    def test_opposite_velocities_negate(self):
+        assert (lattice.E[lattice.OPPOSITE] == -lattice.E).all()
+
+    def test_rest_is_its_own_opposite(self):
+        assert lattice.OPPOSITE[0] == 0
+
+    def test_no_nonrest_self_opposite(self):
+        assert (lattice.OPPOSITE[1:] != np.arange(1, 19)).all()
+
+
+class TestDirectionIndex:
+    def test_finds_every_direction(self):
+        for i in range(19):
+            assert lattice.direction_index(lattice.E[i]) == i
+
+    def test_rejects_non_lattice_vector(self):
+        with pytest.raises(ValueError, match="not a D3Q19"):
+            lattice.direction_index([2, 0, 0])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="3-vector"):
+            lattice.direction_index([1, 0])

@@ -1,0 +1,97 @@
+"""Tests of the streaming kernel (paper kernel 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import reference
+from repro.core.lbm import streaming
+from repro.core.lbm.lattice import E, Q
+
+
+class TestStream:
+    def test_matches_loop_reference(self, randomized_grid):
+        out = np.empty_like(randomized_grid.df)
+        streaming.stream(randomized_grid.df, out)
+        expected = reference.stream_loop(randomized_grid.df)
+        np.testing.assert_allclose(out, expected, rtol=0, atol=0)
+
+    def test_conserves_every_population(self, randomized_grid):
+        out = np.empty_like(randomized_grid.df)
+        streaming.stream(randomized_grid.df, out)
+        for i in range(Q):
+            assert out[i].sum() == pytest.approx(
+                randomized_grid.df[i].sum(), rel=1e-13
+            )
+
+    def test_is_a_permutation(self, randomized_grid):
+        out = np.empty_like(randomized_grid.df)
+        streaming.stream(randomized_grid.df, out)
+        for i in range(Q):
+            np.testing.assert_allclose(
+                np.sort(out[i].ravel()), np.sort(randomized_grid.df[i].ravel())
+            )
+
+    def test_rest_population_stays(self, randomized_grid):
+        out = np.empty_like(randomized_grid.df)
+        streaming.stream(randomized_grid.df, out)
+        np.testing.assert_allclose(out[0], randomized_grid.df[0])
+
+    def test_single_direction_shift(self):
+        field = np.zeros((4, 4, 4))
+        field[1, 2, 3] = 7.0
+        out = np.empty_like(field)
+        i = int(np.nonzero((E == [1, 0, 0]).all(axis=1))[0][0])
+        streaming.stream_direction(field, i, out)
+        assert out[2, 2, 3] == 7.0
+        assert out.sum() == 7.0
+
+    def test_periodic_wraparound(self):
+        field = np.zeros((3, 3, 3))
+        field[2, 0, 0] = 1.0
+        out = np.empty_like(field)
+        i = int(np.nonzero((E == [1, 0, 0]).all(axis=1))[0][0])
+        streaming.stream_direction(field, i, out)
+        assert out[0, 0, 0] == 1.0
+
+    def test_mismatched_shapes_rejected(self, randomized_grid):
+        with pytest.raises(ValueError, match="shape"):
+            streaming.stream(randomized_grid.df, np.empty((19, 2, 2, 2)))
+
+    def test_opposite_streams_invert(self, randomized_grid):
+        """Streaming by e then by -e returns every field to its origin."""
+        from repro.core.lbm.lattice import OPPOSITE
+
+        df = randomized_grid.df
+        once = np.empty_like(df)
+        twice = np.empty_like(df)
+        streaming.stream(df, once)
+        for i in range(Q):
+            streaming.stream_direction(once[i], int(OPPOSITE[i]), twice[i])
+        np.testing.assert_allclose(twice, df)
+
+
+class TestShiftSlices:
+    @given(
+        extent=st.integers(2, 50),
+        shift=st.integers(-5, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shift_property(self, extent, shift):
+        if abs(shift) >= extent:
+            with pytest.raises(ValueError):
+                streaming.shift_slices(extent, shift)
+            return
+        src, dst = streaming.shift_slices(extent, shift)
+        a = np.arange(extent)
+        out = np.full(extent, -1)
+        out[dst] = a[src]
+        for i in range(extent):
+            j = i + shift
+            if 0 <= j < extent:
+                assert out[j] == a[i]
+
+    def test_zero_shift_is_identity(self):
+        src, dst = streaming.shift_slices(5, 0)
+        assert src == dst == slice(0, 5)

@@ -1,0 +1,173 @@
+"""Tests of the TRT (two-relaxation-time) collision operator."""
+
+import numpy as np
+import pytest
+
+from repro.constants import viscosity_from_tau
+from repro.core.lbm import collision, equilibrium, macroscopic
+from repro.core.lbm.fields import FluidGrid
+from repro.core.lbm.lattice import E_FLOAT
+from repro.core.solver import SequentialLBMIBSolver
+from repro.errors import ConfigurationError
+
+
+class TestTrtProperties:
+    def test_mass_conserved(self, randomized_grid):
+        df = randomized_grid.df.copy()
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        before = df.sum()
+        collision.trt_collide(df, rho, vel, tau=0.8)
+        assert df.sum() == pytest.approx(before, rel=1e-13)
+
+    def test_momentum_conserved(self, randomized_grid):
+        df = randomized_grid.df.copy()
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        before = np.einsum("ia,ix->a", E_FLOAT, df.reshape(19, -1))
+        collision.trt_collide(df, rho, vel, tau=0.8)
+        after = np.einsum("ia,ix->a", E_FLOAT, df.reshape(19, -1))
+        np.testing.assert_allclose(after, before, rtol=1e-10, atol=1e-12)
+
+    def test_equilibrium_is_fixed_point(self, rng):
+        rho = 1.0 + 0.05 * rng.standard_normal((2, 2, 2))
+        u = 0.03 * rng.standard_normal((3, 2, 2, 2))
+        df = equilibrium.equilibrium(rho, u)
+        out = collision.trt_collide(df.copy(), rho, u, tau=0.7)
+        np.testing.assert_allclose(out, df, rtol=1e-12, atol=1e-15)
+
+    def test_reduces_to_bgk_when_tau_minus_equals_tau(self, randomized_grid, rng):
+        """With Lambda = (tau - 1/2)^2 both relaxation rates coincide."""
+        tau = 0.8
+        df = randomized_grid.df + 1e-3 * rng.standard_normal(
+            randomized_grid.df.shape
+        )
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        trt = collision.trt_collide(
+            df.copy(), rho, vel, tau, magic_lambda=(tau - 0.5) ** 2
+        )
+        bgk = collision.bgk_collide(df.copy(), rho, vel, tau)
+        np.testing.assert_allclose(trt, bgk, rtol=1e-12, atol=1e-15)
+
+    def test_differs_from_bgk_off_equilibrium(self, randomized_grid, rng):
+        df = randomized_grid.df + 1e-3 * rng.standard_normal(
+            randomized_grid.df.shape
+        )
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        trt = collision.trt_collide(df.copy(), rho, vel, 0.8)
+        bgk = collision.bgk_collide(df.copy(), rho, vel, 0.8)
+        assert np.abs(trt - bgk).max() > 1e-10
+
+    def test_rejects_bad_magic(self, randomized_grid):
+        df = randomized_grid.df
+        with pytest.raises(ValueError, match="magic"):
+            collision.trt_collide(df, df.sum(axis=0), df[:3], 0.8, magic_lambda=0.0)
+
+    def test_out_of_place(self, randomized_grid):
+        df = randomized_grid.df
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        out = np.empty_like(df)
+        result = collision.trt_collide(df, rho, vel, 0.8, out=out)
+        assert result is out
+        in_place = collision.trt_collide(df.copy(), rho, vel, 0.8)
+        np.testing.assert_allclose(out, in_place)
+
+
+class TestDispatch:
+    def test_collide_routes_operators(self, randomized_grid, rng):
+        df = randomized_grid.df + 1e-3 * rng.standard_normal(
+            randomized_grid.df.shape
+        )
+        rho = macroscopic.compute_density(df)
+        vel, _ = macroscopic.compute_velocity(df)
+        bgk = collision.collide(df.copy(), rho, vel, 0.8, operator="bgk")
+        trt = collision.collide(df.copy(), rho, vel, 0.8, operator="trt")
+        np.testing.assert_allclose(bgk, collision.bgk_collide(df.copy(), rho, vel, 0.8))
+        assert np.abs(bgk - trt).max() > 1e-10
+
+    def test_unknown_operator_rejected(self, randomized_grid):
+        df = randomized_grid.df
+        with pytest.raises(ValueError, match="unknown collision"):
+            collision.collide(df, df.sum(axis=0), df[:3], 0.8, operator="mrt")
+
+    def test_fluid_grid_validates_operator(self):
+        with pytest.raises(ConfigurationError):
+            FluidGrid((4, 4, 4), collision_operator="mrt")
+
+    def test_grid_copy_preserves_operator(self):
+        grid = FluidGrid((4, 4, 4), collision_operator="trt")
+        assert grid.copy().collision_operator == "trt"
+
+
+class TestTrtPhysics:
+    def test_taylor_green_decay_same_viscosity(self):
+        """TRT's omega+ carries the viscosity: decay matches BGK's."""
+        n, tau = 24, 0.8
+        nu = viscosity_from_tau(tau)
+        grid = FluidGrid((n, n, 2), tau=tau, collision_operator="trt")
+        k = 2 * np.pi / n
+        x = np.arange(n)
+        X, Y = np.meshgrid(x, x, indexing="ij")
+        u = np.zeros((3, n, n, 2))
+        u[0] = (0.01 * np.cos(k * X) * np.sin(k * Y))[:, :, None]
+        u[1] = (-0.01 * np.sin(k * X) * np.cos(k * Y))[:, :, None]
+        grid.initialize_equilibrium(velocity=u)
+        SequentialLBMIBSolver(grid, None).run(120)
+        expected = np.exp(-nu * 2 * k**2 * 120)
+        assert np.abs(grid.velocity[0]).max() / 0.01 == pytest.approx(
+            expected, rel=0.02
+        )
+
+    def test_trt_poiseuille_more_accurate_at_walls(self):
+        """The magic number 3/16 removes the bounce-back slip error."""
+        from repro.core.lbm.boundaries import BounceBackWall
+
+        h, tau, f = 8, 0.9, 1e-5
+        nu = viscosity_from_tau(tau)
+        y = np.arange(h)
+        analytic = f / (2 * nu) * (y + 0.5) * (h - 0.5 - y)
+
+        def run(op):
+            grid = FluidGrid((4, h, 4), tau=tau, collision_operator=op)
+            SequentialLBMIBSolver(
+                grid,
+                None,
+                boundaries=[BounceBackWall(1, "low"), BounceBackWall(1, "high")],
+                external_force=(f, 0, 0),
+            ).run(2500)
+            return grid.velocity[0, 0, :, 0]
+
+        err_trt = np.abs(run("trt") - analytic).max()
+        err_bgk = np.abs(run("bgk") - analytic).max()
+        # Lambda = 3/16 makes the profile machine-exact
+        assert err_trt < 1e-10
+        assert err_trt < err_bgk
+
+    def test_all_solvers_agree_with_trt(self):
+        from repro.core.ib import geometry
+        from repro.parallel import CubeGrid, CubeLBMIBSolver, OpenMPLBMIBSolver
+
+        shape = (12, 8, 8)
+
+        def make():
+            grid = FluidGrid(shape, tau=0.8, collision_operator="trt")
+            structure = geometry.flat_sheet(
+                shape, num_fibers=4, nodes_per_fiber=4, stretch_coefficient=0.04
+            )
+            structure.sheets[0].positions[1, 1, 0] += 0.5
+            return grid, structure
+
+        g0, s0 = make()
+        SequentialLBMIBSolver(g0, s0).run(5)
+        g1, s1 = make()
+        with OpenMPLBMIBSolver(g1, s1, num_threads=3) as solver:
+            solver.run(5)
+        assert g0.state_allclose(g1, rtol=1e-10, atol=1e-12)
+        g2, s2 = make()
+        cg = CubeGrid.from_fluid_grid(g2, cube_size=4)
+        assert cg.collision_operator == "trt"
+        CubeLBMIBSolver(cg, s2, num_threads=2).run(5)
+        assert g0.state_allclose(cg.to_fluid_grid(), rtol=1e-10, atol=1e-12)

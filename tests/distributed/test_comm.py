@@ -1,0 +1,150 @@
+"""Tests of the simulated message-passing communicator."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import SimulatedComm
+from repro.errors import ConfigurationError
+from repro.parallel.executor import run_spmd
+
+
+class TestPointToPoint:
+    def test_send_recv_delivers_copy(self):
+        comm = SimulatedComm(2)
+        payload = np.arange(6.0)
+        results = {}
+
+        def worker(rank):
+            rc = comm.rank_comm(rank)
+            if rank == 0:
+                rc.send(1, tag=7, array=payload)
+            else:
+                results["got"] = rc.recv(0, tag=7)
+
+        run_spmd(2, worker)
+        np.testing.assert_array_equal(results["got"], payload)
+        # transport copies: mutating the original cannot reach the receiver
+        assert results["got"] is not payload
+
+    def test_tags_separate_messages(self):
+        comm = SimulatedComm(2)
+        results = {}
+
+        def worker(rank):
+            rc = comm.rank_comm(rank)
+            if rank == 0:
+                rc.send(1, tag=2, array=np.array([2.0]))
+                rc.send(1, tag=1, array=np.array([1.0]))
+            else:
+                results["first"] = rc.recv(0, tag=1)[0]
+                results["second"] = rc.recv(0, tag=2)[0]
+
+        run_spmd(2, worker)
+        assert results["first"] == 1.0
+        assert results["second"] == 2.0
+
+    def test_recv_timeout(self):
+        comm = SimulatedComm(2)
+        rc = comm.rank_comm(1)
+        with pytest.raises(TimeoutError):
+            rc.recv(0, tag=0, timeout=0.05)
+
+    def test_self_sendrecv(self):
+        comm = SimulatedComm(1)
+        rc = comm.rank_comm(0)
+        got = rc.sendrecv(0, 0, tag=3, array=np.array([42.0]))
+        assert got[0] == 42.0
+
+    def test_stats_accounting(self):
+        comm = SimulatedComm(2)
+
+        def worker(rank):
+            rc = comm.rank_comm(rank)
+            if rank == 0:
+                rc.send(1, 0, np.zeros(10))
+            else:
+                rc.recv(0, 0)
+
+        run_spmd(2, worker)
+        assert comm.stats[0].messages_sent == 1
+        assert comm.stats[0].bytes_sent == 80
+        assert comm.stats[1].messages_received == 1
+        assert comm.total_messages() == 1
+
+    def test_rank_bounds_checked(self):
+        comm = SimulatedComm(2)
+        with pytest.raises(ConfigurationError):
+            comm.rank_comm(2)
+        rc = comm.rank_comm(0)
+        with pytest.raises(ConfigurationError):
+            rc.send(5, 0, np.zeros(1))
+
+    def test_rejects_empty_communicator(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedComm(0)
+
+
+class TestCollectives:
+    def test_allreduce_sums_over_ranks(self):
+        comm = SimulatedComm(3)
+        results = {}
+
+        def worker(rank):
+            rc = comm.rank_comm(rank)
+            out = rc.allreduce_sum(np.full(4, float(rank + 1)))
+            results[rank] = out
+
+        run_spmd(3, worker)
+        for rank in range(3):
+            np.testing.assert_array_equal(results[rank], np.full(4, 6.0))
+
+    def test_allreduce_identical_across_ranks(self):
+        comm = SimulatedComm(4)
+        results = {}
+
+        def worker(rank):
+            rng = np.random.default_rng(rank)
+            rc = comm.rank_comm(rank)
+            results[rank] = rc.allreduce_sum(rng.standard_normal(5))
+
+        run_spmd(4, worker)
+        for rank in range(1, 4):
+            np.testing.assert_array_equal(results[0], results[rank])
+
+    def test_allreduce_reusable(self):
+        comm = SimulatedComm(2)
+        results = {}
+
+        def worker(rank):
+            rc = comm.rank_comm(rank)
+            a = rc.allreduce_sum(np.array([1.0]))
+            b = rc.allreduce_sum(np.array([2.0]))
+            results[rank] = (a[0], b[0])
+
+        run_spmd(2, worker)
+        assert results[0] == (2.0, 4.0)
+        assert results[1] == (2.0, 4.0)
+
+    def test_barrier_synchronizes(self):
+        import time
+
+        comm = SimulatedComm(3)
+        order = []
+        import threading
+
+        lock = threading.Lock()
+
+        def worker(rank):
+            rc = comm.rank_comm(rank)
+            if rank == 0:
+                time.sleep(0.03)
+            with lock:
+                order.append(("before", rank))
+            rc.barrier()
+            with lock:
+                order.append(("after", rank))
+
+        run_spmd(3, worker)
+        befores = [i for i, (p, _) in enumerate(order) if p == "before"]
+        afters = [i for i, (p, _) in enumerate(order) if p == "after"]
+        assert max(befores) < min(afters)

@@ -1,0 +1,67 @@
+"""Tests of the ablation-study drivers (reduced sizes)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationResult,
+    cube_size_sweep,
+    delta_kernel_sweep,
+    distribution_sweep,
+    lock_overhead,
+    render_results,
+)
+
+
+class TestSweeps:
+    def test_cube_size_sweep_metadata(self):
+        results = cube_size_sweep(cube_sizes=(2, 4), steps=1)
+        by_label = {r.label: r for r in results}
+        assert set(by_label) == {"k=2", "k=4"}
+        assert by_label["k=4"].extra["num_cubes"] == 64.0
+        assert by_label["k=2"].extra["num_cubes"] == 512.0
+        # working set scales as k^3
+        assert by_label["k=4"].extra["cube_working_set_kb"] == pytest.approx(
+            8 * by_label["k=2"].extra["cube_working_set_kb"]
+        )
+
+    def test_distribution_sweep_counters(self):
+        results = distribution_sweep(steps=1)
+        assert {r.label for r in results} == {"block", "cyclic", "block_cyclic"}
+        for r in results:
+            assert r.extra["lock_acquisitions"] > 0
+            assert 0 <= r.extra["load_imbalance_pct"] <= 100
+
+    def test_lock_overhead_on_off(self):
+        results = lock_overhead(steps=1)
+        on = next(r for r in results if r.label == "locks on")
+        off = next(r for r in results if r.label == "locks off")
+        assert on.extra["acquisitions"] > 0
+        assert off.extra["acquisitions"] == 0
+
+    def test_delta_kernel_sweep_domains(self):
+        results = delta_kernel_sweep(steps=1)
+        domains = sorted(r.extra["influential_nodes"] for r in results)
+        assert domains == [8.0, 27.0, 64.0]
+
+    def test_all_sweeps_report_positive_times(self):
+        for results in (cube_size_sweep(cube_sizes=(4,), steps=1),):
+            assert all(r.seconds > 0 for r in results)
+
+
+class TestRendering:
+    def test_render_results_table(self):
+        results = [
+            AblationResult(label="a", seconds=0.5, extra={"x": 1.0}),
+            AblationResult(label="b", seconds=0.25, extra={"x": 2.0}),
+        ]
+        text = render_results("My sweep", results)
+        assert text.splitlines()[0] == "My sweep"
+        assert "a" in text and "0.5" in text
+
+    def test_render_handles_heterogeneous_extras(self):
+        results = [
+            AblationResult(label="a", seconds=0.5, extra={"x": 1.0}),
+            AblationResult(label="b", seconds=0.25, extra={"y": 2.0}),
+        ]
+        text = render_results("Mixed", results)
+        assert "x" in text and "y" in text

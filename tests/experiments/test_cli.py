@@ -1,0 +1,33 @@
+"""Tests of the ``python -m repro.experiments`` reproduction report."""
+
+import pytest
+
+from repro.experiments.__main__ import ARTIFACTS, main
+
+
+class TestCli:
+    def test_list_names(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(ARTIFACTS)
+
+    def test_single_artifact(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Table" not in out
+
+    def test_multiple_artifacts(self, capsys):
+        assert main(["table3", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "Table IV" in out
+
+    def test_unknown_artifact_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_every_artifact_renders_nonempty(self):
+        # cheap ones only; table1/table2 run real simulations and are
+        # exercised by their own driver tests
+        for name in ("table3", "table4", "fig5", "fig8"):
+            assert len(ARTIFACTS[name]()) > 100

@@ -1,0 +1,133 @@
+"""Tests of the table/figure experiment drivers (reduced sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import workloads
+from repro.experiments.fig5 import PAPER_FIG5_EFFICIENCY, render_fig5, run_fig5
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import (
+    PAPER_TABLE2,
+    render_table2,
+    run_table2,
+    structural_imbalance,
+)
+from repro.experiments.table34 import (
+    max_remote_ratio,
+    render_table3,
+    render_table4,
+    table3_rows,
+)
+
+
+class TestWorkloads:
+    def test_profiling_workload_matches_paper(self):
+        w = workloads.PROFILING_WORKLOAD
+        assert w.fluid_shape == (124, 64, 64)
+        assert w.fiber_shape == (52, 52)
+        assert w.num_steps == 500
+
+    def test_weak_scaling_grid_growth(self):
+        """Paper: 1 core 128^3, 2 cores 256x128x128, 4 cores 512x128x128."""
+        assert workloads.weak_scaling_fluid_shape(1) == (128, 128, 128)
+        assert workloads.weak_scaling_fluid_shape(2) == (256, 128, 128)
+        assert workloads.weak_scaling_fluid_shape(4) == (256, 256, 128)
+        assert workloads.weak_scaling_fluid_shape(8) == (256, 256, 256)
+        assert workloads.weak_scaling_fluid_shape(64) == (512, 512, 512)
+
+    def test_weak_scaling_nodes_scale_linearly(self):
+        for n in (1, 2, 4, 8, 16, 32, 64):
+            shape = workloads.weak_scaling_fluid_shape(n)
+            assert shape[0] * shape[1] * shape[2] == n * 128**3
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            workloads.weak_scaling_fluid_shape(3)
+
+    def test_scaled_config_divisible_for_cube(self):
+        config = workloads.scaled_profiling_config(scale=4, solver="cube", cube_size=4)
+        assert all(n % 4 == 0 for n in config.fluid_shape)
+
+
+class TestTable1:
+    def test_rows_and_meta(self):
+        rows, meta = run_table1(scale=8, num_steps=2)
+        assert len(rows) == 9
+        assert rows[0].kernel == "compute_fluid_collision"
+        assert rows[0].paper_percent == 73.2
+        assert meta["model_total_seconds"] == pytest.approx(967, rel=0.02)
+        measured_total = sum(r.measured_percent for r in rows)
+        assert measured_total == pytest.approx(100.0, abs=0.1)
+
+    def test_rendering(self):
+        rows, meta = run_table1(scale=8, num_steps=2)
+        text = render_table1(rows, meta)
+        assert "Table I" in text
+        assert "compute_fluid_collision" in text
+
+
+class TestTable2:
+    def test_structural_imbalance_zero_at_one_core(self):
+        assert structural_imbalance(1) == 0.0
+
+    def test_structural_imbalance_grows_with_uneven_split(self):
+        # 124 planes over 32 threads is uneven; over 4 threads it is even
+        assert structural_imbalance(32) > structural_imbalance(4)
+
+    def test_rows_small_simulation(self):
+        rows = run_table2(core_counts=[1, 2], sim_shape=(16, 8, 16), cube_size=4)
+        assert len(rows) == 2
+        assert 0 <= rows[0].sim_l1 <= 100
+        assert 0 <= rows[0].sim_l2 <= 100
+        assert rows[0].paper_l2 == PAPER_TABLE2[1][1]
+
+    def test_rendering(self):
+        rows = run_table2(core_counts=[1], sim_shape=(16, 8, 16), cube_size=4)
+        assert "Table II" in render_table2(rows)
+
+
+class TestFig5:
+    def test_efficiency_anchors(self):
+        rows = {r.cores: r for r in run_fig5()}
+        for cores, eff in PAPER_FIG5_EFFICIENCY.items():
+            assert rows[cores].model_efficiency == pytest.approx(eff, abs=0.02)
+
+    def test_rendering(self):
+        assert "Figure 5" in render_fig5(run_fig5())
+
+
+class TestFig8:
+    def test_53_percent_at_64_cores(self):
+        rows = run_fig8()
+        assert rows[-1].cores == 64
+        assert rows[-1].openmp_over_cube == pytest.approx(1.53, abs=0.03)
+
+    def test_growth_columns(self):
+        rows = run_fig8()
+        assert rows[0].openmp_growth is None
+        assert rows[1].openmp_growth > 1.0
+        assert rows[-1].paper_cube_growth == pytest.approx(1.18)
+
+    def test_rendering(self):
+        text = render_fig8(run_fig8())
+        assert "Figure 8" in text
+        assert "53%" in text
+
+
+class TestTables34:
+    def test_table3_values(self):
+        rows = dict(table3_rows())
+        assert "Opteron 6380" in rows["Processor type"]
+        assert rows["Cores per NUMA node"] == "8"
+        assert rows["Number of NUMA nodes"] == "8"
+        assert "2 MB" in rows["L2 unified cache"]
+
+    def test_remote_ratio_2_2(self):
+        assert max_remote_ratio() == pytest.approx(2.2)
+
+    def test_rendering(self):
+        assert "Table III" in render_table3()
+        text4 = render_table4()
+        assert "Table IV" in text4
+        assert "2.2x" in text4

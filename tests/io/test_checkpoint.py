@@ -1,0 +1,96 @@
+"""Tests of checkpoint save/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core.ib import geometry
+from repro.core.lbm.fields import FluidGrid
+from repro.core.solver import SequentialLBMIBSolver
+from repro.errors import CheckpointError
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+
+
+def _evolved_state():
+    grid = FluidGrid((8, 8, 8), tau=0.8)
+    structure = geometry.circular_plate(
+        (8, 8, 8), num_fibers=5, nodes_per_fiber=5, radius=2.0
+    )
+    structure.sheets[0].positions[2, 2, 0] += 0.4
+    solver = SequentialLBMIBSolver(grid, structure)
+    solver.run(4)
+    return grid, structure, solver
+
+
+class TestRoundTrip:
+    def test_fluid_state_exact(self, tmp_path):
+        grid, structure, solver = _evolved_state()
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, grid, structure, time_step=solver.time_step)
+        restored, _, step = load_checkpoint(path)
+        assert step == 4
+        assert restored.state_allclose(grid, rtol=0, atol=0)
+        assert restored.tau == grid.tau
+
+    def test_structure_state_exact(self, tmp_path):
+        grid, structure, solver = _evolved_state()
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, grid, structure)
+        _, restored, _ = load_checkpoint(path)
+        sheet, orig = restored.sheets[0], structure.sheets[0]
+        np.testing.assert_array_equal(sheet.positions, orig.positions)
+        np.testing.assert_array_equal(sheet.active, orig.active)
+        np.testing.assert_array_equal(sheet.tethered, orig.tethered)
+        np.testing.assert_array_equal(sheet.anchors, orig.anchors)
+        assert sheet.tether_coefficient == orig.tether_coefficient
+        assert sheet.rest_spacing_fiber == orig.rest_spacing_fiber
+
+    def test_fluid_only_checkpoint(self, tmp_path):
+        grid = FluidGrid((4, 4, 4), tau=0.9)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, grid)
+        restored, structure, step = load_checkpoint(path)
+        assert structure is None
+        assert step == 0
+        assert restored.state_allclose(grid)
+
+    def test_restored_run_continues_identically(self, tmp_path):
+        """The checkpoint contract: restore and continue bit-for-bit."""
+        grid_a, structure_a, solver_a = _evolved_state()
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, grid_a, structure_a)
+
+        grid_b, structure_b, _ = load_checkpoint(path)
+        solver_b = SequentialLBMIBSolver(grid_b, structure_b)
+
+        solver_a.run(3)
+        solver_b.run(3)
+        assert grid_a.state_allclose(grid_b, rtol=0, atol=0)
+        assert structure_a.state_allclose(structure_b, rtol=0, atol=0)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a zip at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, format_version=np.array(1), shape=np.array([2, 2, 2]))
+        with pytest.raises(CheckpointError, match="missing"):
+            load_checkpoint(path)
+
+    def test_wrong_version(self, tmp_path):
+        grid = FluidGrid((2, 2, 2))
+        path = tmp_path / "v.npz"
+        save_checkpoint(path, grid)
+        data = dict(np.load(path))
+        data["format_version"] = np.array(99)
+        np.savez(path, **data)
+        with pytest.raises(CheckpointError, match="format"):
+            load_checkpoint(path)

@@ -1,0 +1,31 @@
+"""Tests of CSV emission."""
+
+import pytest
+
+from repro.io.csvout import read_csv, write_csv
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, ["cores", "seconds"], [[1, 1.5], [2, 0.9]])
+        headers, rows = read_csv(path)
+        assert headers == ["cores", "seconds"]
+        assert rows == [["1", "1.5"], ["2", "0.9"]]
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", ["a", "b"], [[1]])
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_no_rows_is_fine(self, tmp_path):
+        path = tmp_path / "h.csv"
+        write_csv(path, ["only", "headers"], [])
+        headers, rows = read_csv(path)
+        assert headers == ["only", "headers"]
+        assert rows == []

@@ -1,0 +1,70 @@
+"""Tests of the legacy-VTK writers."""
+
+import numpy as np
+import pytest
+
+from repro.core.ib import geometry
+from repro.core.lbm.fields import FluidGrid
+from repro.io.vtk import write_fluid_vtk, write_structure_vtk
+
+
+class TestFluidVtk:
+    def test_header_and_dimensions(self, tmp_path):
+        grid = FluidGrid((4, 3, 2), tau=0.8)
+        path = tmp_path / "fluid.vtk"
+        write_fluid_vtk(path, grid)
+        text = path.read_text()
+        assert text.startswith("# vtk DataFile Version 3.0")
+        assert "DIMENSIONS 4 3 2" in text
+        assert "POINT_DATA 24" in text
+        assert "SCALARS density" in text
+        assert "VECTORS velocity" in text
+
+    def test_density_values_in_vtk_order(self, tmp_path):
+        grid = FluidGrid((2, 2, 2), tau=0.8)
+        grid.density[...] = np.arange(8).reshape(2, 2, 2)
+        path = tmp_path / "f.vtk"
+        write_fluid_vtk(path, grid)
+        lines = path.read_text().splitlines()
+        start = lines.index("LOOKUP_TABLE default") + 1
+        values = [float(v) for v in lines[start : start + 8]]
+        # VTK iterates x fastest: (0,0,0),(1,0,0),(0,1,0),(1,1,0),...
+        assert values == [0.0, 4.0, 2.0, 6.0, 1.0, 5.0, 3.0, 7.0]
+
+    def test_vorticity_optional(self, tmp_path):
+        grid = FluidGrid((3, 3, 3), tau=0.8)
+        p1, p2 = tmp_path / "a.vtk", tmp_path / "b.vtk"
+        write_fluid_vtk(p1, grid, include_vorticity=False)
+        write_fluid_vtk(p2, grid, include_vorticity=True)
+        assert "vorticity" not in p1.read_text()
+        assert "vorticity" in p2.read_text()
+
+
+class TestStructureVtk:
+    def test_polylines_per_fiber(self, tmp_path):
+        structure = geometry.flat_sheet((16, 16, 16), num_fibers=4, nodes_per_fiber=5)
+        path = tmp_path / "sheet.vtk"
+        write_structure_vtk(path, structure)
+        text = path.read_text()
+        assert "POINTS 20 double" in text
+        assert "LINES 4" in text
+        assert "elastic_force_magnitude" in text
+
+    def test_masked_nodes_excluded(self, tmp_path):
+        structure = geometry.circular_plate(
+            (24, 24, 24), num_fibers=9, nodes_per_fiber=9
+        )
+        sheet = structure.sheets[0]
+        path = tmp_path / "plate.vtk"
+        write_structure_vtk(path, structure)
+        text = path.read_text()
+        assert f"POINTS {sheet.num_active_nodes} double" in text
+
+    def test_broken_fiber_splits_polyline(self, tmp_path):
+        structure = geometry.flat_sheet((16, 16, 16), num_fibers=1, nodes_per_fiber=7)
+        sheet = structure.sheets[0]
+        sheet.active[0, 3] = False  # cut the fiber in the middle
+        path = tmp_path / "cut.vtk"
+        write_structure_vtk(path, structure)
+        text = path.read_text()
+        assert "LINES 2" in text

@@ -1,0 +1,147 @@
+"""Tests of the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.cache_sim import (
+    CacheHierarchy,
+    SetAssociativeCache,
+    scaled_cache,
+)
+from repro.machine.spec import CacheSpec
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(4, 2, 64)
+        assert not c.access_line(0)
+        assert c.access_line(0)
+        assert c.stats.accesses == 2
+        assert c.stats.misses == 1
+        assert c.stats.hits == 1
+
+    def test_lru_eviction_order(self):
+        c = SetAssociativeCache(1, 2, 64)  # one set, two ways
+        c.access_line(0)
+        c.access_line(1)
+        c.access_line(0)  # 0 becomes MRU; LRU is 1
+        c.access_line(2)  # evicts 1
+        assert c.access_line(0)  # still resident
+        assert not c.access_line(1)  # was evicted
+
+    def test_set_mapping_isolates_lines(self):
+        c = SetAssociativeCache(2, 1, 64)
+        c.access_line(0)  # set 0
+        c.access_line(1)  # set 1
+        assert c.access_line(0)
+        assert c.access_line(1)
+
+    def test_conflict_thrash_with_low_associativity(self):
+        c = SetAssociativeCache(2, 1, 64)
+        # lines 0, 2, 4 all map to set 0 and keep evicting each other
+        for _ in range(3):
+            for line in (0, 2, 4):
+                c.access_line(line)
+        assert c.stats.hits == 0
+
+    def test_capacity(self):
+        c = SetAssociativeCache(64, 4, 64)
+        assert c.size_bytes == 16 * 1024
+
+    def test_next_line_prefetch_hides_streaming(self):
+        base = SetAssociativeCache(64, 4, 64)
+        pf = SetAssociativeCache(64, 4, 64, next_line_prefetch=True)
+        for line in range(200):
+            base.access_line(line)
+            pf.access_line(line)
+        assert base.stats.misses == 200
+        assert pf.stats.misses < 110  # every other line prefetched
+
+    def test_reset(self):
+        c = SetAssociativeCache(4, 2, 64)
+        c.access_line(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert not c.access_line(0)  # cold again
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(MachineModelError):
+            SetAssociativeCache(0, 1, 64)
+
+    def test_from_spec(self):
+        spec = CacheSpec(level=2, size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=16, shared_by=2)
+        c = SetAssociativeCache.from_spec(spec)
+        assert c.size_bytes == spec.size_bytes
+        assert c.ways == 16
+
+
+class TestHierarchy:
+    def _hier(self, scalar=0.0):
+        l1 = SetAssociativeCache(4, 2, 64)
+        l2 = SetAssociativeCache(64, 4, 64)
+        return CacheHierarchy([l1, l2], scalar_hits_per_access=scalar)
+
+    def test_l1_miss_goes_to_l2(self):
+        h = self._hier()
+        h.access_addresses(np.array([0]))
+        assert h.levels[0].stats.misses == 1
+        assert h.levels[1].stats.accesses == 1
+
+    def test_l1_hit_stops_lookup(self):
+        h = self._hier()
+        h.access_addresses(np.array([0, 0]))
+        assert h.levels[1].stats.accesses == 1
+
+    def test_l2_catches_l1_evictions(self):
+        h = self._hier()
+        # thrash L1 set 0 with lines 0, 8, 16 (4 sets -> all map to set 0)
+        addrs = np.array([0, 8 * 64, 16 * 64] * 10)
+        h.access_addresses(addrs)
+        assert h.miss_rate(1) == 1.0  # L1 always misses
+        assert h.miss_rate(2) < 0.2  # but L2 holds all three lines
+
+    def test_scalar_hits_lower_l1_miss_rate(self):
+        plain = self._hier(scalar=0.0)
+        seasoned = self._hier(scalar=9.0)
+        addrs = (np.arange(100) * 64).astype(np.int64)
+        plain.access_addresses(addrs)
+        seasoned.access_addresses(addrs)
+        assert seasoned.miss_rate(1) == pytest.approx(plain.miss_rate(1) / 10)
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(MachineModelError, match="line size"):
+            CacheHierarchy(
+                [SetAssociativeCache(4, 2, 64), SetAssociativeCache(4, 2, 128)]
+            )
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(MachineModelError):
+            CacheHierarchy([])
+
+    def test_reset(self):
+        h = self._hier()
+        h.access_addresses(np.array([0, 64, 128]))
+        h.reset()
+        assert h.levels[0].stats.accesses == 0
+        assert h.miss_rate(1) == 0.0
+
+
+class TestScaledCache:
+    def test_scale_reduces_sets(self):
+        spec = CacheSpec(level=2, size_bytes=2 * 1024 * 1024, line_bytes=64, associativity=16, shared_by=2)
+        half = scaled_cache(spec, 0.5)
+        assert half.num_sets == spec.num_sets // 2
+        assert half.ways == 16
+
+    def test_minimum_one_set(self):
+        spec = CacheSpec(level=2, size_bytes=64 * 16, line_bytes=64, associativity=16, shared_by=1)
+        tiny = scaled_cache(spec, 0.001)
+        assert tiny.num_sets == 1
+
+    def test_rejects_bad_scale(self):
+        spec = CacheSpec(level=1, size_bytes=1024, line_bytes=64, associativity=4, shared_by=1)
+        with pytest.raises(MachineModelError):
+            scaled_cache(spec, 0.0)
+        with pytest.raises(MachineModelError):
+            scaled_cache(spec, 1.5)

@@ -1,0 +1,55 @@
+"""Tests of the calibration constants and their documented derivations."""
+
+import pytest
+
+from repro.machine import calibration as cal
+
+
+class TestContentionFit:
+    def test_relative_time_strong_form(self):
+        fit = cal.ContentionFit(wc=1.0, wm=1.0, alpha=0.0, q=1.0)
+        # no contention: perfect strong scaling
+        assert fit.relative_time(4) == pytest.approx(fit.relative_time(1) / 4)
+
+    def test_relative_time_weak_form(self):
+        fit = cal.ContentionFit(wc=1.0, wm=1.0, alpha=0.0, q=1.0)
+        assert fit.relative_time(8, weak=True) == pytest.approx(
+            fit.relative_time(1, weak=True)
+        )
+
+    def test_contention_increases_weak_time(self):
+        fit = cal.CUBE_WEAK_THOG
+        assert fit.relative_time(64, weak=True) > fit.relative_time(1, weak=True)
+
+    def test_sync_term_adds_log_cost(self):
+        base = cal.ContentionFit(wc=1.0, wm=0.0, alpha=0.0, q=1.0, c_sync=0.0)
+        sync = cal.ContentionFit(wc=1.0, wm=0.0, alpha=0.0, q=1.0, c_sync=0.1)
+        assert sync.relative_time(8) == pytest.approx(base.relative_time(8) + 0.3)
+
+    def test_memory_share_bounds(self):
+        for fit in (
+            cal.OPENMP_STRONG_ABU_DHABI,
+            cal.OPENMP_WEAK_THOG,
+            cal.CUBE_WEAK_THOG,
+        ):
+            assert 0.0 < fit.memory_share < 1.0
+
+
+class TestDocumentedConstants:
+    def test_cube_overhead_above_one(self):
+        assert cal.CUBE_SINGLE_CORE_OVERHEAD > 1.0
+
+    def test_paper_run_constants(self):
+        assert cal.PAPER_SEQUENTIAL_SECONDS == 967.0
+        assert cal.PAPER_SEQUENTIAL_STEPS == 500
+
+    def test_cube_fit_grows_slower_than_openmp(self):
+        """The core Figure 8 structure lives in the fitted exponents."""
+        omp64 = cal.OPENMP_WEAK_THOG.relative_time(
+            64, weak=True
+        ) / cal.OPENMP_WEAK_THOG.relative_time(1, weak=True)
+        cube64 = cal.CUBE_WEAK_THOG.relative_time(
+            64, weak=True
+        ) / cal.CUBE_WEAK_THOG.relative_time(1, weak=True)
+        assert omp64 == pytest.approx(3.9, abs=0.3)
+        assert cube64 == pytest.approx(2.0, abs=0.15)

@@ -1,0 +1,63 @@
+"""Tests of the bandwidth / contention model."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine import memory
+from repro.machine.calibration import OPENMP_STRONG_ABU_DHABI
+from repro.machine.spec import thog
+
+
+class TestEffectiveBandwidth:
+    def test_monotone_in_threads(self):
+        m = thog()
+        values = [memory.effective_bandwidth(m, n) for n in range(1, 65)]
+        assert all(b2 > b1 for b1, b2 in zip(values, values[1:]))
+
+    def test_single_core_near_peak(self):
+        m = thog()
+        b1 = memory.effective_bandwidth(m, 1)
+        assert b1 == pytest.approx(
+            m.per_core_bandwidth_gbs / (1 + 1 / m.bandwidth_half_point)
+        )
+
+    def test_saturates_below_linear(self):
+        m = thog()
+        b64 = memory.effective_bandwidth(m, 64)
+        assert b64 < 64 * m.per_core_bandwidth_gbs / 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(MachineModelError):
+            memory.effective_bandwidth(thog(), 0)
+        with pytest.raises(MachineModelError):
+            memory.effective_bandwidth(thog(), 65)
+
+
+class TestContention:
+    def test_grows_with_threads(self):
+        fit = OPENMP_STRONG_ABU_DHABI
+        assert memory.contention_factor(fit, 32) > memory.contention_factor(fit, 1)
+
+    def test_unit_at_small_alpha(self):
+        fit = OPENMP_STRONG_ABU_DHABI
+        assert memory.contention_factor(fit, 1) == pytest.approx(1 + fit.alpha)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(MachineModelError):
+            memory.contention_factor(OPENMP_STRONG_ABU_DHABI, 0)
+
+
+class TestDemandAndSaturation:
+    def test_bandwidth_demand(self):
+        assert memory.bandwidth_demand(2e9, 1.0) == pytest.approx(2.0)
+        with pytest.raises(MachineModelError):
+            memory.bandwidth_demand(1.0, 0.0)
+
+    def test_saturation_core_count(self):
+        m = thog()
+        n = memory.saturation_core_count(m, 0.8)
+        assert 1 <= n <= 64
+        # reaching 80% of the asymptote takes many cores
+        assert n > 10
+        with pytest.raises(MachineModelError):
+            memory.saturation_core_count(m, 1.5)

@@ -1,0 +1,55 @@
+"""Tests of the NUMA topology helpers."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine import numa
+from repro.machine.spec import thog
+
+
+class TestActiveNodes:
+    def test_compact_fill(self):
+        m = thog()
+        assert numa.active_numa_nodes(m, 1) == 1
+        assert numa.active_numa_nodes(m, 8) == 1
+        assert numa.active_numa_nodes(m, 9) == 2
+        assert numa.active_numa_nodes(m, 64) == 8
+
+    def test_rejects_out_of_range(self):
+        m = thog()
+        with pytest.raises(MachineModelError):
+            numa.active_numa_nodes(m, 0)
+        with pytest.raises(MachineModelError):
+            numa.active_numa_nodes(m, 65)
+
+
+class TestInterleaveFactor:
+    def test_factor_between_local_and_worst(self):
+        m = thog()
+        f = numa.interleave_distance_factor(m, 64)
+        assert 1.0 < f < 2.2
+
+    def test_thog_mean_factor(self):
+        """Interleaved access on thog averages 1.75x local distance."""
+        m = thog()
+        assert numa.interleave_distance_factor(m, 64) == pytest.approx(1.75)
+
+    def test_factor_independent_of_thread_count_for_full_rows(self):
+        """Every thog distance row has the same mean -> constant factor."""
+        m = thog()
+        f1 = numa.interleave_distance_factor(m, 1)
+        f64 = numa.interleave_distance_factor(m, 64)
+        assert f1 == pytest.approx(f64)
+
+
+class TestRemoteFraction:
+    def test_thog(self):
+        assert numa.remote_access_fraction(thog(), 8) == pytest.approx(7 / 8)
+
+
+class TestRendering:
+    def test_distance_table_text(self):
+        text = numa.distance_table_as_text(thog())
+        lines = text.splitlines()
+        assert len(lines) == 9  # header + 8 rows
+        assert "10" in lines[1] and "22" in lines[1]

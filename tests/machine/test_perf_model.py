@@ -1,0 +1,133 @@
+"""Tests of the performance model against the paper's anchors."""
+
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine import PerformanceModel, abu_dhabi, thog
+
+PAPER_FLUID = (124, 64, 64)
+PAPER_FIBERS = (52, 52)
+
+
+@pytest.fixture(scope="module")
+def abu_model():
+    return PerformanceModel(abu_dhabi())
+
+
+@pytest.fixture(scope="module")
+def thog_model():
+    return PerformanceModel(thog())
+
+
+class TestSequential:
+    def test_table1_ranking(self, abu_model):
+        pct = abu_model.sequential_step(PAPER_FLUID, PAPER_FIBERS).percentages()
+        order = list(pct)
+        assert order[0] == "compute_fluid_collision"
+        assert order[1] == "update_fluid_velocity"
+        assert order[2] == "copy_fluid_velocity_distribution"
+        assert order[3] == "stream_fluid_velocity_distribution"
+
+    def test_table1_percentages(self, abu_model):
+        pct = abu_model.sequential_step(PAPER_FLUID, PAPER_FIBERS).percentages()
+        assert pct["compute_fluid_collision"] == pytest.approx(73.2, abs=1.0)
+        assert pct["update_fluid_velocity"] == pytest.approx(12.6, abs=0.5)
+        assert pct["copy_fluid_velocity_distribution"] == pytest.approx(5.9, abs=0.3)
+        assert pct["stream_fluid_velocity_distribution"] == pytest.approx(5.4, abs=0.3)
+
+    def test_967_second_reproduction(self, abu_model):
+        total = abu_model.sequential_total_seconds(PAPER_FLUID, PAPER_FIBERS, 500)
+        assert total == pytest.approx(967.0, rel=0.02)
+
+    def test_top_four_kernels_take_97_percent(self, abu_model):
+        """Paper: the top four kernels take up 97% of total time."""
+        pct = abu_model.sequential_step(PAPER_FLUID, PAPER_FIBERS).percentages()
+        top4 = sum(list(pct.values())[:4])
+        assert top4 == pytest.approx(97.0, abs=1.0)
+
+    def test_rejects_negative_steps(self, abu_model):
+        with pytest.raises(MachineModelError):
+            abu_model.sequential_total_seconds(PAPER_FLUID, PAPER_FIBERS, -1)
+
+
+class TestFig5StrongScaling:
+    def test_efficiency_anchors(self, abu_model):
+        """Paper: 75% @ 8 cores, 56% @ 16, 38% @ 32."""
+        pts = {
+            p.cores: p
+            for p in abu_model.strong_scaling(
+                [1, 8, 16, 32], PAPER_FLUID, PAPER_FIBERS
+            )
+        }
+        assert pts[8].efficiency == pytest.approx(0.75, abs=0.02)
+        assert pts[16].efficiency == pytest.approx(0.56, abs=0.02)
+        assert pts[32].efficiency == pytest.approx(0.38, abs=0.02)
+
+    def test_good_scaling_until_8_cores(self, abu_model):
+        """Paper: "the speed up is good till 8 cores"."""
+        pts = abu_model.strong_scaling([1, 2, 4, 8], PAPER_FLUID, PAPER_FIBERS)
+        for p in pts:
+            assert p.efficiency >= 0.74
+
+    def test_speedup_monotone(self, abu_model):
+        pts = abu_model.strong_scaling(
+            [1, 2, 4, 8, 16, 32], PAPER_FLUID, PAPER_FIBERS
+        )
+        speedups = [p.speedup for p in pts]
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+    def test_rejects_cores_beyond_machine(self, abu_model):
+        with pytest.raises(MachineModelError):
+            abu_model.strong_scaling([64], PAPER_FLUID, PAPER_FIBERS)
+
+
+class TestFig8WeakScaling:
+    CORES = [1, 2, 4, 8, 16, 32, 64]
+
+    def test_cube_beats_openmp_by_53_percent_at_64(self, thog_model):
+        omp = thog_model.weak_scaling(self.CORES, 128**3, (104, 104), "openmp")
+        cube = thog_model.weak_scaling(self.CORES, 128**3, (104, 104), "cube")
+        ratio = omp[-1].seconds / cube[-1].seconds
+        assert ratio == pytest.approx(1.53, abs=0.03)
+
+    def test_cube_grows_slower_than_openmp(self, thog_model):
+        omp = thog_model.weak_scaling(self.CORES, 128**3, (104, 104), "openmp")
+        cube = thog_model.weak_scaling(self.CORES, 128**3, (104, 104), "cube")
+        omp_growth = omp[-1].seconds / omp[0].seconds
+        cube_growth = cube[-1].seconds / cube[0].seconds
+        assert cube_growth < 0.6 * omp_growth
+
+    def test_cube_overhead_at_one_core(self, thog_model):
+        """The cube layout pays bookkeeping overhead at low core counts."""
+        omp = thog_model.weak_scaling([1], 128**3, (104, 104), "openmp")
+        cube = thog_model.weak_scaling([1], 128**3, (104, 104), "cube")
+        assert cube[0].seconds > omp[0].seconds
+
+    def test_crossover_below_16_cores(self, thog_model):
+        """The curves cross: cube wins from ~8 cores on."""
+        omp = thog_model.weak_scaling(self.CORES, 128**3, (104, 104), "openmp")
+        cube = thog_model.weak_scaling(self.CORES, 128**3, (104, 104), "cube")
+        wins = [o.seconds > c.seconds for o, c in zip(omp, cube)]
+        assert not wins[0]  # OpenMP faster at 1 core
+        assert wins[-1]  # cube faster at 64
+        assert wins.index(True) <= 4  # crossover by 16 cores
+
+    def test_both_monotone_increasing(self, thog_model):
+        for solver in ("openmp", "cube"):
+            pts = thog_model.weak_scaling(self.CORES, 128**3, (104, 104), solver)
+            times = [p.seconds for p in pts]
+            assert all(b > a for a, b in zip(times, times[1:])), solver
+
+    def test_unknown_solver_rejected(self, thog_model):
+        with pytest.raises(MachineModelError):
+            thog_model.weak_scaling([1], 128**3, (104, 104), "mpi")
+
+
+class TestMemoryShare:
+    def test_openmp_strong_share(self, abu_model):
+        share = abu_model.memory_share("openmp", weak=False)
+        assert 0.3 < share < 0.5  # the fitted Abu Dhabi split
+
+    def test_weak_shares_exist(self, thog_model):
+        assert 0 < thog_model.memory_share("openmp", weak=True) < 1
+        assert 0 < thog_model.memory_share("cube", weak=True) < 1

@@ -1,0 +1,104 @@
+"""Tests of the machine descriptions (paper Tables III, IV)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineModelError
+from repro.machine.spec import CacheSpec, MachineSpec, abu_dhabi, thog
+
+
+class TestCacheSpec:
+    def test_num_sets(self):
+        c = CacheSpec(level=1, size_bytes=16 * 1024, line_bytes=64, associativity=4, shared_by=1)
+        assert c.num_sets == 64
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(MachineModelError):
+            CacheSpec(level=1, size_bytes=1000, line_bytes=64, associativity=4, shared_by=1)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(MachineModelError):
+            CacheSpec(level=1, size_bytes=0, line_bytes=64, associativity=1, shared_by=1)
+
+
+class TestThogPreset:
+    """The thog machine must match paper Table III exactly."""
+
+    def test_core_counts(self):
+        m = thog()
+        assert m.num_cores == 64
+        assert m.num_sockets == 4
+        assert m.cores_per_socket == 16
+        assert m.ghz == 2.5
+
+    def test_cache_hierarchy(self):
+        m = thog()
+        assert m.cache(1).size_bytes == 16 * 1024
+        assert m.cache(2).size_bytes == 2 * 1024 * 1024
+        assert m.cache(2).shared_by == 2
+        assert m.cache(3).size_bytes == 12 * 1024 * 1024
+        assert m.cache(3).shared_by == 8
+
+    def test_numa_layout(self):
+        m = thog()
+        assert m.num_numa_nodes == 8
+        assert m.cores_per_numa_node == 8
+        assert m.memory_per_numa_gb == 32.0
+
+    def test_numa_distance_is_table4(self):
+        m = thog()
+        assert m.numa_distance.shape == (8, 8)
+        assert (np.diag(m.numa_distance) == 10).all()
+        assert m.numa_distance.max() == 22
+        assert m.numa_distance[0, 1] == 16
+        assert m.numa_distance[0, 3] == 22
+
+    def test_remote_access_up_to_2_2x(self):
+        """Paper: remote access can take 2.2x local time."""
+        m = thog()
+        assert m.numa_distance.max() / 10.0 == pytest.approx(2.2)
+
+
+class TestAbuDhabiPreset:
+    def test_core_counts(self):
+        m = abu_dhabi()
+        assert m.num_cores == 32
+        assert m.ghz == 2.9
+
+    def test_core_to_numa_mapping(self):
+        m = abu_dhabi()
+        assert m.numa_node_of_core(0) == 0
+        assert m.numa_node_of_core(8) == 1
+        assert m.numa_node_of_core(31) == 3
+        with pytest.raises(MachineModelError):
+            m.numa_node_of_core(32)
+
+
+class TestValidation:
+    def test_rejects_asymmetric_distance(self):
+        d = np.array([[10.0, 16.0], [22.0, 10.0]])
+        with pytest.raises(MachineModelError, match="symmetric"):
+            MachineSpec(
+                name="x", processor="x", num_sockets=1, cores_per_socket=4,
+                ghz=1.0, caches=(), num_numa_nodes=2, memory_per_numa_gb=1.0,
+                numa_distance=d,
+            )
+
+    def test_rejects_wrong_distance_shape(self):
+        with pytest.raises(MachineModelError, match="shape"):
+            MachineSpec(
+                name="x", processor="x", num_sockets=1, cores_per_socket=4,
+                ghz=1.0, caches=(), num_numa_nodes=4, memory_per_numa_gb=1.0,
+                numa_distance=np.eye(2) * 10,
+            )
+
+    def test_missing_cache_level(self):
+        m = thog()
+        with pytest.raises(MachineModelError, match="no L4"):
+            m.cache(4)
+
+    def test_mean_numa_distance_bounds(self):
+        m = thog()
+        assert 10 <= m.mean_numa_distance(1) <= 22
+        with pytest.raises(MachineModelError):
+            m.mean_numa_distance(9)

@@ -1,0 +1,72 @@
+"""Tests of the kernel work characteristics and Table-I calibration."""
+
+import pytest
+
+from repro.machine import workload
+
+
+class TestKernelWork:
+    def test_all_nine_kernels_described(self):
+        assert len(workload.KERNEL_WORK) == 9
+        assert set(workload.KERNEL_WORK) == set(workload.PAPER_TABLE1_PERCENTAGES)
+
+    def test_fluid_fiber_split_matches_paper(self):
+        """Four fluid-node kernels (Table I top four), five fiber kernels."""
+        assert len(workload.FLUID_KERNELS) == 4
+        assert len(workload.FIBER_KERNELS) == 5
+        assert "compute_fluid_collision" in workload.FLUID_KERNELS
+        assert "move_fibers" in workload.FIBER_KERNELS
+
+    def test_streaming_bytes(self):
+        w = workload.KERNEL_WORK["stream_fluid_velocity_distribution"]
+        assert w.bytes_read == 19 * 8
+        assert w.bytes_written == 19 * 8
+        assert w.cube_bytes_read == 0  # fused with collision
+
+    def test_cube_bytes_default_to_global(self):
+        w = workload.KERNEL_WORK["compute_fluid_collision"]
+        assert w.cube_bytes_total() == w.bytes_total
+
+    def test_spread_touches_influential_domain(self):
+        w = workload.KERNEL_WORK["spread_force_from_fibers_to_fluid"]
+        assert w.bytes_written == 64 * 3 * 8  # 4x4x4 domain, 3 components
+
+
+class TestScalarCycles:
+    def test_derived_from_table1(self):
+        """cycles/node must reproduce the Table I percentages exactly."""
+        seconds = workload.step_scalar_seconds(124 * 64 * 64, 52 * 52, 2.9)
+        total = sum(seconds.values())
+        for name, pct in workload.PAPER_TABLE1_PERCENTAGES.items():
+            assert 100 * seconds[name] / total == pytest.approx(
+                pct / sum(workload.PAPER_TABLE1_PERCENTAGES.values()) * 100,
+                rel=1e-10,
+            )
+
+    def test_total_time_near_967_seconds(self):
+        seconds = workload.step_scalar_seconds(124 * 64 * 64, 52 * 52, 2.9)
+        total_500 = 500 * sum(seconds.values())
+        assert total_500 == pytest.approx(967.0, rel=0.02)
+
+    def test_collision_dominates(self):
+        c = workload.SCALAR_CYCLES_PER_NODE
+        assert c["compute_fluid_collision"] > 5 * c["update_fluid_velocity"]
+
+    def test_scales_linearly_with_nodes(self):
+        a = workload.step_scalar_seconds(1000, 100, 2.0)
+        b = workload.step_scalar_seconds(2000, 100, 2.0)
+        assert b["compute_fluid_collision"] == pytest.approx(
+            2 * a["compute_fluid_collision"]
+        )
+        assert b["move_fibers"] == pytest.approx(a["move_fibers"])
+
+
+class TestStepBytes:
+    def test_cube_layout_moves_less(self):
+        g = workload.step_bytes(10_000, 100, layout="global")
+        c = workload.step_bytes(10_000, 100, layout="cube")
+        assert c < g
+
+    def test_rejects_unknown_layout(self):
+        with pytest.raises(ValueError):
+            workload.step_bytes(100, 10, layout="hexagon")

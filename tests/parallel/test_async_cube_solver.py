@@ -1,0 +1,134 @@
+"""Tests of the dependency-driven (barrier-free) cube solver.
+
+The paper's future-work prototype: dynamic task scheduling replaces the
+intra-step global barriers.  The contract is unchanged numerics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ib import geometry
+from repro.core.lbm.boundaries import BounceBackWall
+from repro.core.lbm.fields import FluidGrid
+from repro.core.solver import SequentialLBMIBSolver
+from repro.parallel import AsyncCubeLBMIBSolver, CubeGrid
+
+SHAPE = (12, 8, 8)
+STEPS = 6
+RTOL, ATOL = 1e-10, 1e-12
+
+
+def _make_state(with_structure=True):
+    grid = FluidGrid(SHAPE, tau=0.8)
+    structure = None
+    if with_structure:
+        structure = geometry.flat_sheet(
+            SHAPE, num_fibers=5, nodes_per_fiber=5, stretch_coefficient=0.04
+        )
+        structure.sheets[0].positions[2, 2, 0] += 0.7
+    return grid, structure
+
+
+@pytest.fixture(scope="module")
+def sequential_result():
+    grid, structure = _make_state()
+    SequentialLBMIBSolver(grid, structure).run(STEPS)
+    return grid, structure
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("cube_size,threads", [(2, 1), (2, 4), (4, 3), (4, 8)])
+    def test_matches_sequential(self, sequential_result, cube_size, threads):
+        ref_grid, ref_structure = sequential_result
+        grid, structure = _make_state()
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=cube_size)
+        AsyncCubeLBMIBSolver(cg, structure, num_threads=threads).run(STEPS)
+        assert ref_grid.state_allclose(cg.to_fluid_grid(), rtol=RTOL, atol=ATOL)
+        assert ref_structure.state_allclose(structure, rtol=RTOL, atol=ATOL)
+
+    def test_repeated_runs_deterministic_within_tolerance(self):
+        """Different task interleavings must not change the physics."""
+        results = []
+        for _ in range(3):
+            grid, structure = _make_state()
+            cg = CubeGrid.from_fluid_grid(grid, cube_size=2)
+            AsyncCubeLBMIBSolver(cg, structure, num_threads=4).run(4)
+            results.append(cg.to_fluid_grid())
+        for other in results[1:]:
+            assert results[0].state_allclose(other, rtol=RTOL, atol=ATOL)
+
+    def test_with_boundaries(self, ):
+        boundaries = [BounceBackWall(1, "low"), BounceBackWall(1, "high")]
+        ref_grid, ref_structure = _make_state()
+        SequentialLBMIBSolver(ref_grid, ref_structure, boundaries=boundaries).run(STEPS)
+        grid, structure = _make_state()
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=4)
+        AsyncCubeLBMIBSolver(
+            cg, structure, num_threads=4, boundaries=boundaries
+        ).run(STEPS)
+        assert ref_grid.state_allclose(cg.to_fluid_grid(), rtol=RTOL, atol=ATOL)
+
+    def test_fluid_only(self):
+        grid_a, _ = _make_state(with_structure=False)
+        rng = np.random.default_rng(3)
+        grid_a.initialize_equilibrium(
+            velocity=0.01 * rng.standard_normal((3,) + SHAPE)
+        )
+        grid_b = grid_a.copy()
+        SequentialLBMIBSolver(grid_a, None).run(STEPS)
+        cg = CubeGrid.from_fluid_grid(grid_b, cube_size=2)
+        AsyncCubeLBMIBSolver(cg, None, num_threads=3).run(STEPS)
+        assert grid_a.state_allclose(cg.to_fluid_grid(), rtol=RTOL, atol=ATOL)
+
+    def test_external_force(self):
+        force = (2e-5, 0.0, 0.0)
+        grid_a, struct_a = _make_state()
+        SequentialLBMIBSolver(grid_a, struct_a, external_force=force).run(STEPS)
+        grid_b, struct_b = _make_state()
+        cg = CubeGrid.from_fluid_grid(grid_b, cube_size=4)
+        AsyncCubeLBMIBSolver(
+            cg, struct_b, num_threads=4, external_force=force
+        ).run(STEPS)
+        assert grid_a.state_allclose(cg.to_fluid_grid(), rtol=RTOL, atol=ATOL)
+
+
+class TestSchedule:
+    def test_task_count_accounting(self):
+        grid, structure = _make_state()
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=4)
+        solver = AsyncCubeLBMIBSolver(cg, structure, num_threads=2)
+        steps = 3
+        solver.run(steps)
+        blocks = len(solver._fiber_blocks())
+        expected_per_step = 3 * cg.num_cubes + 2 * blocks
+        assert solver.tasks_executed == steps * expected_per_step
+
+    def test_no_intra_step_barrier_crossings(self):
+        """The inherited barriers are never used by the async schedule."""
+        grid, structure = _make_state()
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=4)
+        solver = AsyncCubeLBMIBSolver(cg, structure, num_threads=2)
+        solver.run(2)
+        assert all(b.stats.crossings == 0 for b in solver.barriers.values())
+
+    def test_stream_targets_cover_neighbourhood(self):
+        grid, _ = _make_state(with_structure=False)
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=4)
+        solver = AsyncCubeLBMIBSolver(cg, None, num_threads=1)
+        targets = solver.stream_targets(0)
+        assert 0 in targets
+        assert len(targets) > 1  # spills into neighbours
+
+    def test_indegree_consistent_with_targets(self):
+        grid, _ = _make_state(with_structure=False)
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=2)
+        solver = AsyncCubeLBMIBSolver(cg, None, num_threads=1)
+        total_edges = sum(len(t) for t in solver._targets)
+        assert solver._stream_indegree.sum() == total_edges
+
+    def test_negative_steps_rejected(self):
+        grid, _ = _make_state(with_structure=False)
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=2)
+        solver = AsyncCubeLBMIBSolver(cg, None, num_threads=1)
+        with pytest.raises(ValueError):
+            solver.run(-1)

@@ -1,0 +1,115 @@
+"""Tests of the cube-blocked fluid storage (paper Section V-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lbm.fields import FluidGrid
+from repro.errors import PartitionError
+from repro.parallel.cubes import CubeGrid
+
+
+class TestConstruction:
+    def test_cube_counts(self):
+        cg = CubeGrid((8, 4, 4), cube_size=2)
+        assert cg.cube_counts == (4, 2, 2)
+        assert cg.num_cubes == 16
+
+    def test_paper_figure6_example(self):
+        """A 4x4x4 grid of cube size 2 gives 2x2x2 cubes."""
+        cg = CubeGrid((4, 4, 4), cube_size=2)
+        assert cg.cube_counts == (2, 2, 2)
+        assert cg.df.shape == (8, 19, 2, 2, 2)
+
+    def test_rejects_indivisible_grid(self):
+        with pytest.raises(PartitionError, match="not divisible"):
+            CubeGrid((7, 4, 4), cube_size=2)
+
+    def test_rejects_bad_cube_size(self):
+        with pytest.raises(PartitionError):
+            CubeGrid((4, 4, 4), cube_size=0)
+
+    def test_each_cube_block_is_contiguous(self):
+        """The defining property: a cube's data is one contiguous block."""
+        cg = CubeGrid((4, 4, 4), cube_size=2)
+        assert cg.df[3].flags["C_CONTIGUOUS"]
+        assert cg.force[5].flags["C_CONTIGUOUS"]
+
+    def test_cube_nbytes(self):
+        cg = CubeGrid((4, 4, 4), cube_size=2)
+        # 48 doubles per node * 8 nodes
+        assert cg.cube_nbytes == 48 * 8 * 8
+
+
+class TestIndexArithmetic:
+    def test_linear_coords_roundtrip(self):
+        cg = CubeGrid((8, 6, 4), cube_size=2)
+        for c in range(cg.num_cubes):
+            assert int(cg.cube_linear(*cg.cube_coords(c))) == c
+
+    def test_neighbor_wraps_periodically(self):
+        cg = CubeGrid((4, 4, 4), cube_size=2)
+        assert cg.neighbor_cube((0, 0, 0), (-1, 0, 0)) == int(
+            cg.cube_linear(1, 0, 0)
+        )
+        assert cg.neighbor_cube((1, 1, 1), (1, 1, 1)) == int(cg.cube_linear(0, 0, 0))
+
+    def test_locate_flat_roundtrip(self):
+        cg = CubeGrid((4, 6, 8), cube_size=2)
+        nx, ny, nz = cg.shape
+        flat = np.arange(nx * ny * nz)
+        cubes, locals_ = cg.locate_flat(flat)
+        # rebuild global coordinates from (cube, local) and compare
+        k = cg.cube_size
+        ncx, ncy, ncz = cg.cube_counts
+        ci = cubes // (ncy * ncz)
+        cj = (cubes // ncz) % ncy
+        ck = cubes % ncz
+        lx = locals_ // (k * k)
+        ly = (locals_ // k) % k
+        lz = locals_ % k
+        x = ci * k + lx
+        y = cj * k + ly
+        z = ck * k + lz
+        np.testing.assert_array_equal((x * ny + y) * nz + z, flat)
+
+
+class TestLayoutConversion:
+    @given(
+        dims=st.tuples(
+            st.sampled_from([2, 4, 6]),
+            st.sampled_from([2, 4]),
+            st.sampled_from([2, 4]),
+        ),
+        k=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_preserves_state(self, dims, k):
+        rng = np.random.default_rng(42)
+        grid = FluidGrid(dims, tau=0.8)
+        grid.df[...] = rng.standard_normal(grid.df.shape)
+        grid.df_new[...] = rng.standard_normal(grid.df.shape)
+        grid.velocity[...] = rng.standard_normal(grid.velocity.shape)
+        grid.velocity_shifted[...] = rng.standard_normal(grid.velocity.shape)
+        grid.density[...] = rng.standard_normal(grid.density.shape)
+        grid.force[...] = rng.standard_normal(grid.force.shape)
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=k)
+        back = cg.to_fluid_grid()
+        assert back.state_allclose(grid, rtol=0, atol=0)
+
+    def test_cube_content_matches_grid_region(self):
+        grid = FluidGrid((4, 4, 4), tau=0.8)
+        rng = np.random.default_rng(7)
+        grid.df[...] = rng.standard_normal(grid.df.shape)
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=2)
+        c = int(cg.cube_linear(1, 0, 1))
+        np.testing.assert_array_equal(
+            cg.df[c], grid.df[:, 2:4, 0:2, 2:4]
+        )
+
+    def test_tau_carried(self):
+        grid = FluidGrid((4, 4, 4), tau=0.73)
+        cg = CubeGrid.from_fluid_grid(grid, cube_size=2)
+        assert cg.tau == 0.73
+        assert cg.to_fluid_grid().tau == 0.73

@@ -1,0 +1,147 @@
+"""Tests of cube2thread / fiber2thread distribution functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.parallel.distribution import (
+    CubeDistribution,
+    FiberDistribution,
+    block_cyclic_map_1d,
+    block_map_1d,
+    cyclic_map_1d,
+)
+from repro.parallel.thread_mesh import ThreadMesh
+
+
+class TestMap1D:
+    @given(extent=st.integers(1, 100), parts=st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_block_covers_all_parts_evenly(self, extent, parts):
+        parts = min(parts, extent)
+        owners = block_map_1d(np.arange(extent), extent, parts)
+        counts = np.bincount(owners, minlength=parts)
+        assert counts.sum() == extent
+        assert counts.max() - counts.min() <= 1
+        # block = contiguous: owners are non-decreasing
+        assert (np.diff(owners) >= 0).all()
+
+    @given(extent=st.integers(1, 100), parts=st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_cyclic_round_robin(self, extent, parts):
+        owners = cyclic_map_1d(np.arange(extent), extent, parts)
+        np.testing.assert_array_equal(owners, np.arange(extent) % parts)
+
+    @given(
+        extent=st.integers(1, 100),
+        parts=st.integers(1, 8),
+        block=st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_block_cyclic_blocks(self, extent, parts, block):
+        owners = block_cyclic_map_1d(np.arange(extent), extent, parts, block=block)
+        expected = (np.arange(extent) // block) % parts
+        np.testing.assert_array_equal(owners, expected)
+
+    def test_scalar_input(self):
+        assert int(block_map_1d(0, 10, 2)) == 0
+        assert int(block_map_1d(9, 10, 2)) == 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(PartitionError):
+            block_map_1d(0, 0, 2)
+        with pytest.raises(PartitionError):
+            cyclic_map_1d(0, 5, 0)
+
+
+class TestCubeDistribution:
+    def _dist(self, counts=(4, 4, 4), threads=8, method="block"):
+        return CubeDistribution(counts, ThreadMesh.for_threads(threads), method=method)
+
+    def test_paper_figure6_mapping(self):
+        """2x2x2 cubes onto 2x2x2 threads: each thread owns one cube."""
+        dist = self._dist(counts=(2, 2, 2), threads=8)
+        table = dist.owner_table()
+        assert sorted(table.ravel().tolist()) == list(range(8))
+
+    @pytest.mark.parametrize("method", ["block", "cyclic", "block_cyclic"])
+    def test_every_cube_has_one_owner(self, method):
+        dist = self._dist(method=method)
+        table = dist.owner_table()
+        assert table.shape == (4, 4, 4)
+        assert table.min() >= 0 and table.max() < 8
+
+    @pytest.mark.parametrize("method", ["block", "cyclic", "block_cyclic"])
+    def test_load_is_balanced(self, method):
+        dist = self._dist(method=method)
+        load = dist.load_per_thread()
+        assert load.sum() == 64
+        assert load.max() - load.min() <= 1 or method == "block_cyclic"
+
+    def test_cubes_of_partitions(self):
+        dist = self._dist()
+        all_cubes = set()
+        for tid in range(8):
+            for coord in map(tuple, dist.cubes_of(tid)):
+                assert coord not in all_cubes
+                all_cubes.add(coord)
+        assert len(all_cubes) == 64
+
+    def test_block_distribution_is_spatially_contiguous(self):
+        dist = self._dist(method="block")
+        coords = dist.cubes_of(0)
+        # thread 0's block occupies the low corner
+        assert coords.max() <= 1
+
+    def test_vectorized_matches_scalar(self):
+        dist = self._dist(method="cyclic")
+        cx, cy, cz = np.meshgrid(*[np.arange(4)] * 3, indexing="ij")
+        table = dist.cube2thread(cx, cy, cz)
+        for c in [(0, 0, 0), (3, 2, 1), (1, 1, 3)]:
+            assert table[c] == int(dist.cube2thread(*c))
+
+    def test_rejects_more_parts_than_cubes(self):
+        with pytest.raises(PartitionError, match="more parts"):
+            CubeDistribution((2, 2, 2), ThreadMesh((4, 2, 1)))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(PartitionError, match="unknown distribution"):
+            CubeDistribution((4, 4, 4), ThreadMesh.for_threads(8), method="magic")
+
+
+class TestFiberDistribution:
+    @pytest.mark.parametrize("method", ["block", "cyclic", "block_cyclic"])
+    def test_every_fiber_has_one_owner(self, method):
+        """One fiber is only assigned to one thread (paper Section V-B)."""
+        dist = FiberDistribution(52, 8, method=method)
+        owners = dist.fiber2thread(np.arange(52))
+        assert owners.min() >= 0 and owners.max() < 8
+        total = sum(len(dist.fibers_of(t)) for t in range(8))
+        assert total == 52
+
+    def test_more_threads_than_fibers(self):
+        dist = FiberDistribution(3, 8)
+        owners = dist.fiber2thread(np.arange(3))
+        assert len(set(owners.tolist())) == 3
+        assert dist.load_per_thread().sum() == 3
+
+    @given(
+        num_fibers=st.integers(1, 60),
+        threads=st.integers(1, 12),
+        method=st.sampled_from(["block", "cyclic", "block_cyclic"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, num_fibers, threads, method):
+        dist = FiberDistribution(num_fibers, threads, method=method)
+        owners = dist.fiber2thread(np.arange(num_fibers))
+        counts = np.bincount(owners, minlength=threads)
+        assert counts.sum() == num_fibers
+        np.testing.assert_array_equal(counts, dist.load_per_thread())
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(PartitionError):
+            FiberDistribution(0, 4)
+        with pytest.raises(PartitionError):
+            FiberDistribution(4, 0)

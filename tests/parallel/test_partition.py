@@ -1,0 +1,61 @@
+"""Tests of the OpenMP slab partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.parallel.partition import Slab, chunked_ranges, partition_sizes, static_slabs
+
+
+class TestStaticSlabs:
+    @given(extent=st.integers(1, 200), threads=st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_properties(self, extent, threads):
+        slabs = static_slabs(extent, threads)
+        assert len(slabs) == threads
+        sizes = partition_sizes(slabs)
+        assert sizes.sum() == extent
+        assert sizes.max() - sizes.min() <= 1
+        # contiguous and ordered
+        pos = 0
+        for s in slabs:
+            assert s.start == pos
+            pos = s.stop
+        assert pos == extent
+
+    def test_paper_input_on_32_threads(self):
+        """The 124-plane grid on 32 threads: 28 slabs of 4, 4 of 3."""
+        sizes = partition_sizes(static_slabs(124, 32))
+        assert sorted(set(sizes.tolist())) == [3, 4]
+        assert (sizes == 4).sum() == 28
+
+    def test_threads_exceed_extent(self):
+        slabs = static_slabs(2, 4)
+        sizes = partition_sizes(slabs)
+        assert sizes.tolist() == [1, 1, 0, 0]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(PartitionError):
+            static_slabs(0, 4)
+        with pytest.raises(PartitionError):
+            static_slabs(4, 0)
+
+
+class TestChunkedRanges:
+    def test_covers_extent(self):
+        chunks = chunked_ranges(10, 3)
+        assert [c.size for c in chunks] == [3, 3, 3, 1]
+        assert chunks[0].start == 0 and chunks[-1].stop == 10
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(PartitionError):
+            chunked_ranges(10, 0)
+
+
+class TestSlab:
+    def test_indices(self):
+        s = Slab(3, 7)
+        np.testing.assert_array_equal(s.indices(), [3, 4, 5, 6])
+        assert s.size == 4

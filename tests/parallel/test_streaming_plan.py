@@ -1,0 +1,85 @@
+"""Property tests of the cube streaming decomposition.
+
+The plan splits each direction's periodic shift into a within-cube part
+and neighbour spills; the invariant is that, per direction, the
+destination regions across the plan exactly tile a cube, with every
+source node written exactly once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lbm.lattice import E, Q
+from repro.parallel.cube_solver import _streaming_plan
+
+
+class TestStreamingPlan:
+    @given(k=st.integers(1, 6))
+    @settings(max_examples=12, deadline=None)
+    def test_sources_tile_the_cube(self, k):
+        """Per direction, the source slices partition all k^3 nodes."""
+        plan = _streaming_plan(k)
+        for i in range(Q):
+            covered = np.zeros((k, k, k), dtype=int)
+            for src, _, _ in plan[i]:
+                covered[src] += 1
+            assert (covered == 1).all(), f"direction {i}"
+
+    @given(k=st.integers(1, 6))
+    @settings(max_examples=12, deadline=None)
+    def test_destinations_tile_the_cube(self, k):
+        """Per direction, grouping by target offset, destinations tile.
+
+        Every node of every (possibly neighbouring) cube receives
+        exactly one write for each direction — summed over the offsets
+        that map to it.
+        """
+        plan = _streaming_plan(k)
+        for i in range(Q):
+            received = np.zeros((k, k, k), dtype=int)
+            for _, dst, _ in plan[i]:
+                received[dst] += 1
+            assert (received == 1).all(), f"direction {i}"
+
+    @given(k=st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_offsets_match_direction_sign(self, k):
+        plan = _streaming_plan(k)
+        for i in range(Q):
+            for _, _, off in plan[i]:
+                for axis in range(3):
+                    e = int(E[i, axis])
+                    assert off[axis] in (0, e)
+
+    def test_shift_relation_between_src_and_dst(self):
+        """dst = src + e within the periodic tiling, checked by value."""
+        k = 3
+        plan = _streaming_plan(k)
+        rng = np.random.default_rng(0)
+        for i in range(Q):
+            ex, ey, ez = (int(c) for c in E[i])
+            source = rng.standard_normal((k, k, k))
+            # one cube surrounded by copies of itself = periodic k-cube
+            result = np.empty((k, k, k))
+            for src, dst, off in plan[i]:
+                result[dst] = source[src]
+            expected = np.roll(source, shift=(ex, ey, ez), axis=(0, 1, 2))
+            np.testing.assert_array_equal(result, expected)
+
+    def test_entry_counts(self):
+        """1 entry for rest, 2 per axis-direction, 4 per diagonal (k>1)."""
+        plan = _streaming_plan(4)
+        sizes = sorted(len(entries) for entries in plan)
+        assert sizes.count(1) == 1  # rest
+        assert sizes.count(2) == 6  # axis directions
+        assert sizes.count(4) == 12  # diagonals
+
+    def test_unit_cube_all_spills(self):
+        """k=1: every non-rest population leaves the cube entirely."""
+        plan = _streaming_plan(1)
+        for i in range(1, Q):
+            assert len(plan[i]) == 1
+            _, _, off = plan[i][0]
+            assert off == tuple(int(c) for c in E[i])

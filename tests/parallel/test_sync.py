@@ -1,0 +1,198 @@
+"""Tests of the synchronization primitives (barriers, locks, executor)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel.barrier import InstrumentedBarrier
+from repro.parallel.executor import WorkerError, WorkerPool, run_spmd
+from repro.parallel.locks import OwnerLocks
+
+
+class TestInstrumentedBarrier:
+    def test_all_threads_cross(self):
+        barrier = InstrumentedBarrier(4, "test")
+        crossed = []
+        lock = threading.Lock()
+
+        def worker(tid):
+            barrier.wait()
+            with lock:
+                crossed.append(tid)
+
+        run_spmd(4, worker)
+        assert sorted(crossed) == [0, 1, 2, 3]
+        assert barrier.stats.crossings == 1
+
+    def test_wait_time_recorded_for_early_arrivals(self):
+        barrier = InstrumentedBarrier(2, "test")
+
+        def worker(tid):
+            if tid == 0:
+                time.sleep(0.05)
+            barrier.wait()
+
+        run_spmd(2, worker)
+        # the other thread waited for ~50ms
+        assert barrier.stats.max_wait_seconds > 0.02
+        assert barrier.stats.total_wait_seconds >= barrier.stats.max_wait_seconds
+
+    def test_reusable_across_episodes(self):
+        barrier = InstrumentedBarrier(3, "test")
+
+        def worker(tid):
+            for _ in range(5):
+                barrier.wait()
+
+        run_spmd(3, worker)
+        assert barrier.stats.crossings == 5
+
+    def test_reset_stats(self):
+        barrier = InstrumentedBarrier(1, "test")
+        barrier.wait()
+        barrier.reset_stats()
+        assert barrier.stats.crossings == 0
+
+    def test_rejects_bad_parties(self):
+        with pytest.raises(ValueError):
+            InstrumentedBarrier(0)
+
+
+class TestOwnerLocks:
+    def test_mutual_exclusion(self):
+        locks = OwnerLocks(2)
+        counter = {"value": 0}
+
+        def worker(tid):
+            for _ in range(200):
+                with locks.owning(0):
+                    v = counter["value"]
+                    counter["value"] = v + 1
+
+        run_spmd(4, worker)
+        assert counter["value"] == 800
+
+    def test_acquisition_counting(self):
+        locks = OwnerLocks(3)
+        with locks.owning(1):
+            pass
+        with locks.owning(1):
+            pass
+        with locks.owning(2):
+            pass
+        assert locks.stats(1).acquisitions == 2
+        assert locks.stats(2).acquisitions == 1
+        assert locks.total_acquisitions() == 3
+
+    def test_contention_detected(self):
+        locks = OwnerLocks(1)
+        start = threading.Barrier(2)
+
+        def worker(tid):
+            start.wait()
+            with locks.owning(0):
+                time.sleep(0.02)
+
+        run_spmd(2, worker)
+        assert locks.total_contentions() >= 1
+
+    def test_reset(self):
+        locks = OwnerLocks(2)
+        with locks.owning(0):
+            pass
+        locks.reset_stats()
+        assert locks.total_acquisitions() == 0
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            OwnerLocks(0)
+
+
+class TestRunSpmd:
+    def test_every_tid_runs_once(self):
+        seen = []
+        lock = threading.Lock()
+
+        def worker(tid):
+            with lock:
+                seen.append(tid)
+
+        run_spmd(5, worker)
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_worker_error_propagates_with_tid(self):
+        def worker(tid):
+            if tid == 2:
+                raise RuntimeError("boom")
+
+        with pytest.raises(WorkerError, match="thread 2"):
+            run_spmd(4, worker)
+
+    def test_all_threads_join_despite_error(self):
+        done = []
+        lock = threading.Lock()
+
+        def worker(tid):
+            if tid == 0:
+                raise ValueError("first fails")
+            with lock:
+                done.append(tid)
+
+        with pytest.raises(WorkerError):
+            run_spmd(3, worker)
+        assert sorted(done) == [1, 2]
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda tid: None)
+
+
+class TestWorkerPool:
+    def test_dispatch_runs_on_all_workers(self):
+        seen = []
+        lock = threading.Lock()
+        with WorkerPool(4) as pool:
+            pool.dispatch(lambda tid: (lock.acquire(), seen.append(tid), lock.release()))
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_dispatch_is_a_barrier(self):
+        order = []
+        lock = threading.Lock()
+
+        def slow(tid):
+            if tid == 0:
+                time.sleep(0.03)
+            with lock:
+                order.append(("task1", tid))
+
+        with WorkerPool(3) as pool:
+            pool.dispatch(slow)
+            pool.dispatch(lambda tid: order.append(("task2", tid)))
+        task1 = [i for i, (name, _) in enumerate(order) if name == "task1"]
+        task2 = [i for i, (name, _) in enumerate(order) if name == "task2"]
+        assert max(task1) < min(task2)
+
+    def test_errors_propagate(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerError, match="thread 1"):
+                pool.dispatch(
+                    lambda tid: (_ for _ in ()).throw(RuntimeError("x"))
+                    if tid == 1
+                    else None
+                )
+            # pool remains usable after an error
+            pool.dispatch(lambda tid: None)
+
+    def test_dispatch_count(self):
+        with WorkerPool(2) as pool:
+            pool.dispatch(lambda tid: None)
+            pool.dispatch(lambda tid: None)
+            assert pool.dispatch_count == 2
+
+    def test_shutdown_idempotent(self):
+        pool = WorkerPool(2)
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.dispatch(lambda tid: None)

@@ -1,0 +1,67 @@
+"""Tests of the 3D thread-mesh factorization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.parallel.thread_mesh import ThreadMesh, factorize_3d
+
+
+class TestFactorize:
+    @given(n=st.integers(1, 512))
+    @settings(max_examples=100, deadline=None)
+    def test_product_equals_n(self, n):
+        p, q, r = factorize_3d(n)
+        assert p * q * r == n
+        assert p >= q >= r >= 1
+
+    def test_paper_figure6_eight_threads(self):
+        """8 threads lay out as a 2x2x2 mesh (paper Figure 6)."""
+        assert factorize_3d(8) == (2, 2, 2)
+
+    def test_perfect_cubes(self):
+        assert factorize_3d(27) == (3, 3, 3)
+        assert factorize_3d(64) == (4, 4, 4)
+
+    def test_near_cubic_for_non_cubes(self):
+        p, q, r = factorize_3d(16)
+        assert (p, q, r) == (4, 2, 2)
+
+    def test_primes_degenerate_gracefully(self):
+        assert factorize_3d(7) == (7, 1, 1)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(PartitionError):
+            factorize_3d(0)
+
+
+class TestThreadMesh:
+    def test_for_threads(self):
+        mesh = ThreadMesh.for_threads(12)
+        assert mesh.num_threads == 12
+
+    @given(n=st.integers(1, 128))
+    @settings(max_examples=60, deadline=None)
+    def test_linear_id_coords_roundtrip(self, n):
+        mesh = ThreadMesh.for_threads(n)
+        seen = set()
+        for tid in range(mesh.num_threads):
+            coords = mesh.coords(tid)
+            assert mesh.linear_id(coords) == tid
+            seen.add(coords)
+        assert len(seen) == n  # bijection
+
+    def test_out_of_range_tid(self):
+        mesh = ThreadMesh.for_threads(4)
+        with pytest.raises(PartitionError):
+            mesh.coords(4)
+
+    def test_out_of_range_coords(self):
+        mesh = ThreadMesh((2, 2, 1))
+        with pytest.raises(PartitionError):
+            mesh.linear_id((2, 0, 0))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(PartitionError):
+            ThreadMesh((0, 2, 2))

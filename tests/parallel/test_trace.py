@@ -1,0 +1,73 @@
+"""Tests of the execution-trace recorder."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import run_spmd
+from repro.parallel.trace import ExecutionTrace, KernelEvent
+
+
+class TestRecording:
+    def test_events_accumulate(self):
+        t = ExecutionTrace(2)
+        t.record(0, "collision", 0, 0.5, 100)
+        t.record(0, "collision", 1, 0.25, 50)
+        assert len(t.events) == 2
+        assert t.events[0] == KernelEvent(0, "collision", 0, 0.5, 100)
+
+    def test_concurrent_recording_is_safe(self):
+        t = ExecutionTrace(4)
+
+        def worker(tid):
+            for step in range(50):
+                t.record(step, "k", tid, 0.001, 1)
+
+        run_spmd(4, worker)
+        assert len(t.events) == 200
+
+    def test_events_snapshot_is_a_copy(self):
+        t = ExecutionTrace(1)
+        t.record(0, "k", 0, 1.0, 1)
+        snapshot = t.events
+        t.record(1, "k", 0, 1.0, 1)
+        assert len(snapshot) == 1
+
+    def test_clear(self):
+        t = ExecutionTrace(1)
+        t.record(0, "k", 0, 1.0, 1)
+        t.clear()
+        assert t.events == []
+
+
+class TestAggregation:
+    def _trace(self):
+        t = ExecutionTrace(3)
+        t.record(0, "a", 0, 1.0, 10)
+        t.record(0, "a", 1, 2.0, 20)
+        t.record(0, "b", 0, 0.5, 5)
+        t.record(1, "a", 2, 1.5, 15)
+        return t
+
+    def test_seconds_by_kernel(self):
+        s = self._trace().seconds_by_kernel()
+        assert s["a"] == pytest.approx(4.5)
+        assert s["b"] == pytest.approx(0.5)
+
+    def test_seconds_by_thread(self):
+        s = self._trace().seconds_by_thread()
+        np.testing.assert_allclose(s, [1.5, 2.0, 1.5])
+
+    def test_work_by_thread_filtered(self):
+        t = self._trace()
+        np.testing.assert_array_equal(t.work_by_thread(), [15, 20, 15])
+        np.testing.assert_array_equal(t.work_by_thread("a"), [10, 20, 15])
+
+    def test_load_imbalance(self):
+        t = self._trace()
+        # work: [15, 20, 15]; (20 - 50/3) / 20
+        assert t.load_imbalance() == pytest.approx((20 - 50 / 3) / 20)
+
+    def test_load_imbalance_empty(self):
+        assert ExecutionTrace(4).load_imbalance() == 0.0

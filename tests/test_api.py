@@ -1,0 +1,170 @@
+"""Tests of the high-level Simulation facade."""
+
+import numpy as np
+import pytest
+
+from repro.api import BoundaryConfig, Simulation, SimulationConfig, StructureConfig
+
+
+def _config(**overrides):
+    defaults = dict(
+        fluid_shape=(12, 8, 8),
+        tau=0.8,
+        structure=StructureConfig(kind="flat_sheet", num_fibers=4, nodes_per_fiber=4),
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestLifecycle:
+    def test_run_and_time_step(self):
+        with Simulation(_config()) as sim:
+            sim.run(3)
+            assert sim.time_step == 3
+            sim.step()
+            assert sim.time_step == 4
+
+    def test_context_manager_closes(self):
+        sim = Simulation(_config(solver="openmp", num_threads=2))
+        with sim:
+            sim.run(1)
+        # close() already called; calling again is fine
+        sim.close()
+
+    @pytest.mark.parametrize("solver,threads", [("sequential", 1), ("openmp", 2), ("cube", 2)])
+    def test_all_solver_variants_run(self, solver, threads):
+        config = _config(solver=solver, num_threads=threads, cube_size=4)
+        with Simulation(config) as sim:
+            sim.run(2)
+            assert sim.time_step == 2
+
+
+class TestStateAccess:
+    def test_fluid_property_sequential_is_live(self):
+        with Simulation(_config()) as sim:
+            assert sim.fluid is sim.fluid  # same object
+
+    def test_fluid_property_cube_gathers(self):
+        config = _config(solver="cube", num_threads=2, cube_size=4)
+        with Simulation(config) as sim:
+            sim.run(1)
+            fluid = sim.fluid
+            assert fluid.shape == config.fluid_shape
+
+    def test_cube_gather_matches_sequential(self):
+        seq = Simulation(_config())
+        cub = Simulation(_config(solver="cube", num_threads=2, cube_size=4))
+        for sim in (seq, cub):
+            sim.structure.sheets[0].positions[1, 1, 0] += 0.5
+            sim.run(4)
+        assert seq.fluid.state_allclose(cub.fluid, rtol=1e-10, atol=1e-12)
+        seq.close(), cub.close()
+
+    def test_viscosity(self):
+        with Simulation(_config(tau=0.8)) as sim:
+            assert sim.viscosity == pytest.approx(0.1)
+
+    def test_fiber_positions_are_copies(self):
+        with Simulation(_config()) as sim:
+            pos = sim.fiber_positions()[0]
+            pos[...] = 0
+            assert sim.structure.sheets[0].positions.any()
+
+    def test_fluid_only_diagnostics(self):
+        config = _config(structure=StructureConfig(kind="none"))
+        with Simulation(config) as sim:
+            sim.run(1)
+            assert sim.fiber_positions() == []
+            assert sim.structure_centroid() is None
+
+
+class TestDiagnostics:
+    def test_kinetic_energy_zero_at_rest(self):
+        with Simulation(_config(structure=StructureConfig(kind="none"))) as sim:
+            assert sim.kinetic_energy() == pytest.approx(0.0, abs=1e-20)
+
+    def test_max_velocity_rises_with_flow(self):
+        config = _config(
+            structure=StructureConfig(kind="none"),
+            external_force=(1e-4, 0.0, 0.0),
+        )
+        with Simulation(config) as sim:
+            sim.run(5)
+            assert sim.max_velocity() > 0
+
+    def test_vorticity_shape(self):
+        with Simulation(_config()) as sim:
+            assert sim.vorticity().shape == (3, 12, 8, 8)
+
+    def test_structure_centroid(self):
+        with Simulation(_config()) as sim:
+            c = sim.structure_centroid()
+            assert c.shape == (3,)
+
+
+class TestBoundariesViaConfig:
+    def test_channel_flow_runs(self):
+        config = _config(
+            boundaries=(
+                BoundaryConfig("bounce_back", "y", "low"),
+                BoundaryConfig("bounce_back", "y", "high"),
+            ),
+            external_force=(1e-5, 0.0, 0.0),
+        )
+        with Simulation(config) as sim:
+            sim.run(5)
+            assert sim.max_velocity() > 0
+
+
+class TestAllSolverVariants:
+    """The facade exposes all six solver programs with identical physics."""
+
+    VARIANTS = ["sequential", "openmp", "cube", "async_cube", "distributed", "hybrid"]
+
+    def _run_variant(self, solver):
+        config = SimulationConfig(
+            fluid_shape=(16, 8, 8),
+            solver=solver,
+            num_threads=2,
+            cube_size=4,
+            structure=StructureConfig(
+                kind="flat_sheet", num_fibers=4, nodes_per_fiber=4
+            ),
+        )
+        with Simulation(config) as sim:
+            sim.structure.sheets[0].positions[1, 1, 0] += 0.5
+            sim.run(4)
+            return sim.fluid, sim.structure.sheets[0].positions.copy()
+
+    @pytest.mark.parametrize(
+        "solver", ["openmp", "cube", "async_cube", "distributed", "hybrid"]
+    )
+    def test_variant_matches_sequential(self, solver):
+        ref_fluid, ref_pos = self._run_variant("sequential")
+        fluid, pos = self._run_variant(solver)
+        assert ref_fluid.state_allclose(fluid, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(pos, ref_pos, rtol=1e-10, atol=1e-12)
+
+    def test_unknown_variant_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(solver="gpu")
+
+    def test_distributed_time_step_before_run(self):
+        config = SimulationConfig(
+            fluid_shape=(16, 8, 8),
+            solver="distributed",
+            num_threads=2,
+            structure=StructureConfig(kind="none"),
+        )
+        with Simulation(config) as sim:
+            assert sim.time_step == 0
+            sim.run(2)
+            assert sim.time_step == 2
+
+    def test_hybrid_requires_divisible_grid(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="divisible"):
+            SimulationConfig(fluid_shape=(10, 8, 8), solver="hybrid", cube_size=4)

@@ -1,0 +1,125 @@
+"""Tests of the configuration objects."""
+
+import pytest
+
+from repro.config import BoundaryConfig, SimulationConfig, StructureConfig
+from repro.constants import viscosity_from_tau
+from repro.core.lbm.boundaries import BounceBackWall, OutflowBoundary, PeriodicBoundary
+from repro.errors import ConfigurationError
+
+
+class TestStructureConfig:
+    def test_defaults(self):
+        sc = StructureConfig()
+        assert sc.kind == "flat_sheet"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            StructureConfig(kind="balloon")
+
+    def test_rejects_empty_structure(self):
+        with pytest.raises(ConfigurationError):
+            StructureConfig(num_fibers=0)
+
+    def test_none_kind_skips_count_checks(self):
+        StructureConfig(kind="none", num_fibers=0)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ConfigurationError):
+            StructureConfig(normal_axis=5)
+
+
+class TestBoundaryConfig:
+    def test_axis_by_name(self):
+        assert BoundaryConfig("periodic", "y", "low").resolved_axis() == 1
+        assert BoundaryConfig("periodic", 2, "high").resolved_axis() == 2
+
+    def test_unknown_axis_name(self):
+        with pytest.raises(ConfigurationError):
+            BoundaryConfig("periodic", "w", "low").resolved_axis()
+
+    def test_build_types(self):
+        assert isinstance(
+            BoundaryConfig("periodic", 0, "low").build(), PeriodicBoundary
+        )
+        assert isinstance(
+            BoundaryConfig("bounce_back", 0, "low").build(), BounceBackWall
+        )
+        assert isinstance(
+            BoundaryConfig("outflow", 0, "high").build(), OutflowBoundary
+        )
+
+    def test_wall_velocity_forwarded(self):
+        b = BoundaryConfig(
+            "bounce_back", "x", "low", wall_velocity=(0.1, 0.0, 0.0)
+        ).build()
+        assert b.wall_velocity == (0.1, 0.0, 0.0)
+
+
+class TestSimulationConfig:
+    def test_defaults_valid(self):
+        config = SimulationConfig()
+        assert config.solver == "sequential"
+        assert config.effective_tau == 0.8
+
+    def test_viscosity_overrides_tau(self):
+        config = SimulationConfig(viscosity=0.1)
+        assert viscosity_from_tau(config.effective_tau) == pytest.approx(0.1)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(fluid_shape=(0, 4, 4))
+
+    def test_rejects_unknown_solver(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(solver="mpi")
+
+    def test_cube_divisibility_enforced(self):
+        with pytest.raises(ConfigurationError, match="divisible"):
+            SimulationConfig(fluid_shape=(10, 8, 8), solver="cube", cube_size=4)
+
+    def test_cube_divisibility_only_for_cube_solver(self):
+        SimulationConfig(fluid_shape=(10, 8, 8), solver="sequential", cube_size=4)
+
+    def test_rejects_duplicate_boundaries(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SimulationConfig(
+                boundaries=(
+                    BoundaryConfig("periodic", "x", "low"),
+                    BoundaryConfig("bounce_back", 0, "low"),
+                )
+            )
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(delta_kind="gaussian")
+
+    def test_build_delta_kinds(self):
+        from repro.core.ib.delta import CosineDelta, LinearDelta, ThreePointDelta
+
+        assert isinstance(SimulationConfig(delta_kind="cosine").build_delta(), CosineDelta)
+        assert isinstance(SimulationConfig(delta_kind="linear").build_delta(), LinearDelta)
+        assert isinstance(SimulationConfig(delta_kind="3point").build_delta(), ThreePointDelta)
+
+    def test_build_structure_kinds(self):
+        none = SimulationConfig(structure=StructureConfig(kind="none"))
+        assert none.build_structure() is None
+        sheet = SimulationConfig(
+            structure=StructureConfig(kind="flat_sheet", num_fibers=4, nodes_per_fiber=4)
+        ).build_structure()
+        assert sheet.sheets[0].num_fibers == 4
+        plate = SimulationConfig(
+            structure=StructureConfig(kind="circular_plate", num_fibers=9, nodes_per_fiber=9)
+        ).build_structure()
+        assert not plate.sheets[0].active.all()
+
+    def test_build_boundaries(self):
+        config = SimulationConfig(
+            boundaries=(
+                BoundaryConfig("bounce_back", "y", "low"),
+                BoundaryConfig("bounce_back", "y", "high"),
+            )
+        )
+        built = config.build_boundaries()
+        assert len(built) == 2
+        assert all(isinstance(b, BounceBackWall) for b in built)

@@ -1,0 +1,80 @@
+"""Tests of the cube-size auto-tuner."""
+
+import pytest
+
+from repro.config import SimulationConfig, StructureConfig
+from repro.errors import ConfigurationError
+from repro.machine.spec import thog
+from repro.tuning import (
+    TuningResult,
+    autotune_cube_size,
+    suggest_cube_size,
+    valid_cube_sizes,
+)
+
+
+class TestValidCubeSizes:
+    def test_divisors_of_gcd(self):
+        assert valid_cube_sizes((16, 8, 8)) == [1, 2, 4, 8]
+        assert valid_cube_sizes((12, 8, 8)) == [1, 2, 4]
+
+    def test_coprime_dims_only_unit(self):
+        assert valid_cube_sizes((7, 5, 3)) == [1]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            valid_cube_sizes((0, 4, 4))
+
+
+class TestSuggest:
+    def test_fits_l2_share(self):
+        machine = thog()  # 2 MB L2 per 2 cores -> 1 MB budget
+        k = suggest_cube_size((64, 64, 64), machine)
+        # 48 doubles/node * k^3 <= 1 MB  ->  k <= 13.9 -> largest divisor 8
+        assert k == 8
+
+    def test_small_grid_limits_k(self):
+        machine = thog()
+        assert suggest_cube_size((4, 4, 4), machine) == 4
+
+    def test_always_at_least_one(self):
+        machine = thog()
+        assert suggest_cube_size((3, 5, 7), machine) == 1
+
+
+class TestAutotune:
+    def _config(self):
+        return SimulationConfig(
+            fluid_shape=(8, 8, 8),
+            structure=StructureConfig(kind="flat_sheet", num_fibers=4, nodes_per_fiber=4),
+            num_threads=2,
+        )
+
+    def test_sweeps_all_candidates(self):
+        result = autotune_cube_size(self._config(), candidates=[2, 4], steps=1)
+        assert set(result.seconds_by_size) == {2, 4}
+        assert result.best_cube_size in (2, 4)
+        assert all(s > 0 for s in result.seconds_by_size.values())
+
+    def test_default_candidates_skip_unit_and_infeasible(self):
+        # k=8 would leave a single cube for two threads: silently skipped
+        result = autotune_cube_size(self._config(), steps=1, warmup_steps=0)
+        assert 1 not in result.seconds_by_size
+        assert set(result.seconds_by_size) == {2, 4}
+
+    def test_all_candidates_infeasible_raises(self):
+        with pytest.raises(ConfigurationError, match="no feasible"):
+            autotune_cube_size(self._config(), candidates=[8], steps=1)
+
+    def test_rejects_indivisible_candidate(self):
+        with pytest.raises(ConfigurationError, match="divide"):
+            autotune_cube_size(self._config(), candidates=[3], steps=1)
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ConfigurationError):
+            autotune_cube_size(self._config(), candidates=[2], steps=0)
+
+    def test_result_rows(self):
+        result = TuningResult(best_cube_size=4, seconds_by_size={2: 0.5, 4: 0.25})
+        rows = result.as_rows()
+        assert rows == [[2, 0.5, ""], [4, 0.25, "*"]]
