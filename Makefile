@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples report clean
+.PHONY: install test test-faults bench examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Fault-injection / resilience suite.  Each test is wrapped in a hard
+# SIGALRM deadline (see tests/conftest.py), so a reintroduced deadlock
+# fails CI with a traceback instead of hanging it.
+test-faults:
+	LBMIB_FAULT_TEST_TIMEOUT=120 $(PYTHON) -m pytest -m faults tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

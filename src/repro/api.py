@@ -17,6 +17,8 @@ solver programs is running underneath.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.config import BoundaryConfig, SimulationConfig, StructureConfig
@@ -28,6 +30,19 @@ from repro.errors import ConfigurationError
 
 __all__ = ["Simulation", "SimulationConfig", "StructureConfig", "BoundaryConfig"]
 
+#: Sentinel: "no initial structure was supplied" (``None`` is a valid
+#: structure meaning a fluid-only run, so it cannot be the default).
+_UNSET = object()
+
+_FLUID_STATE_FIELDS = (
+    "df",
+    "df_new",
+    "density",
+    "velocity",
+    "velocity_shifted",
+    "force",
+)
+
 
 class Simulation:
     """A configured LBM-IB simulation with a uniform driving interface.
@@ -38,11 +53,33 @@ class Simulation:
         The complete run description.  The solver variant is selected by
         ``config.solver``; all variants produce identical physics (this
         is enforced by the test suite).
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; its
+        hooks are wired into the selected solver (per-step kill/corrupt
+        faults) and, for the distributed variants, into the simulated
+        communicator (drop/delay faults).
+    initial_fluid / initial_structure / initial_step:
+        Restore state: copy this fluid state (and adopt this structure)
+        instead of the config-built initial condition, and start the
+        step counter at ``initial_step``.  Used by
+        :meth:`from_checkpoint`; the fluid's ``tau`` still comes from
+        ``config`` so a restore may retry with damped parameters.
     """
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        fault_injector=None,
+        initial_fluid: FluidGrid | None = None,
+        initial_structure=_UNSET,
+        initial_step: int = 0,
+    ) -> None:
         self.config = config
-        self._built_structure = config.build_structure()
+        self.fault_injector = fault_injector
+        if initial_structure is _UNSET:
+            self._built_structure = config.build_structure()
+        else:
+            self._built_structure = initial_structure
         self._delta = config.build_delta()
         self._boundaries = config.build_boundaries()
         self._fluid = FluidGrid(
@@ -50,6 +87,15 @@ class Simulation:
             tau=config.effective_tau,
             collision_operator=config.collision_operator,
         )
+        if initial_fluid is not None:
+            if tuple(initial_fluid.shape) != tuple(config.fluid_shape):
+                raise ConfigurationError(
+                    f"restored fluid shape {initial_fluid.shape} does not match "
+                    f"configured shape {config.fluid_shape}"
+                )
+            for name in _FLUID_STATE_FIELDS:
+                getattr(self._fluid, name)[...] = getattr(initial_fluid, name)
+        self._initial_step = int(initial_step)
         self._cubes = None
         self._distributed = None
 
@@ -61,6 +107,7 @@ class Simulation:
                 boundaries=self._boundaries,
                 dt=config.dt,
                 external_force=config.external_force,
+                fault_hook=self._hook_for(self._fluid),
             )
         elif config.solver == "openmp":
             from repro.parallel.openmp_solver import OpenMPLBMIBSolver
@@ -74,6 +121,8 @@ class Simulation:
                 fiber_method=config.fiber_method,
                 dt=config.dt,
                 external_force=config.external_force,
+                fault_hook=self._hook_for(self._fluid),
+                barrier_timeout=config.barrier_timeout,
             )
         elif config.solver in ("cube", "async_cube"):
             from repro.parallel.async_cube_solver import AsyncCubeLBMIBSolver
@@ -94,6 +143,8 @@ class Simulation:
                 boundaries=self._boundaries,
                 dt=config.dt,
                 external_force=config.external_force,
+                fault_hook=self._hook_for(self._cubes),
+                barrier_timeout=config.barrier_timeout,
             )
         elif config.solver in ("distributed", "hybrid"):
             # Construction is deferred to the first run(): the distributed
@@ -103,6 +154,13 @@ class Simulation:
             self._solver = None
         else:  # pragma: no cover - config validation rejects this earlier
             raise ConfigurationError(f"unknown solver {config.solver!r}")
+        if self._solver is not None:
+            self._solver.time_step = self._initial_step
+
+    def _hook_for(self, state):
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.hook_for(state)
 
     # ------------------------------------------------------------------
     # driving
@@ -136,6 +194,11 @@ class Simulation:
                 dt=config.dt,
                 external_force=config.external_force,
             )
+        self._solver.time_step = self._initial_step
+        if self.fault_injector is not None:
+            self._solver.comm.fault_injector = self.fault_injector
+        if config.barrier_timeout is not None:
+            self._solver.comm.timeout = config.barrier_timeout
         self._distributed = self._solver
         return self._solver
 
@@ -150,7 +213,47 @@ class Simulation:
     @property
     def time_step(self) -> int:
         """Number of completed time steps."""
-        return self._solver.time_step if self._solver is not None else 0
+        return self._solver.time_step if self._solver is not None else self._initial_step
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str | os.PathLike) -> None:
+        """Atomically save the complete state (any solver variant).
+
+        The state is gathered into the global layout first, so a
+        checkpoint written by one solver variant restores into any
+        other — the fallback path the resilient runner relies on.
+        """
+        from repro.io.checkpoint import save_checkpoint
+
+        save_checkpoint(path, self.fluid, self.structure, time_step=self.time_step)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str | os.PathLike,
+        config: SimulationConfig,
+        fault_injector=None,
+    ) -> "Simulation":
+        """Rebuild a simulation from a checkpoint under ``config``.
+
+        ``config`` may differ from the writing run's configuration — a
+        different solver variant (worker-death fallback) or damped
+        ``tau``/``dt`` (stability retry); only the fluid shape must
+        match.  Raises :class:`~repro.errors.CheckpointError` for a
+        missing, truncated, or corrupted file.
+        """
+        from repro.io.checkpoint import load_checkpoint
+
+        fluid, structure, step = load_checkpoint(path)
+        return cls(
+            config,
+            fault_injector=fault_injector,
+            initial_fluid=fluid,
+            initial_structure=structure,
+            initial_step=step,
+        )
 
     def close(self) -> None:
         """Release solver resources (worker pools); idempotent."""

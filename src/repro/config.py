@@ -140,6 +140,14 @@ class SimulationConfig:
         Optional constant body-force density driving the flow.
     dt:
         Time step (1 in lattice units).
+    barrier_timeout:
+        Watchdog deadline (seconds) for every barrier crossing, worker
+        fork-join, and communicator wait in the parallel solvers.
+        ``None`` (the default) waits forever, the classic HPC
+        behaviour; a finite value turns a stalled or dead peer into a
+        typed :class:`~repro.errors.BarrierTimeoutError` /
+        :class:`~repro.errors.CommTimeoutError` naming the missing
+        threads or ranks.
     """
 
     fluid_shape: tuple[int, int, int] = (32, 32, 32)
@@ -158,8 +166,13 @@ class SimulationConfig:
     collision_operator: Literal["bgk", "trt"] = "bgk"
     external_force: tuple[float, float, float] | None = None
     dt: float = DT
+    barrier_timeout: float | None = None
 
     def __post_init__(self) -> None:
+        if self.barrier_timeout is not None and self.barrier_timeout <= 0:
+            raise ConfigurationError(
+                f"barrier_timeout must be positive or None, got {self.barrier_timeout}"
+            )
         if len(self.fluid_shape) != 3 or any(n < 1 for n in self.fluid_shape):
             raise ConfigurationError(
                 f"fluid_shape must be three positive ints, got {self.fluid_shape}"

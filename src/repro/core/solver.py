@@ -53,6 +53,11 @@ class SequentialLBMIBSolver:
         Optional constant body-force density (3-vector) applied to every
         fluid node on top of the spread elastic force; used to drive
         channel flows (e.g. the Poiseuille validation).
+    fault_hook:
+        Optional ``hook(tid, step)`` called at the top of every step
+        (tid is always 0 here); installed by the resilience layer's
+        :class:`~repro.resilience.faults.FaultInjector` to corrupt
+        fields or kill the run at a chosen step.
     """
 
     fluid: FluidGrid
@@ -63,6 +68,7 @@ class SequentialLBMIBSolver:
     kernel_timer: Callable[[str, float], None] | None = None
     check_stability_every: int = 0
     external_force: tuple[float, float, float] | None = None
+    fault_hook: Callable[[int, int], None] | None = None
     time_step: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
@@ -90,6 +96,8 @@ class SequentialLBMIBSolver:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by one time step (the 9 kernels)."""
+        if self.fault_hook is not None:
+            self.fault_hook(0, self.time_step)
         fluid, structure, delta = self.fluid, self.structure, self.delta
 
         # --- IB related ---

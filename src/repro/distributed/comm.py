@@ -11,19 +11,32 @@ send boundary, exactly as a network transport would.
 
 Message counts and byte volumes are recorded per rank, so communication
 costs of the distributed algorithm are measurable.
+
+Every blocking operation takes a deadline (per call, or the
+communicator-wide ``timeout`` default): a dead or stalled peer rank
+turns into a typed :class:`~repro.errors.CommTimeoutError` naming the
+waiting rank, the operation, and (for receives) the expected source and
+tag — never an indefinite hang.  An optional fault injector
+(:class:`repro.resilience.FaultInjector`) may drop or delay messages at
+the send boundary to exercise those paths deterministically.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CommTimeoutError, ConfigurationError
 
-__all__ = ["CommStats", "SimulatedComm", "RankComm"]
+__all__ = ["CommStats", "SimulatedComm", "RankComm", "DEFAULT_COMM_TIMEOUT"]
+
+#: Default deadline for barriers/collectives; generous for real runs,
+#: overridable per communicator or per call for tests.
+DEFAULT_COMM_TIMEOUT = 60.0
 
 
 @dataclass
@@ -34,6 +47,7 @@ class CommStats:
     bytes_sent: int = 0
     messages_received: int = 0
     bytes_received: int = 0
+    messages_dropped: int = 0
 
 
 class SimulatedComm:
@@ -41,20 +55,45 @@ class SimulatedComm:
 
     Obtain each rank's endpoint with :meth:`rank_comm`; run the ranks
     with :func:`repro.parallel.executor.run_spmd`.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    timeout:
+        Default deadline (seconds) for barriers and collectives.
+    fault_injector:
+        Optional object with an ``on_send(src, dst, tag)`` hook
+        returning ``None`` (deliver), ``"drop"``, or a float delay in
+        seconds — used by the resilience test harness to simulate lost
+        or slow messages.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(
+        self,
+        size: int,
+        timeout: float | None = DEFAULT_COMM_TIMEOUT,
+        fault_injector=None,
+    ) -> None:
         if size < 1:
             raise ConfigurationError(f"communicator size must be positive, got {size}")
         self.size = size
+        self.timeout = timeout
+        self.fault_injector = fault_injector
         self._mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
         self._mailbox_lock = threading.Lock()
-        self._barrier = threading.Barrier(size)
+        self._barrier = threading.Barrier(size, action=self._clear_arrivals)
+        self._arrived: list[int] = []
+        self._arrived_lock = threading.Lock()
         self._reduce_lock = threading.Lock()
         self._reduce_buffer: np.ndarray | None = None
         self._reduce_count = 0
         self._reduce_result: np.ndarray | None = None
         self.stats = [CommStats() for _ in range(size)]
+
+    def _clear_arrivals(self) -> None:
+        with self._arrived_lock:
+            self._arrived.clear()
 
     def _mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
         key = (src, dst, tag)
@@ -96,21 +135,37 @@ class RankComm:
         """Send a copy of ``array`` to ``dst`` (non-blocking deposit)."""
         if not 0 <= dst < self.size:
             raise ConfigurationError(f"destination rank {dst} out of range")
+        st = self.comm.stats[self.rank]
+        injector = self.comm.fault_injector
+        if injector is not None:
+            action = injector.on_send(self.rank, dst, tag)
+            if action == "drop":
+                st.messages_dropped += 1
+                return
+            if action is not None:
+                time.sleep(float(action))
         payload = np.array(array, copy=True)
         self.comm._mailbox(self.rank, dst, tag).put(payload)
-        st = self.comm.stats[self.rank]
         st.messages_sent += 1
         st.bytes_sent += payload.nbytes
 
-    def recv(self, src: int, tag: int, timeout: float = 30.0) -> np.ndarray:
-        """Block until the matching message from ``src`` arrives."""
+    def recv(self, src: int, tag: int, timeout: float | None = None) -> np.ndarray:
+        """Block until the matching message from ``src`` arrives.
+
+        The deadline defaults to the communicator-wide ``timeout``.
+        Raises :class:`~repro.errors.CommTimeoutError` (an
+        :class:`LBMIBError` and a :class:`TimeoutError`) carrying this
+        rank, the source rank, and the tag if no message arrives in
+        time.
+        """
         if not 0 <= src < self.size:
             raise ConfigurationError(f"source rank {src} out of range")
+        deadline = self.comm.timeout if timeout is None else timeout
         try:
-            payload = self.comm._mailbox(src, self.rank, tag).get(timeout=timeout)
+            payload = self.comm._mailbox(src, self.rank, tag).get(timeout=deadline)
         except queue.Empty:
-            raise TimeoutError(
-                f"rank {self.rank} timed out waiting for tag {tag} from rank {src}"
+            raise CommTimeoutError(
+                self.rank, "recv", deadline, src=src, tag=tag
             ) from None
         st = self.comm.stats[self.rank]
         st.messages_received += 1
@@ -125,17 +180,46 @@ class RankComm:
         return self.recv(src, tag)
 
     # ------------------------------------------------------------------
-    def barrier(self) -> None:
-        """Synchronize all ranks."""
-        self.comm._barrier.wait()
+    def barrier(self, timeout: float | None = None) -> None:
+        """Synchronize all ranks.
 
-    def allreduce_sum(self, array: np.ndarray) -> np.ndarray:
+        ``timeout`` defaults to the communicator's configured deadline;
+        a rank that never arrives (it died, or is wedged) breaks the
+        barrier for everyone, and every waiter raises
+        :class:`~repro.errors.CommTimeoutError` naming the missing
+        ranks.
+        """
+        comm = self.comm
+        deadline = comm.timeout if timeout is None else timeout
+        with comm._arrived_lock:
+            comm._arrived.append(self.rank)
+        try:
+            comm._barrier.wait(deadline)
+        except threading.BrokenBarrierError:
+            with comm._arrived_lock:
+                arrived = set(comm._arrived)
+                if self.rank in comm._arrived:
+                    comm._arrived.remove(self.rank)
+            missing = sorted(set(range(comm.size)) - arrived)
+            raise CommTimeoutError(
+                self.rank,
+                "barrier",
+                0.0 if deadline is None else deadline,
+                missing=missing,
+            ) from None
+
+    def allreduce_sum(
+        self, array: np.ndarray, timeout: float | None = None
+    ) -> np.ndarray:
         """Element-wise sum over all ranks; every rank gets the result.
 
         Deterministic accumulation order (rank 0, 1, ...) would require
         extra staging; instead contributions are added under a lock in
         arrival order, which is sufficient for the library's tolerance
         contracts and matches MPI's unspecified reduction order.
+
+        Inherits the barrier deadline semantics: a missing peer raises
+        :class:`~repro.errors.CommTimeoutError` instead of deadlocking.
         """
         comm = self.comm
         contribution = np.asarray(array, dtype=np.float64)
@@ -145,16 +229,16 @@ class RankComm:
             else:
                 comm._reduce_buffer = comm._reduce_buffer + contribution
             comm._reduce_count += 1
-        self.barrier()
+        self.barrier(timeout)
         # buffer complete; publish, then reset after everyone has read it
         with comm._reduce_lock:
             if comm._reduce_result is None:
                 comm._reduce_result = comm._reduce_buffer
         result = comm._reduce_result.copy()
-        self.barrier()
+        self.barrier(timeout)
         with comm._reduce_lock:
             comm._reduce_buffer = None
             comm._reduce_result = None
             comm._reduce_count = 0
-        self.barrier()
+        self.barrier(timeout)
         return result

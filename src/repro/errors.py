@@ -35,3 +35,85 @@ class CheckpointError(LBMIBError, RuntimeError):
 
 class MachineModelError(LBMIBError, ValueError):
     """The simulated-machine model was queried with inconsistent inputs."""
+
+
+class WorkerError(LBMIBError, RuntimeError):
+    """An exception raised inside a worker thread, with its thread ID."""
+
+    def __init__(self, tid: int, original: BaseException) -> None:
+        super().__init__(f"worker thread {tid} failed: {original!r}")
+        self.tid = tid
+        self.original = original
+
+
+class BarrierTimeoutError(LBMIBError, TimeoutError):
+    """A barrier (or fork-join) deadline expired before all parties arrived.
+
+    Carries a stall report: which threads made it to the rendezvous and
+    which never arrived, so a hung parallel run fails with an actionable
+    message instead of deadlocking forever.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        timeout: float,
+        arrived: list[str] | None = None,
+        missing: list[str] | None = None,
+    ) -> None:
+        self.name = name
+        self.timeout = timeout
+        self.arrived = list(arrived or [])
+        self.missing = list(missing or [])
+        report = f"barrier {name!r} timed out after {timeout:g}s"
+        if self.arrived:
+            report += f"; arrived: {', '.join(self.arrived)}"
+        if self.missing:
+            report += f"; never arrived: {', '.join(self.missing)}"
+        elif not self.arrived:
+            report += "; no thread reached the rendezvous"
+        super().__init__(report)
+
+
+class CommTimeoutError(LBMIBError, TimeoutError):
+    """A communicator operation (recv/barrier/allreduce) missed its deadline.
+
+    Carries the waiting rank, the operation, and — for point-to-point
+    receives — the expected source rank and message tag.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        op: str,
+        timeout: float,
+        src: int | None = None,
+        tag: int | None = None,
+        missing: list[int] | None = None,
+    ) -> None:
+        self.rank = rank
+        self.op = op
+        self.timeout = timeout
+        self.src = src
+        self.tag = tag
+        self.missing = list(missing or [])
+        msg = f"rank {rank} timed out after {timeout:g}s in {op}"
+        if src is not None:
+            msg += f" waiting for tag {tag} from rank {src}"
+        if self.missing:
+            msg += f"; ranks never arrived: {self.missing}"
+        msg += " (a peer rank has likely died or stalled)"
+        super().__init__(msg)
+
+
+class FaultInjectedError(LBMIBError, RuntimeError):
+    """Base class for failures raised deliberately by the fault injector."""
+
+
+class WorkerKilledError(FaultInjectedError):
+    """A worker thread was killed by an injected ``kill_worker`` fault."""
+
+    def __init__(self, tid: int, step: int) -> None:
+        super().__init__(f"worker thread {tid} killed by fault injection at step {step}")
+        self.tid = tid
+        self.step = step

@@ -3,11 +3,27 @@
 Long FSI runs are expensive; checkpoints capture the fluid grid and the
 immersed structure exactly (both distribution buffers, both velocity
 fields, positions, forces) so a restored run continues bit-for-bit.
+
+Checkpoints are crash-safe by construction:
+
+* **Atomic writes** — the payload is written to ``path + ".tmp"`` and
+  moved into place with :func:`os.replace`, so a process killed mid-write
+  can only ever leave a stale-but-complete previous checkpoint (plus a
+  harmless ``.tmp`` orphan), never a half-written file under the real
+  name.
+* **Payload checksum** — a SHA-256 digest over every stored array is
+  saved alongside the data and verified by :func:`load_checkpoint`;
+  silently corrupted bytes (bit rot, torn writes on non-POSIX stores)
+  raise :class:`~repro.errors.CheckpointError` instead of loading as
+  garbage physics.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -15,9 +31,37 @@ from repro.core.ib.fiber import FiberSheet, ImmersedStructure
 from repro.core.lbm.fields import FluidGrid
 from repro.errors import CheckpointError
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "payload_checksum"]
 
 _FORMAT_VERSION = 1
+_CHECKSUM_KEY = "checksum"
+
+
+def payload_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 digest over every array (key, dtype, shape, bytes).
+
+    Keys are visited in sorted order so the digest is independent of
+    insertion order; the ``checksum`` entry itself is excluded.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        if key == _CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _resolved(path: str | os.PathLike) -> str:
+    # np.savez historically appends ".npz" to bare names; keep that
+    # contract even though we write through a file object.
+    final = os.fspath(path)
+    if not final.endswith(".npz"):
+        final += ".npz"
+    return final
 
 
 def save_checkpoint(
@@ -26,7 +70,7 @@ def save_checkpoint(
     structure: ImmersedStructure | None = None,
     time_step: int = 0,
 ) -> None:
-    """Write the complete state to ``path`` (npz)."""
+    """Atomically write the complete state to ``path`` (npz)."""
     payload: dict[str, np.ndarray] = {
         "format_version": np.array(_FORMAT_VERSION),
         "time_step": np.array(time_step),
@@ -60,65 +104,105 @@ def save_checkpoint(
                     s.tether_coefficient,
                 ]
             )
-    np.savez_compressed(path, **payload)
+    payload[_CHECKSUM_KEY] = np.array(payload_checksum(payload))
+
+    final = _resolved(path)
+    tmp = final + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write checkpoint {final}: {exc}") from exc
 
 
 def load_checkpoint(
     path: str | os.PathLike,
 ) -> tuple[FluidGrid, ImmersedStructure | None, int]:
-    """Restore ``(fluid, structure, time_step)`` from a checkpoint file."""
+    """Restore ``(fluid, structure, time_step)`` from a checkpoint file.
+
+    Verifies the stored payload checksum before reconstructing any
+    state; a truncated or bit-flipped file raises
+    :class:`~repro.errors.CheckpointError` with the reason (never a
+    grid of garbage numbers).
+    """
     try:
         data = np.load(path)
-    except (OSError, ValueError) as exc:
-        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc} "
+            "(the file is missing, truncated, or not a checkpoint)"
+        ) from exc
     try:
         version = int(data["format_version"])
         if version != _FORMAT_VERSION:
             raise CheckpointError(
                 f"checkpoint format {version} unsupported (expected {_FORMAT_VERSION})"
             )
+        arrays = {key: data[key] for key in data.files}
+        if _CHECKSUM_KEY in arrays:
+            stored = str(arrays[_CHECKSUM_KEY])
+            actual = payload_checksum(arrays)
+            if stored != actual:
+                raise CheckpointError(
+                    f"checkpoint {path} failed checksum verification "
+                    f"(stored {stored[:12]}..., computed {actual[:12]}...): "
+                    "the file was corrupted after writing; restore from an "
+                    "earlier checkpoint"
+                )
         operator = (
-            str(data["collision_operator"])
-            if "collision_operator" in data
+            str(arrays["collision_operator"])
+            if "collision_operator" in arrays
             else "bgk"
         )
         fluid = FluidGrid(
-            tuple(int(n) for n in data["shape"]),
-            tau=float(data["tau"]),
+            tuple(int(n) for n in arrays["shape"]),
+            tau=float(arrays["tau"]),
             collision_operator=operator,
         )
-        fluid.df[...] = data["df"]
-        fluid.df_new[...] = data["df_new"]
-        fluid.density[...] = data["density"]
-        fluid.velocity[...] = data["velocity"]
-        fluid.velocity_shifted[...] = data["velocity_shifted"]
-        fluid.force[...] = data["force"]
+        fluid.df[...] = arrays["df"]
+        fluid.df_new[...] = arrays["df_new"]
+        fluid.density[...] = arrays["density"]
+        fluid.velocity[...] = arrays["velocity"]
+        fluid.velocity_shifted[...] = arrays["velocity_shifted"]
+        fluid.force[...] = arrays["force"]
 
-        num_sheets = int(data["num_sheets"])
+        num_sheets = int(arrays["num_sheets"])
         structure = None
         if num_sheets:
             sheets = []
             for i in range(num_sheets):
-                params = data[f"sheet{i}_params"]
+                params = arrays[f"sheet{i}_params"]
                 sheet = FiberSheet(
-                    data[f"sheet{i}_positions"],
+                    arrays[f"sheet{i}_positions"],
                     stretch_coefficient=float(params[0]),
                     bend_coefficient=float(params[1]),
                     rest_spacing_fiber=float(params[2]),
                     rest_spacing_cross=float(params[3]),
-                    active=data[f"sheet{i}_active"],
-                    tethered=data[f"sheet{i}_tethered"],
+                    active=arrays[f"sheet{i}_active"],
+                    tethered=arrays[f"sheet{i}_tethered"],
                     tether_coefficient=float(params[4]),
                 )
-                sheet.anchors[...] = data[f"sheet{i}_anchors"]
-                sheet.velocity[...] = data[f"sheet{i}_velocity"]
-                sheet.bending_force[...] = data[f"sheet{i}_bending"]
-                sheet.stretching_force[...] = data[f"sheet{i}_stretching"]
-                sheet.elastic_force[...] = data[f"sheet{i}_elastic"]
+                sheet.anchors[...] = arrays[f"sheet{i}_anchors"]
+                sheet.velocity[...] = arrays[f"sheet{i}_velocity"]
+                sheet.bending_force[...] = arrays[f"sheet{i}_bending"]
+                sheet.stretching_force[...] = arrays[f"sheet{i}_stretching"]
+                sheet.elastic_force[...] = arrays[f"sheet{i}_elastic"]
                 sheets.append(sheet)
             structure = ImmersedStructure(sheets)
-        return fluid, structure, int(data["time_step"])
+        return fluid, structure, int(arrays["time_step"])
     except KeyError as exc:
         raise CheckpointError(f"checkpoint {path} is missing field {exc}") from exc
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable past its header: {exc} "
+            "(truncated or corrupted archive)"
+        ) from exc
     finally:
         data.close()

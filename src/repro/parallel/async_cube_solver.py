@@ -132,32 +132,47 @@ class AsyncCubeLBMIBSolver(CubeLBMIBSolver):
                             ready.append(("move", bi))
                 has_work.notify_all()
 
+        failed = False
+
         def worker(tid: int) -> None:
-            nonlocal outstanding
-            while True:
-                with state_lock:
-                    while not ready:
-                        if outstanding == 0:
+            nonlocal outstanding, failed
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(tid, self.time_step)
+                while True:
+                    with state_lock:
+                        while not ready:
+                            if outstanding == 0 or failed:
+                                return
+                            has_work.wait()
+                        if failed:
                             return
-                        has_work.wait()
-                    task = ready.popleft()
-                kind, payload = task
-                if kind == "spread":
-                    si, rows = fiber_blocks[payload]
-                    self._fiber_forces_and_spread(si, rows)
-                elif kind == "stream":
-                    self._collide_cube(payload)
-                    self._stream_cube(payload)
-                elif kind == "update":
-                    self._update_cube(payload)
-                elif kind == "move":
-                    si, rows = fiber_blocks[payload]
-                    self._move_fiber_rows(si, rows)
-                elif kind == "copy":
-                    self._copy_cube(payload)
+                        task = ready.popleft()
+                    kind, payload = task
+                    if kind == "spread":
+                        si, rows = fiber_blocks[payload]
+                        self._fiber_forces_and_spread(si, rows)
+                    elif kind == "stream":
+                        self._collide_cube(payload)
+                        self._stream_cube(payload)
+                    elif kind == "update":
+                        self._update_cube(payload)
+                    elif kind == "move":
+                        si, rows = fiber_blocks[payload]
+                        self._move_fiber_rows(si, rows)
+                    elif kind == "copy":
+                        self._copy_cube(payload)
+                    with state_lock:
+                        self.tasks_executed += 1
+                    complete(task)
+            except BaseException:
+                # Wake every peer parked on the work condition; they see
+                # the failed flag and exit instead of deadlocking on a
+                # task count that can no longer reach zero.
                 with state_lock:
-                    self.tasks_executed += 1
-                complete(task)
+                    failed = True
+                    has_work.notify_all()
+                raise
 
         run_spmd(self.num_threads, worker)
 

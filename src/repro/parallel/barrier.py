@@ -4,13 +4,24 @@ Wraps :class:`threading.Barrier` and records, per crossing, how long
 each thread waited.  The wait-time spread is the direct measurement of
 load imbalance that feeds both the OmpP-style profile (paper Table II)
 and the analytic performance model's synchronization-overhead term.
+
+The barrier is also the library's first line of defence against
+deadlock: every :meth:`InstrumentedBarrier.wait` accepts a deadline
+(per-call or set at construction), and a missed deadline raises a typed
+:class:`~repro.errors.BarrierTimeoutError` carrying a stall report —
+which threads reached the rendezvous and which never arrived — instead
+of blocking forever.  :meth:`abort` lets a dying worker release its
+peers immediately so a worker death surfaces as an exception, not a
+hang.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.errors import BarrierTimeoutError
 
 __all__ = ["BarrierStats", "InstrumentedBarrier"]
 
@@ -48,30 +59,96 @@ class InstrumentedBarrier:
         Number of threads that must arrive before any may proceed.
     name:
         Label used in traces (e.g. ``"after_stream"``).
+    timeout:
+        Default deadline in seconds for every :meth:`wait`; ``None``
+        blocks forever (the pre-watchdog behaviour).
     """
 
-    def __init__(self, parties: int, name: str = "barrier") -> None:
+    def __init__(
+        self, parties: int, name: str = "barrier", timeout: float | None = None
+    ) -> None:
         if parties < 1:
             raise ValueError(f"parties must be positive, got {parties}")
         self.parties = parties
         self.name = name
-        self._barrier = threading.Barrier(parties)
+        self.timeout = timeout
+        self._barrier = threading.Barrier(parties, action=self._on_release)
         self._lock = threading.Lock()
+        # Threads currently blocked in this episode, and every thread
+        # ever seen at this barrier (the roster).  The roster lets a
+        # stall report name the threads that never arrived, not just
+        # count them.
+        self._arrived: list[str] = []
+        self._roster: set[str] = set()
+        self._aborted = False
         self.stats = BarrierStats()
 
-    def wait(self) -> int:
+    def _on_release(self) -> None:
+        # Runs in exactly one thread while all parties are still inside
+        # wait(); no new arrivals are possible until release.
+        with self._lock:
+            self._arrived.clear()
+
+    def _stall_report(self) -> tuple[list[str], list[str]]:
+        with self._lock:
+            arrived = list(self._arrived)
+            missing = sorted(self._roster - set(arrived))
+        return arrived, missing
+
+    def wait(self, timeout: float | None = None) -> int:
         """Block until all parties arrive; returns the arrival index.
 
         Thread-safe; each call's wait duration is added to ``stats``.
+        A deadline (``timeout`` here, or the constructor default) that
+        expires — or a peer calling :meth:`abort` — raises
+        :class:`~repro.errors.BarrierTimeoutError` with a stall report.
         """
+        deadline = self.timeout if timeout is None else timeout
+        me = threading.current_thread().name
+        with self._lock:
+            self._arrived.append(me)
+            self._roster.add(me)
         start = time.perf_counter()
-        index = self._barrier.wait()
+        try:
+            index = self._barrier.wait(deadline)
+        except threading.BrokenBarrierError:
+            arrived, missing = self._stall_report()
+            with self._lock:
+                if me in self._arrived:
+                    self._arrived.remove(me)
+            raise BarrierTimeoutError(
+                self.name,
+                0.0 if deadline is None else deadline,
+                arrived=arrived,
+                missing=missing,
+            ) from None
         waited = time.perf_counter() - start
         with self._lock:
             self.stats.record(waited)
             if index == 0:
                 self.stats.crossings += 1
         return index
+
+    def abort(self) -> None:
+        """Break the barrier: every current and future ``wait`` raises.
+
+        Called by a worker that is about to die so its peers fail fast
+        with a stall report instead of waiting out the full deadline.
+        """
+        self._aborted = True
+        self._barrier.abort()
+
+    @property
+    def aborted(self) -> bool:
+        """Whether :meth:`abort` has been called."""
+        return self._aborted
+
+    def reset(self) -> None:
+        """Restore a broken/aborted barrier for reuse."""
+        self._barrier.reset()
+        self._aborted = False
+        with self._lock:
+            self._arrived.clear()
 
     def reset_stats(self) -> None:
         """Zero the accumulated statistics."""

@@ -130,6 +130,8 @@ class CubeLBMIBSolver:
         use_locks: bool = True,
         trace: bool = True,
         external_force: tuple[float, float, float] | None = None,
+        fault_hook=None,
+        barrier_timeout: float | None = None,
     ) -> None:
         if num_threads < 1:
             raise ConfigurationError(f"num_threads must be positive, got {num_threads}")
@@ -152,6 +154,8 @@ class CubeLBMIBSolver:
         self.use_locks = use_locks
         self.time_step = 0
         self.external_force = external_force
+        self.fault_hook = fault_hook
+        self.barrier_timeout = barrier_timeout
         if external_force is not None:
             f = np.asarray(external_force, dtype=DTYPE)
             cubes.force[...] = f[None, :, None, None, None]
@@ -173,7 +177,7 @@ class CubeLBMIBSolver:
             ]
         self.locks = OwnerLocks(num_threads)
         self.barriers = {
-            name: InstrumentedBarrier(num_threads, name)
+            name: InstrumentedBarrier(num_threads, name, timeout=barrier_timeout)
             for name in ("after_stream", "after_update", "after_step")
         }
         self.trace: ExecutionTrace | None = (
@@ -448,24 +452,43 @@ class CubeLBMIBSolver:
     # driver
     # ------------------------------------------------------------------
     def _thread_entry(self, tid: int, num_steps: int) -> None:
-        for local_step in range(num_steps):
-            step = self.time_step + local_step
-            if self.structure is not None:
-                self._loop1_fibers(tid, step)
-            self._loop2_cubes(tid, step)
-            self.barriers["after_stream"].wait()
-            self._loop3_cubes(tid, step)
-            self.barriers["after_update"].wait()
-            if self.structure is not None:
-                self._loop4_fibers(tid, step)
-            self._loop5_cubes(tid, step)
-            self.barriers["after_step"].wait()
+        try:
+            for local_step in range(num_steps):
+                step = self.time_step + local_step
+                if self.fault_hook is not None:
+                    self.fault_hook(tid, step)
+                if self.structure is not None:
+                    self._loop1_fibers(tid, step)
+                self._loop2_cubes(tid, step)
+                self.barriers["after_stream"].wait()
+                self._loop3_cubes(tid, step)
+                self.barriers["after_update"].wait()
+                if self.structure is not None:
+                    self._loop4_fibers(tid, step)
+                self._loop5_cubes(tid, step)
+                self.barriers["after_step"].wait()
+        except BaseException:
+            # A dying worker must not strand its peers at the next
+            # rendezvous: break every barrier so they fail fast with a
+            # typed stall report instead of deadlocking.
+            for barrier in self.barriers.values():
+                barrier.abort()
+            raise
 
     def run(self, num_steps: int) -> None:
-        """Launch the SPMD team once and advance ``num_steps`` steps."""
+        """Launch the SPMD team once and advance ``num_steps`` steps.
+
+        Worker failures surface as :class:`~repro.errors.WorkerError`
+        (root cause first, barrier-stall collateral suppressed); the
+        per-step watchdog is the barrier deadline configured via
+        ``barrier_timeout``.
+        """
         if num_steps < 0:
             raise ValueError(f"num_steps must be non-negative, got {num_steps}")
         if num_steps == 0:
             return
+        for barrier in self.barriers.values():
+            if barrier.aborted:
+                barrier.reset()
         run_spmd(self.num_threads, lambda tid: self._thread_entry(tid, num_steps))
         self.time_step += num_steps

@@ -12,32 +12,51 @@ Two styles, matching the two parallel programs of the paper:
   synchronizing only through barriers and locks).
 
 Worker exceptions are captured and re-raised in the caller with the
-originating thread ID attached.
+originating thread ID attached.  Both primitives take deadlines: a
+fork-join that never completes (a worker wedged on a dead peer's
+barrier) raises :class:`~repro.errors.BarrierTimeoutError` naming the
+threads that never finished, instead of hanging the caller forever.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable
+
+from repro.errors import BarrierTimeoutError, WorkerError
 
 __all__ = ["WorkerPool", "run_spmd", "WorkerError"]
 
 
-class WorkerError(RuntimeError):
-    """An exception raised inside a worker thread, with its thread ID."""
+def _primary_error(errors: list[WorkerError]) -> WorkerError:
+    """The most informative worker error: root causes beat timeouts.
 
-    def __init__(self, tid: int, original: BaseException) -> None:
-        super().__init__(f"worker thread {tid} failed: {original!r}")
-        self.tid = tid
-        self.original = original
+    When one worker dies and aborts the team barriers, its peers all
+    raise :class:`BarrierTimeoutError`; the caller should see the
+    original death, not the collateral timeouts.
+    """
+    for err in errors:
+        if not isinstance(err.original, BarrierTimeoutError):
+            return err
+    return errors[0]
 
 
-def run_spmd(num_threads: int, fn: Callable[[int], None]) -> None:
+def run_spmd(
+    num_threads: int,
+    fn: Callable[[int], None],
+    timeout: float | None = None,
+) -> None:
     """Run ``fn(tid)`` on ``num_threads`` fresh threads and join them all.
 
     The Pthreads-style entry point of Algorithm 4: every thread executes
     the whole time-stepping loop itself.  The first worker exception is
     re-raised as :class:`WorkerError` after all threads have exited.
+
+    ``timeout`` bounds the *total* join: if any thread is still running
+    when it expires, :class:`~repro.errors.BarrierTimeoutError` is
+    raised naming the stalled threads (which are daemons and cannot
+    block interpreter exit).
     """
     if num_threads < 1:
         raise ValueError(f"num_threads must be positive, got {num_threads}")
@@ -52,15 +71,32 @@ def run_spmd(num_threads: int, fn: Callable[[int], None]) -> None:
                 errors.append(WorkerError(tid, exc))
 
     threads = [
-        threading.Thread(target=entry, args=(tid,), name=f"lbmib-worker-{tid}")
+        threading.Thread(
+            target=entry, args=(tid,), name=f"lbmib-worker-{tid}", daemon=True
+        )
         for tid in range(num_threads)
     ]
+    deadline = None if timeout is None else time.monotonic() + timeout
     for t in threads:
         t.start()
+    stalled: list[str] = []
     for t in threads:
-        t.join()
+        if deadline is None:
+            t.join()
+        else:
+            t.join(max(0.0, deadline - time.monotonic()))
+            if t.is_alive():
+                stalled.append(t.name)
+    if stalled:
+        finished = [t.name for t in threads if not t.is_alive()]
+        raise BarrierTimeoutError(
+            "run_spmd join",
+            timeout or 0.0,
+            arrived=finished,
+            missing=stalled,
+        )
     if errors:
-        raise errors[0]
+        raise _primary_error(errors)
 
 
 class WorkerPool:
@@ -76,16 +112,23 @@ class WorkerPool:
     function, and ``dispatch`` returns only after the slowest worker
     finishes (the implicit barrier at the end of an OpenMP ``parallel
     for``).
+
+    A ``timeout`` (per dispatch, or the constructor default) turns a
+    wedged region into a typed :class:`~repro.errors.BarrierTimeoutError`
+    rather than an indefinite hang; after that the pool is *broken* and
+    must be rebuilt.
     """
 
-    def __init__(self, num_threads: int) -> None:
+    def __init__(self, num_threads: int, timeout: float | None = None) -> None:
         if num_threads < 1:
             raise ValueError(f"num_threads must be positive, got {num_threads}")
         self.num_threads = num_threads
+        self.timeout = timeout
         self._start = threading.Barrier(num_threads + 1)
         self._done = threading.Barrier(num_threads + 1)
         self._task: Callable[[int], None] | None = None
         self._shutdown = False
+        self._broken = False
         self._errors: list[WorkerError] = []
         self._errors_lock = threading.Lock()
         self._threads = [
@@ -99,7 +142,10 @@ class WorkerPool:
 
     def _worker(self, tid: int) -> None:
         while True:
-            self._start.wait()
+            try:
+                self._start.wait()
+            except threading.BrokenBarrierError:
+                return  # master timed out / pool torn down
             if self._shutdown:
                 return
             task = self._task
@@ -110,31 +156,81 @@ class WorkerPool:
                 with self._errors_lock:
                     self._errors.append(WorkerError(tid, exc))
             finally:
-                self._done.wait()
+                try:
+                    self._done.wait()
+                except threading.BrokenBarrierError:
+                    return
 
-    def dispatch(self, fn: Callable[[int], None]) -> None:
-        """Run ``fn(tid)`` on every worker; block until all complete."""
+    @property
+    def broken(self) -> bool:
+        """Whether a dispatch deadline expired, leaving the pool unusable."""
+        return self._broken
+
+    def _sync(self, barrier: threading.Barrier, stage: str, timeout: float | None) -> None:
+        try:
+            barrier.wait(timeout)
+        except threading.BrokenBarrierError:
+            # Break both rendezvous so no worker stays half-synced, then
+            # surface the stall as a typed error naming the laggards.
+            self._broken = True
+            self._start.abort()
+            self._done.abort()
+            stalled = [t.name for t in self._threads if t.is_alive()]
+            finished = [t.name for t in self._threads if not t.is_alive()]
+            raise BarrierTimeoutError(
+                f"worker pool {stage}",
+                (self.timeout if timeout is None else timeout) or 0.0,
+                arrived=finished,
+                missing=stalled,
+            ) from None
+
+    def dispatch(self, fn: Callable[[int], None], timeout: float | None = None) -> None:
+        """Run ``fn(tid)`` on every worker; block until all complete.
+
+        Raises :class:`WorkerError` with the first worker exception, or
+        :class:`~repro.errors.BarrierTimeoutError` if the region misses
+        its deadline.  Either way the pool's task slot and error list
+        are left clean, so a pool that survives (worker exception, not
+        timeout) remains usable for further dispatches.
+        """
         if self._shutdown:
             raise RuntimeError("worker pool already shut down")
+        if self._broken:
+            raise RuntimeError(
+                "worker pool is broken (a previous dispatch timed out); rebuild it"
+            )
+        deadline = self.timeout if timeout is None else timeout
         self._task = fn
-        self._start.wait()
-        self._done.wait()
-        self._task = None
-        self.dispatch_count += 1
-        with self._errors_lock:
-            if self._errors:
-                err = self._errors[0]
+        try:
+            self._sync(self._start, "dispatch start", deadline)
+            self._sync(self._done, "dispatch join", deadline)
+        finally:
+            # Clean up unconditionally: a failed dispatch must not strand
+            # a stale task or leftover errors for the next region.
+            self._task = None
+            with self._errors_lock:
+                errors = list(self._errors)
                 self._errors.clear()
-                raise err
+        self.dispatch_count += 1
+        if errors:
+            raise _primary_error(errors)
 
     def shutdown(self) -> None:
         """Terminate the workers; the pool is unusable afterwards."""
         if self._shutdown:
             return
         self._shutdown = True
-        self._start.wait()
+        if self._broken:
+            # Workers already released by the aborted barriers.
+            for t in self._threads:
+                t.join(timeout=1.0)
+            return
+        try:
+            self._start.wait(timeout=5.0)
+        except threading.BrokenBarrierError:
+            self._start.abort()
         for t in self._threads:
-            t.join()
+            t.join(timeout=5.0)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -92,6 +92,8 @@ class OpenMPLBMIBSolver:
         dt: float = DT,
         trace: bool = True,
         external_force: tuple[float, float, float] | None = None,
+        fault_hook=None,
+        barrier_timeout: float | None = None,
     ) -> None:
         if num_threads < 1:
             raise ConfigurationError(
@@ -114,6 +116,8 @@ class OpenMPLBMIBSolver:
         self.dt = dt
         self.time_step = 0
         self.external_force = external_force
+        self.fault_hook = fault_hook
+        self.barrier_timeout = barrier_timeout
         if external_force is not None:
             f = np.asarray(external_force, dtype=DTYPE)
             fluid.force[...] = f[:, None, None, None]
@@ -141,7 +145,7 @@ class OpenMPLBMIBSolver:
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None:
-            self._pool = WorkerPool(self.num_threads)
+            self._pool = WorkerPool(self.num_threads, timeout=self.barrier_timeout)
         return self._pool
 
     def close(self) -> None:
@@ -163,6 +167,10 @@ class OpenMPLBMIBSolver:
         step = self.time_step
 
         def wrapped(tid: int) -> None:
+            if self.fault_hook is not None:
+                # Fires inside the worker thread so an injected kill
+                # takes down the right team member (once per fault).
+                self.fault_hook(tid, step)
             start = time.perf_counter()
             work = fn(tid)
             if trace is not None:

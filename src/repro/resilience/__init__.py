@@ -1,0 +1,48 @@
+"""Resilience subsystem: fault injection, watchdogs, recovery.
+
+The paper positions LBM-IB as a library for *long-running* FSI
+simulations on manycore (and, per its future work, distributed-memory)
+systems.  At that scale the dominant failure modes are not compiler
+bugs but operational ones: a worker thread dies, a rank misses a
+barrier, a run goes numerically unstable, a node crashes mid-checkpoint.
+This package makes every one of those survivable — and, just as
+important, *testable on one core*:
+
+``faults``
+    :class:`Fault` / :class:`FaultPlan` / :class:`FaultInjector` — a
+    deterministic, seeded fault-injection framework that can corrupt
+    fluid fields into NaN at a chosen step, kill a chosen worker
+    thread/rank, drop or delay a communicator message, and truncate a
+    checkpoint file.
+``incident``
+    :class:`IncidentLog` — a structured, JSON-serialisable record of
+    every fault, retry, rollback, and recovery, for the observability
+    stack.
+``runner``
+    :class:`ResilientRunner` / :class:`RetryPolicy` — drives any solver
+    variant with periodic atomic checkpoints; rolls back and retries
+    with damped parameters on :class:`~repro.errors.StabilityError`,
+    and falls back to the sequential solver when a parallel worker
+    dies.
+
+The watchdog layer itself (deadlines on
+:meth:`~repro.parallel.barrier.InstrumentedBarrier.wait`,
+:meth:`~repro.parallel.executor.WorkerPool.dispatch`,
+:func:`~repro.parallel.executor.run_spmd`, and
+:class:`~repro.distributed.comm.RankComm`) lives with those primitives;
+the typed errors are in :mod:`repro.errors`.
+"""
+
+from repro.resilience.faults import Fault, FaultInjector, FaultPlan
+from repro.resilience.incident import Incident, IncidentLog
+from repro.resilience.runner import ResilientRunner, RetryPolicy
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "Incident",
+    "IncidentLog",
+    "ResilientRunner",
+    "RetryPolicy",
+]

@@ -1,0 +1,278 @@
+"""Deterministic, seeded fault injection.
+
+Production LBM codes treat divergence detection and checkpoint/restart
+as first-class because real runs *do* blow up, lose workers, and crash
+mid-write.  None of those paths can be trusted untested, and none can
+be tested by waiting for real hardware to fail.  This module makes
+every failure mode reproducible on one core:
+
+* ``corrupt_field`` — overwrite elements of a fluid field with NaN at a
+  chosen step (numerical blow-up).
+* ``kill_worker`` — raise :class:`~repro.errors.WorkerKilledError`
+  inside a chosen worker thread/rank at a chosen step (worker death).
+* ``drop_message`` / ``delay_message`` — swallow or delay a matching
+  :class:`~repro.distributed.comm.SimulatedComm` message at the send
+  boundary (lost / slow network traffic).
+* ``truncate_checkpoint`` — chop bytes off a just-written checkpoint
+  file (crash mid-write on a pre-atomic store; the load path must
+  reject it).
+
+A :class:`FaultPlan` is pure data; the :class:`FaultInjector` holds the
+only mutable state (which faults have fired, a seeded RNG for element
+choices) so two runs with the same plan and seed inject byte-identical
+faults.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, WorkerKilledError
+
+__all__ = ["Fault", "FaultPlan", "FaultInjector"]
+
+FaultKind = Literal[
+    "corrupt_field",
+    "kill_worker",
+    "drop_message",
+    "delay_message",
+    "truncate_checkpoint",
+]
+
+_KINDS = (
+    "corrupt_field",
+    "kill_worker",
+    "drop_message",
+    "delay_message",
+    "truncate_checkpoint",
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault (pure data; see :class:`FaultInjector`).
+
+    Parameters
+    ----------
+    kind:
+        One of ``corrupt_field``, ``kill_worker``, ``drop_message``,
+        ``delay_message``, ``truncate_checkpoint``.
+    step:
+        Time step at which step-triggered faults fire.  For
+        ``truncate_checkpoint`` it is the *earliest* checkpointed step
+        to attack.  Ignored by the message faults.
+    tid:
+        Victim worker thread / rank for ``kill_worker`` and
+        ``corrupt_field`` (the hook only fires on this thread so the
+        injection happens exactly once).
+    fluid_field:
+        Which array of the fluid state to corrupt (``"df"``,
+        ``"velocity"``, ``"density"``, ...).
+    count:
+        Number of elements to overwrite with NaN.
+    src / dst / tag:
+        Message-fault filters; ``None`` matches anything.
+    delay:
+        Seconds to stall a matching send (``delay_message``).
+    nbytes:
+        Bytes to truncate from the checkpoint file tail.
+    once:
+        Fire at most once (default).  ``False`` re-fires on every
+        match — useful for "this link always drops tag 7" scenarios.
+    """
+
+    kind: FaultKind
+    step: int = 0
+    tid: int = 0
+    fluid_field: str = "df"
+    count: int = 4
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
+    delay: float = 0.0
+    nbytes: int = 64
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(f"unknown fault kind {self.kind!r}")
+        if self.step < 0:
+            raise ConfigurationError(f"fault step must be >= 0, got {self.step}")
+        if self.kind == "corrupt_field" and self.count < 1:
+            raise ConfigurationError("corrupt_field needs count >= 1")
+        if self.kind == "truncate_checkpoint" and self.nbytes < 1:
+            raise ConfigurationError("truncate_checkpoint needs nbytes >= 1")
+
+    def describe(self) -> dict:
+        """JSON-safe summary (for the incident log)."""
+        out = {"kind": self.kind, "planned_step": self.step, "tid": self.tid}
+        if self.kind == "corrupt_field":
+            out["fluid_field"] = self.fluid_field
+            out["count"] = self.count
+        elif self.kind in ("drop_message", "delay_message"):
+            out.update(src=self.src, dst=self.dst, tag=self.tag)
+            if self.kind == "delay_message":
+                out["delay"] = self.delay
+        elif self.kind == "truncate_checkpoint":
+            out["nbytes"] = self.nbytes
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of faults plus the RNG seed that resolves them."""
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def of(cls, faults: Iterable[Fault], seed: int = 0) -> "FaultPlan":
+        """Build a plan from any iterable of faults."""
+        return cls(tuple(faults), seed)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` deterministically.
+
+    The injector is wired into the stack at four points:
+
+    * solvers call the step hook (via
+      :meth:`hook_for` closures installed by the
+      :class:`~repro.api.Simulation` facade) once per thread per step —
+      fires ``kill_worker`` and ``corrupt_field``;
+    * :class:`~repro.distributed.comm.SimulatedComm` consults
+      :meth:`on_send` at every send — fires ``drop_message`` /
+      ``delay_message``;
+    * :class:`~repro.resilience.runner.ResilientRunner` calls
+      :meth:`after_checkpoint` after every checkpoint write — fires
+      ``truncate_checkpoint``.
+
+    All hooks are thread-safe; each fired fault is recorded (and
+    forwarded to ``incident_log`` when one is attached).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | Sequence[Fault],
+        incident_log=None,
+    ) -> None:
+        if not isinstance(plan, FaultPlan):
+            plan = FaultPlan.of(plan)
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.incident_log = incident_log
+        self._lock = threading.Lock()
+        self._fired: set[int] = set()
+        self.fired_events: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _claim(self, index: int, fault: Fault, step: int = -1, **extra) -> bool:
+        """Atomically mark ``fault`` fired; False if a once-fault already did."""
+        with self._lock:
+            if fault.once and index in self._fired:
+                return False
+            self._fired.add(index)
+            event = dict(fault.describe(), fired_at_step=step, **extra)
+            self.fired_events.append(event)
+        if self.incident_log is not None:
+            self.incident_log.record("fault_injected", step=step, fault=event)
+        return True
+
+    def _pending(self, kind: str):
+        for index, fault in enumerate(self.plan):
+            if fault.kind != kind:
+                continue
+            with self._lock:
+                if fault.once and index in self._fired:
+                    continue
+            yield index, fault
+
+    # ------------------------------------------------------------------
+    # solver step hook
+    # ------------------------------------------------------------------
+    def on_step(self, tid: int, step: int, state) -> None:
+        """Per-thread per-step hook; ``state`` owns the fluid arrays.
+
+        ``state`` may be a :class:`~repro.core.lbm.fields.FluidGrid` or
+        a :class:`~repro.parallel.cubes.CubeGrid`; only the attribute
+        named by each fault's ``fluid_field`` is touched.
+        """
+        for index, fault in self._pending("corrupt_field"):
+            if fault.step == step and fault.tid == tid:
+                if self._claim(index, fault, step=step):
+                    self._corrupt(state, fault)
+        for index, fault in self._pending("kill_worker"):
+            if fault.step == step and fault.tid == tid:
+                if self._claim(index, fault, step=step):
+                    raise WorkerKilledError(tid, step)
+
+    def _corrupt(self, state, fault: Fault) -> None:
+        try:
+            arr = getattr(state, fault.fluid_field)
+        except AttributeError:
+            raise ConfigurationError(
+                f"fault targets unknown fluid field {fault.fluid_field!r}"
+            ) from None
+        flat_indices = self.rng.integers(0, arr.size, size=fault.count)
+        arr.flat[flat_indices] = np.nan
+
+    def hook_for(self, state):
+        """A ``(tid, step) -> None`` closure bound to one solver's state."""
+
+        def hook(tid: int, step: int) -> None:
+            self.on_step(tid, step, state)
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # communicator hook
+    # ------------------------------------------------------------------
+    def on_send(self, src: int, dst: int, tag: int):
+        """Consulted at every simulated send.
+
+        Returns ``"drop"`` to swallow the message, a float delay in
+        seconds to stall it, or ``None`` to deliver normally.
+        """
+
+        def matches(fault: Fault) -> bool:
+            return (
+                (fault.src is None or fault.src == src)
+                and (fault.dst is None or fault.dst == dst)
+                and (fault.tag is None or fault.tag == tag)
+            )
+
+        for index, fault in self._pending("drop_message"):
+            if matches(fault) and self._claim(index, fault, src=src, dst=dst, tag=tag):
+                return "drop"
+        for index, fault in self._pending("delay_message"):
+            if matches(fault) and self._claim(index, fault, src=src, dst=dst, tag=tag):
+                return fault.delay
+        return None
+
+    # ------------------------------------------------------------------
+    # checkpoint hook
+    # ------------------------------------------------------------------
+    def after_checkpoint(self, path: str | os.PathLike, step: int) -> None:
+        """Attack a just-written checkpoint (crash-mid-write simulation)."""
+        for index, fault in self._pending("truncate_checkpoint"):
+            if step >= fault.step and self._claim(index, fault, step=step, path=os.fspath(path)):
+                self._truncate(path, fault.nbytes)
+
+    @staticmethod
+    def _truncate(path: str | os.PathLike, nbytes: int) -> None:
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(0, size - nbytes))

@@ -1,0 +1,121 @@
+"""Structured incident log: every fault, retry, and recovery, as data.
+
+A resilient system that recovers *silently* is almost as bad as one
+that crashes: operators need to know a rollback happened, how often,
+and why.  :class:`IncidentLog` is an append-only, thread-safe event
+journal kept by :class:`~repro.resilience.runner.ResilientRunner` (and
+fed by :class:`~repro.resilience.faults.FaultInjector`), serialisable
+to JSON for the observability stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Incident", "IncidentLog"]
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One resilience event.
+
+    Attributes
+    ----------
+    seq:
+        Monotonic sequence number within the log (total order even when
+        events race in from worker threads).
+    kind:
+        Event type, e.g. ``"fault_injected"``, ``"checkpoint_saved"``,
+        ``"checkpoint_corrupt"``, ``"stability_rollback"``,
+        ``"worker_failure"``, ``"fallback_sequential"``,
+        ``"run_completed"``.
+    step:
+        Simulation time step the event refers to (``-1`` if not tied to
+        a step).
+    wall_time:
+        ``time.time()`` at record time.
+    detail:
+        Free-form, JSON-safe payload (fault spec, error text, retry
+        parameters, ...).
+    """
+
+    seq: int
+    kind: str
+    step: int
+    wall_time: float
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "step": self.step,
+            "wall_time": self.wall_time,
+            "detail": dict(self.detail),
+        }
+
+
+class IncidentLog:
+    """Append-only, thread-safe journal of resilience events."""
+
+    def __init__(self) -> None:
+        self._events: list[Incident] = []
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, step: int = -1, **detail) -> Incident:
+        """Append one event; safe to call from worker threads."""
+        with self._lock:
+            event = Incident(
+                seq=len(self._events),
+                kind=kind,
+                step=int(step),
+                wall_time=time.time(),
+                detail=detail,
+            )
+            self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> list[Incident]:
+        """Snapshot of all events in sequence order."""
+        with self._lock:
+            return list(self._events)
+
+    def events_of(self, kind: str) -> list[Incident]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return len(self.events_of(kind))
+
+    def counts(self) -> dict[str, int]:
+        """Event count per kind."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        """The full journal as a JSON document."""
+        return json.dumps(
+            {"events": [e.to_dict() for e in self.events], "counts": self.counts()},
+            indent=indent,
+        )
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the journal atomically to ``path`` (JSON)."""
+        final = os.fspath(path)
+        tmp = final + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+        os.replace(tmp, final)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -1,0 +1,288 @@
+"""Checkpoint-based recovery driver for any solver variant.
+
+:class:`ResilientRunner` wraps the :class:`~repro.api.Simulation`
+facade with the recovery loop a long-running production deployment
+needs:
+
+* **Periodic atomic checkpoints** — every ``checkpoint_every`` steps
+  the gathered state is validated and written atomically (see
+  :mod:`repro.io.checkpoint`); a rotating window of recent checkpoints
+  is kept so one corrupted file never strands the run.
+* **Stability rollback** — a :class:`~repro.errors.StabilityError`
+  (NaN/Inf fields, lattice-Mach violation) rolls the run back to the
+  last good checkpoint and retries with damped parameters (raised
+  ``tau`` → higher viscosity, optionally shrunk ``dt``), up to a
+  bounded number of attempts.
+* **Worker-death fallback** — a :class:`~repro.errors.WorkerError`,
+  :class:`~repro.errors.BarrierTimeoutError`, or
+  :class:`~repro.errors.CommTimeoutError` from a parallel solver
+  rebuilds the run from the last checkpoint on the sequential solver:
+  slower, but alive.
+* **Structured incident log** — every fault, retry, rollback, and
+  recovery is recorded in an :class:`~repro.resilience.incident.IncidentLog`
+  (JSON) for the observability stack.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.api import Simulation, SimulationConfig
+from repro.errors import (
+    BarrierTimeoutError,
+    CheckpointError,
+    CommTimeoutError,
+    LBMIBError,
+    StabilityError,
+    WorkerError,
+)
+from repro.resilience.faults import FaultInjector
+from repro.resilience.incident import IncidentLog
+
+__all__ = ["RetryPolicy", "ResilientRunner"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the recovery loop.
+
+    Parameters
+    ----------
+    checkpoint_every:
+        Steps between checkpoints (also the granularity of stability
+        validation — a fault is detected at most this many steps after
+        injection).
+    max_rollbacks:
+        Stability rollbacks allowed before the error is re-raised.
+    tau_damping:
+        Multiplier applied to ``tau`` on every stability retry (> 1
+        raises viscosity, the standard LBM stabilisation).
+    dt_damping:
+        Multiplier applied to ``dt`` on every stability retry (< 1
+        shrinks the step; 1 leaves it alone).
+    keep_checkpoints:
+        Rotating window of on-disk checkpoints to retain.
+    watchdog_timeout:
+        Barrier/communicator deadline installed into the config when it
+        does not set one itself (``None`` = leave the config alone).
+    max_velocity:
+        Lattice-Mach validation threshold (see
+        :meth:`~repro.core.lbm.fields.FluidGrid.validate_stable`).
+    """
+
+    checkpoint_every: int = 10
+    max_rollbacks: int = 3
+    tau_damping: float = 1.25
+    dt_damping: float = 1.0
+    keep_checkpoints: int = 2
+    watchdog_timeout: float | None = 30.0
+    max_velocity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be >= 0")
+        if self.tau_damping < 1.0:
+            raise ValueError("tau_damping must be >= 1 (damping raises viscosity)")
+        if not 0.0 < self.dt_damping <= 1.0:
+            raise ValueError("dt_damping must be in (0, 1]")
+        if self.keep_checkpoints < 1:
+            raise ValueError("keep_checkpoints must be >= 1")
+
+
+def _root_cause(exc: BaseException) -> BaseException:
+    """Unwrap :class:`WorkerError` layers to the originating exception."""
+    while isinstance(exc, WorkerError):
+        exc = exc.original
+    return exc
+
+
+class ResilientRunner:
+    """Drive a simulation to completion through faults.
+
+    Parameters
+    ----------
+    config:
+        The run description; any solver variant.
+    workdir:
+        Directory for checkpoints and the incident log (created if
+        missing).
+    policy:
+        Recovery knobs; defaults are production-ish.
+    fault_injector:
+        Optional injector (tests wire planned faults through it; it is
+        also attached to the incident log so injections are journaled).
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        workdir: str | os.PathLike,
+        policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        if (
+            self.policy.watchdog_timeout is not None
+            and config.barrier_timeout is None
+        ):
+            config = replace(config, barrier_timeout=self.policy.watchdog_timeout)
+        self.config = config
+        self.workdir = os.fspath(workdir)
+        os.makedirs(self.workdir, exist_ok=True)
+        self.incidents = IncidentLog()
+        self.fault_injector = fault_injector
+        if fault_injector is not None and fault_injector.incident_log is None:
+            fault_injector.incident_log = self.incidents
+        self._checkpoints: list[tuple[str, int]] = []  # (path, step), oldest first
+
+    # ------------------------------------------------------------------
+    # checkpoint management
+    # ------------------------------------------------------------------
+    def _checkpoint_path(self, step: int) -> str:
+        return os.path.join(self.workdir, f"ckpt-{step:08d}.npz")
+
+    def _save_checkpoint(self, sim: Simulation) -> None:
+        step = sim.time_step
+        path = self._checkpoint_path(step)
+        sim.checkpoint(path)
+        if self.fault_injector is not None:
+            # Gives truncate_checkpoint faults their shot at the file —
+            # simulating a crash mid-write on a pre-atomic store.
+            self.fault_injector.after_checkpoint(path, step)
+        self._checkpoints = [(p, s) for p, s in self._checkpoints if s != step]
+        self._checkpoints.append((path, step))
+        self.incidents.record("checkpoint_saved", step=step, path=path)
+        while len(self._checkpoints) > self.policy.keep_checkpoints:
+            old_path, old_step = self._checkpoints.pop(0)
+            try:
+                os.unlink(old_path)
+            except OSError:
+                pass
+
+    def _restore(self, config: SimulationConfig) -> Simulation:
+        """Newest loadable checkpoint wins; corrupt ones are discarded."""
+        while self._checkpoints:
+            path, step = self._checkpoints[-1]
+            try:
+                sim = Simulation.from_checkpoint(
+                    path, config, fault_injector=self.fault_injector
+                )
+            except CheckpointError as exc:
+                self._checkpoints.pop()
+                self.incidents.record(
+                    "checkpoint_corrupt", step=step, path=path, error=str(exc)
+                )
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            self.incidents.record("restored", step=step, path=path)
+            return sim
+        self.incidents.record("restart_from_initial", step=0)
+        return Simulation(config, fault_injector=self.fault_injector)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self, sim: Simulation) -> None:
+        fluid = sim.fluid  # gathered copy for cube/distributed layouts
+        fluid.validate_stable(max_velocity=self.policy.max_velocity)
+        structure = sim.structure
+        if structure is not None:
+            for sheet in structure.sheets:
+                if not np.isfinite(sheet.positions).all():
+                    raise StabilityError(
+                        "fiber positions contain non-finite values; the "
+                        "structure solver has become unstable"
+                    )
+
+    # ------------------------------------------------------------------
+    # recovery loop
+    # ------------------------------------------------------------------
+    def _dampened(self, config: SimulationConfig) -> SimulationConfig:
+        new_tau = config.effective_tau * self.policy.tau_damping
+        new_dt = config.dt * self.policy.dt_damping
+        return replace(config, tau=new_tau, viscosity=None, dt=new_dt)
+
+    def run(self, num_steps: int) -> Simulation:
+        """Advance ``num_steps`` steps, surviving planned-for failures.
+
+        Returns the (possibly rebuilt) simulation at the target step.
+        Raises the final :class:`~repro.errors.StabilityError` once the
+        rollback budget is exhausted, and re-raises worker failures
+        only when already on the sequential solver (nothing left to
+        fall back to).
+        """
+        if num_steps < 0:
+            raise ValueError(f"num_steps must be non-negative, got {num_steps}")
+        config = self.config
+        sim = Simulation(config, fault_injector=self.fault_injector)
+        rollbacks = 0
+        self.incidents.record(
+            "run_started", step=0, solver=config.solver, target=num_steps
+        )
+        while sim.time_step < num_steps:
+            chunk = min(self.policy.checkpoint_every, num_steps - sim.time_step)
+            failed_step = sim.time_step
+            try:
+                sim.run(chunk)
+                self._validate(sim)
+            except LBMIBError as exc:
+                cause = _root_cause(exc)
+                if isinstance(cause, StabilityError):
+                    rollbacks += 1
+                    self.incidents.record(
+                        "stability_rollback",
+                        step=failed_step,
+                        attempt=rollbacks,
+                        error=str(cause),
+                    )
+                    if rollbacks > self.policy.max_rollbacks:
+                        self.incidents.record(
+                            "gave_up", step=failed_step, rollbacks=rollbacks
+                        )
+                        raise
+                    config = self._dampened(config)
+                    self.incidents.record(
+                        "retry_dampened",
+                        step=failed_step,
+                        tau=config.effective_tau,
+                        dt=config.dt,
+                    )
+                elif isinstance(
+                    cause, (WorkerError, BarrierTimeoutError, CommTimeoutError)
+                ) or isinstance(exc, (WorkerError, BarrierTimeoutError, CommTimeoutError)):
+                    self.incidents.record(
+                        "worker_failure",
+                        step=failed_step,
+                        solver=config.solver,
+                        error=str(cause),
+                    )
+                    if config.solver == "sequential":
+                        self.incidents.record("gave_up", step=failed_step)
+                        raise
+                    config = replace(config, solver="sequential", num_threads=1)
+                    self.incidents.record("fallback_sequential", step=failed_step)
+                else:
+                    self.incidents.record(
+                        "unrecoverable", step=failed_step, error=str(cause)
+                    )
+                    raise
+                sim.close()
+                sim = self._restore(config)
+                continue
+            self._save_checkpoint(sim)
+        self.incidents.record(
+            "run_completed",
+            step=sim.time_step,
+            solver=config.solver,
+            rollbacks=rollbacks,
+        )
+        self.incidents.save(os.path.join(self.workdir, "incidents.json"))
+        return sim

@@ -2,12 +2,50 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core.ib.delta import CosineDelta
 from repro.core.ib.fiber import FiberSheet, ImmersedStructure
 from repro.core.lbm.fields import FluidGrid
+
+#: Hard wall-clock deadline for each ``faults``-marked test.  The fault
+#: suite deliberately kills workers and drops messages; if a regression
+#: reintroduces an untimed wait, the alarm turns the would-be CI hang
+#: into an ordinary test failure.
+FAULT_TEST_TIMEOUT = float(os.environ.get("LBMIB_FAULT_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _fault_test_deadline(request):
+    """Arm a SIGALRM watchdog around every ``@pytest.mark.faults`` test."""
+    if request.node.get_closest_marker("faults") is None:
+        yield
+        return
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield  # platform without alarms: rely on the library deadlines
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"fault-injection test exceeded the {FAULT_TEST_TIMEOUT:g}s hard "
+            "deadline — a watchdog path is missing and the test deadlocked"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, FAULT_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

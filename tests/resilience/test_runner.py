@@ -1,0 +1,246 @@
+"""End-to-end recovery tests: the ResilientRunner acceptance scenarios.
+
+Each test injects a planned fault and requires the run to *complete* at
+the target step with the right incident trail — rollback + damped
+retry for instability, sequential fallback for worker death, older
+checkpoint for a corrupted file.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import Simulation, SimulationConfig
+from repro.config import StructureConfig
+from repro.errors import StabilityError
+from repro.resilience import Fault, FaultInjector, FaultPlan, ResilientRunner, RetryPolicy
+
+#: Small, fast problem used by every scenario.
+_STRUCTURE = StructureConfig(num_fibers=5, nodes_per_fiber=5)
+
+
+def _config(**overrides):
+    base = dict(fluid_shape=(8, 8, 8), structure=_STRUCTURE, solver="sequential")
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(checkpoint_every=0),
+            dict(max_rollbacks=-1),
+            dict(tau_damping=0.9),
+            dict(dt_damping=0.0),
+            dict(dt_damping=1.5),
+            dict(keep_checkpoints=0),
+        ],
+    )
+    def test_rejects_bad_knobs(self, bad):
+        with pytest.raises(ValueError):
+            RetryPolicy(**bad)
+
+    def test_watchdog_timeout_installed_into_config(self, tmp_path):
+        runner = ResilientRunner(
+            _config(), tmp_path, policy=RetryPolicy(watchdog_timeout=5.0)
+        )
+        assert runner.config.barrier_timeout == 5.0
+
+    def test_explicit_config_timeout_wins(self, tmp_path):
+        runner = ResilientRunner(
+            _config(barrier_timeout=2.0),
+            tmp_path,
+            policy=RetryPolicy(watchdog_timeout=5.0),
+        )
+        assert runner.config.barrier_timeout == 2.0
+
+
+class TestStabilityRollback:
+    """Acceptance: seeded NaN blow-up -> rollback, damped retry, finish."""
+
+    @pytest.mark.faults
+    def test_nan_injection_recovers_with_one_rollback(self, tmp_path):
+        plan = FaultPlan.of(
+            [Fault(kind="corrupt_field", step=12, tid=0, count=8)], seed=1
+        )
+        runner = ResilientRunner(
+            _config(),
+            tmp_path,
+            policy=RetryPolicy(checkpoint_every=10, max_rollbacks=3),
+            fault_injector=FaultInjector(plan),
+        )
+        sim = runner.run(25)
+
+        assert sim.time_step == 25
+        sim.fluid.validate_stable()  # the final state is healthy
+        log = runner.incidents
+        assert log.count("fault_injected") == 1
+        assert log.count("stability_rollback") == 1  # exactly one
+        assert log.count("run_completed") == 1
+        # the retry raised tau (higher viscosity damps the blow-up)
+        (retry,) = log.events_of("retry_dampened")
+        assert retry.detail["tau"] > _config().effective_tau
+        # rolled back to the step-10 checkpoint, not to scratch
+        (restored,) = log.events_of("restored")
+        assert restored.step == 10
+        sim.close()
+
+    @pytest.mark.faults
+    def test_rollback_budget_exhaustion_reraises(self, tmp_path):
+        # once=False: the blow-up re-fires on every replay, so damping
+        # can never save the run and the budget must bound the retries.
+        plan = FaultPlan.of(
+            [Fault(kind="corrupt_field", step=2, tid=0, once=False)], seed=2
+        )
+        runner = ResilientRunner(
+            _config(),
+            tmp_path,
+            policy=RetryPolicy(checkpoint_every=5, max_rollbacks=1),
+            fault_injector=FaultInjector(plan),
+        )
+        with pytest.raises(StabilityError):
+            runner.run(10)
+        log = runner.incidents
+        assert log.count("stability_rollback") == 2  # initial + 1 retry
+        assert log.count("gave_up") == 1
+        assert log.count("run_completed") == 0
+
+
+class TestWorkerDeathFallback:
+    """Acceptance: a killed cube-solver worker -> sequential fallback."""
+
+    @pytest.mark.faults
+    def test_cube_worker_kill_completes_sequentially(self, tmp_path):
+        plan = FaultPlan.of([Fault(kind="kill_worker", step=7, tid=1)])
+        runner = ResilientRunner(
+            _config(solver="cube", num_threads=2, cube_size=4),
+            tmp_path,
+            policy=RetryPolicy(checkpoint_every=5, watchdog_timeout=15.0),
+            fault_injector=FaultInjector(plan),
+        )
+        sim = runner.run(15)
+
+        assert sim.time_step == 15
+        assert sim.config.solver == "sequential"  # rebuilt on the fallback
+        log = runner.incidents
+        assert log.count("worker_failure") == 1
+        assert log.count("fallback_sequential") == 1
+        assert log.count("stability_rollback") == 0
+        # resumed from the step-5 checkpoint, not from scratch
+        (restored,) = log.events_of("restored")
+        assert restored.step == 5
+        sim.fluid.validate_stable()
+        sim.close()
+
+    @pytest.mark.faults
+    def test_openmp_worker_kill_falls_back(self, tmp_path):
+        plan = FaultPlan.of([Fault(kind="kill_worker", step=3, tid=1)])
+        runner = ResilientRunner(
+            _config(solver="openmp", num_threads=2),
+            tmp_path,
+            policy=RetryPolicy(checkpoint_every=5, watchdog_timeout=15.0),
+            fault_injector=FaultInjector(plan),
+        )
+        sim = runner.run(10)
+        assert sim.time_step == 10
+        assert runner.incidents.count("fallback_sequential") == 1
+        sim.close()
+
+
+class TestCheckpointCorruption:
+    """Acceptance: a truncated checkpoint is skipped for an older one."""
+
+    @pytest.mark.faults
+    def test_truncated_checkpoint_falls_back_to_older(self, tmp_path):
+        plan = FaultPlan.of(
+            [
+                # chop the tail off the step-10 checkpoint...
+                Fault(kind="truncate_checkpoint", step=10, nbytes=4096),
+                # ...then blow up so the runner has to restore
+                Fault(kind="corrupt_field", step=12, tid=0),
+            ],
+            seed=3,
+        )
+        runner = ResilientRunner(
+            _config(),
+            tmp_path,
+            policy=RetryPolicy(checkpoint_every=5, keep_checkpoints=3),
+            fault_injector=FaultInjector(plan),
+        )
+        sim = runner.run(15)
+
+        assert sim.time_step == 15
+        log = runner.incidents
+        assert log.count("checkpoint_corrupt") == 1
+        (corrupt,) = log.events_of("checkpoint_corrupt")
+        assert corrupt.step == 10  # the attacked file was rejected
+        (restored,) = log.events_of("restored")
+        assert restored.step == 5  # the older checkpoint won
+        sim.close()
+
+
+class TestIncidentPersistence:
+    @pytest.mark.faults
+    def test_incident_journal_written_to_workdir(self, tmp_path):
+        plan = FaultPlan.of([Fault(kind="corrupt_field", step=3, tid=0)])
+        runner = ResilientRunner(
+            _config(),
+            tmp_path,
+            policy=RetryPolicy(checkpoint_every=5),
+            fault_injector=FaultInjector(plan),
+        )
+        runner.run(10).close()
+
+        doc = json.loads((tmp_path / "incidents.json").read_text())
+        kinds = [e["kind"] for e in doc["events"]]
+        assert kinds[0] == "run_started"
+        assert kinds[-1] == "run_completed"
+        assert "fault_injected" in kinds
+        assert "stability_rollback" in kinds
+        assert doc["counts"]["stability_rollback"] == 1
+
+    def test_checkpoint_rotation_bounds_disk(self, tmp_path):
+        runner = ResilientRunner(
+            _config(), tmp_path, policy=RetryPolicy(checkpoint_every=2, keep_checkpoints=2)
+        )
+        runner.run(10).close()
+        ckpts = sorted(p for p in os.listdir(tmp_path) if p.startswith("ckpt-"))
+        assert ckpts == ["ckpt-00000008.npz", "ckpt-00000010.npz"]
+
+
+class TestCrossVariantRestore:
+    """A checkpoint written by one solver variant restores into another."""
+
+    @pytest.mark.faults
+    def test_cube_checkpoint_restores_into_sequential(self, tmp_path):
+        cube_cfg = _config(solver="cube", num_threads=2, cube_size=4)
+        path = tmp_path / "cross.npz"
+        with Simulation(cube_cfg) as sim:
+            sim.run(4)
+            snapshot = sim.fluid  # gathered global layout
+            positions = sim.structure.sheets[0].positions.copy()
+            sim.checkpoint(path)
+
+        restored = Simulation.from_checkpoint(path, _config())
+        assert restored.time_step == 4
+        assert restored.fluid.state_allclose(snapshot, rtol=0, atol=0)
+        np.testing.assert_array_equal(
+            restored.structure.sheets[0].positions, positions
+        )
+        restored.run(3)  # continues without error on the other variant
+        assert restored.time_step == 7
+        restored.fluid.validate_stable()
+        restored.close()
+
+    def test_restore_under_damped_config_uses_new_tau(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        with Simulation(_config()) as sim:
+            sim.run(2)
+            sim.checkpoint(path)
+        damped = _config(tau=1.1)
+        restored = Simulation.from_checkpoint(path, damped)
+        assert restored.fluid.tau == pytest.approx(1.1)
+        restored.close()

@@ -1,0 +1,270 @@
+"""Watchdog tests: every blocking primitive must fail typed, not hang.
+
+These tests deliberately create stalls and dead peers; the ones that
+would deadlock on a regression carry ``@pytest.mark.faults`` so the
+conftest SIGALRM deadline converts a hang into a failure.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import Simulation, SimulationConfig
+from repro.distributed.comm import SimulatedComm
+from repro.errors import (
+    BarrierTimeoutError,
+    CommTimeoutError,
+    LBMIBError,
+    WorkerError,
+    WorkerKilledError,
+)
+from repro.parallel.barrier import InstrumentedBarrier
+from repro.parallel.executor import WorkerPool, _primary_error, run_spmd
+from repro.resilience import Fault, FaultInjector
+
+
+class TestInstrumentedBarrier:
+    @pytest.mark.faults
+    def test_timeout_names_the_missing_thread(self):
+        barrier = InstrumentedBarrier(2, name="after_stream")
+
+        def cross_once():
+            barrier.wait()
+
+        helper = threading.Thread(target=cross_once, name="peer-thread")
+        helper.start()
+        barrier.wait()  # full crossing: both names enter the roster
+        helper.join()
+
+        with pytest.raises(BarrierTimeoutError) as exc_info:
+            barrier.wait(timeout=0.2)  # peer never comes back
+        err = exc_info.value
+        assert err.name == "after_stream"
+        assert "peer-thread" in err.missing
+        assert "after_stream" in str(err)
+        assert "never arrived" in str(err)
+
+    def test_typed_error_is_both_lbmib_and_timeout(self):
+        barrier = InstrumentedBarrier(2)
+        with pytest.raises(LBMIBError):
+            barrier.wait(timeout=0.05)
+        barrier.reset()
+        with pytest.raises(TimeoutError):
+            barrier.wait(timeout=0.05)
+
+    @pytest.mark.faults
+    def test_abort_releases_waiters_immediately(self):
+        barrier = InstrumentedBarrier(2, timeout=30.0)
+        failures = []
+
+        def waiter():
+            try:
+                barrier.wait()
+            except BarrierTimeoutError as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        start = time.perf_counter()
+        barrier.abort()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert time.perf_counter() - start < 5.0  # not the 30 s deadline
+        assert barrier.aborted
+        assert len(failures) == 1
+
+    def test_reset_restores_an_aborted_barrier(self):
+        barrier = InstrumentedBarrier(1)
+        barrier.abort()
+        with pytest.raises(BarrierTimeoutError):
+            barrier.wait(timeout=0.05)
+        barrier.reset()
+        assert not barrier.aborted
+        barrier.wait()  # parties=1: crosses immediately
+        assert barrier.stats.crossings == 1
+
+
+class TestWorkerPool:
+    def test_worker_exception_is_typed_and_attributed(self):
+        with WorkerPool(3) as pool:
+            def boom(tid):
+                if tid == 1:
+                    raise ValueError("kernel exploded")
+
+            with pytest.raises(WorkerError) as exc_info:
+                pool.dispatch(boom)
+            assert exc_info.value.tid == 1
+            assert isinstance(exc_info.value.original, ValueError)
+
+    def test_pool_survives_worker_exception(self):
+        """A failed region must not strand the next dispatch (the old
+        implementation left ``_task`` set and errors queued)."""
+        with WorkerPool(3) as pool:
+            def boom(tid):
+                raise RuntimeError("die")
+
+            with pytest.raises(WorkerError):
+                pool.dispatch(boom)
+
+            hits = []
+            lock = threading.Lock()
+
+            def fine(tid):
+                with lock:
+                    hits.append(tid)
+
+            pool.dispatch(fine)  # must not re-raise the stale error
+            assert sorted(hits) == [0, 1, 2]
+            assert not pool.broken
+
+    @pytest.mark.faults
+    def test_timeout_breaks_the_pool(self):
+        release = threading.Event()
+        pool = WorkerPool(2)
+        try:
+            def wedge(tid):
+                if tid == 0:
+                    release.wait(10.0)
+
+            with pytest.raises(BarrierTimeoutError) as exc_info:
+                pool.dispatch(wedge, timeout=0.3)
+            assert "worker pool" in str(exc_info.value)
+            assert pool.broken
+            with pytest.raises(RuntimeError, match="broken"):
+                pool.dispatch(lambda tid: None)
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_primary_error_prefers_root_cause(self):
+        collateral = WorkerError(0, BarrierTimeoutError("b", 1.0))
+        root = WorkerError(2, WorkerKilledError(2, 7))
+        assert _primary_error([collateral, root]) is root
+        assert _primary_error([collateral]) is collateral
+
+
+class TestRunSpmd:
+    def test_worker_exception_propagates(self):
+        def entry(tid):
+            if tid == 2:
+                raise KeyError("broken thread")
+
+        with pytest.raises(WorkerError) as exc_info:
+            run_spmd(4, entry)
+        assert exc_info.value.tid == 2
+
+    @pytest.mark.faults
+    def test_join_timeout_names_stalled_threads(self):
+        release = threading.Event()
+
+        def entry(tid):
+            if tid == 1:
+                release.wait(10.0)
+
+        try:
+            with pytest.raises(BarrierTimeoutError) as exc_info:
+                run_spmd(3, entry, timeout=0.3)
+            err = exc_info.value
+            assert "lbmib-worker-1" in err.missing
+            assert "lbmib-worker-0" in err.arrived
+        finally:
+            release.set()
+
+
+class TestCommWatchdog:
+    def test_recv_timeout_carries_rank_src_tag(self):
+        comm = SimulatedComm(2)
+        rank0 = comm.rank_comm(0)
+        with pytest.raises(CommTimeoutError) as exc_info:
+            rank0.recv(src=1, tag=42, timeout=0.1)
+        err = exc_info.value
+        assert err.rank == 0
+        assert err.src == 1
+        assert err.tag == 42
+        assert isinstance(err, LBMIBError)
+        assert isinstance(err, TimeoutError)
+        assert "tag 42" in str(err)
+
+    def test_barrier_timeout_names_missing_ranks(self):
+        comm = SimulatedComm(2)
+        with pytest.raises(CommTimeoutError) as exc_info:
+            comm.rank_comm(0).barrier(timeout=0.2)
+        err = exc_info.value
+        assert err.missing == [1]
+        assert "never arrived" in str(err)
+
+    def test_allreduce_inherits_the_deadline(self):
+        comm = SimulatedComm(2)
+        with pytest.raises(CommTimeoutError):
+            comm.rank_comm(0).allreduce_sum([1.0], timeout=0.2)
+
+    @pytest.mark.faults
+    def test_dropped_message_surfaces_as_recv_timeout(self):
+        """The full path: injector swallows the send, the watchdog turns
+        the orphaned recv into a typed timeout."""
+        import numpy as np
+
+        injector = FaultInjector([Fault(kind="drop_message", src=0, dst=1, tag=3)])
+        comm = SimulatedComm(2, timeout=0.3, fault_injector=injector)
+        comm.rank_comm(0).send(dst=1, tag=3, array=np.ones(4))
+        assert comm.stats[0].messages_dropped == 1
+        assert comm.stats[0].messages_sent == 0
+        with pytest.raises(CommTimeoutError) as exc_info:
+            comm.rank_comm(1).recv(src=0, tag=3)
+        assert exc_info.value.op == "recv"
+
+    def test_delayed_message_still_arrives(self):
+        import numpy as np
+
+        injector = FaultInjector([Fault(kind="delay_message", delay=0.05)])
+        comm = SimulatedComm(2, fault_injector=injector)
+        start = time.perf_counter()
+        comm.rank_comm(0).send(dst=1, tag=0, array=np.arange(3.0))
+        assert time.perf_counter() - start >= 0.05
+        out = comm.rank_comm(1).recv(src=0, tag=0, timeout=1.0)
+        np.testing.assert_array_equal(out, np.arange(3.0))
+
+
+class TestSolverFastFail:
+    """A dying worker must surface as an exception, never a hang."""
+
+    @pytest.mark.faults
+    def test_cube_solver_worker_death_fails_fast(self):
+        injector = FaultInjector([Fault(kind="kill_worker", step=2, tid=1)])
+        config = SimulationConfig(
+            fluid_shape=(8, 8, 8),
+            solver="cube",
+            num_threads=2,
+            cube_size=4,
+            barrier_timeout=10.0,
+        )
+        sim = Simulation(config, fault_injector=injector)
+        start = time.perf_counter()
+        with pytest.raises(WorkerError) as exc_info:
+            sim.run(5)
+        # peers were aborted, not waited out: well under the 10 s deadline
+        assert time.perf_counter() - start < 8.0
+        root = exc_info.value
+        while isinstance(root, WorkerError):
+            root = root.original
+        assert isinstance(root, WorkerKilledError)
+
+    @pytest.mark.faults
+    def test_openmp_solver_worker_death_is_typed(self):
+        injector = FaultInjector([Fault(kind="kill_worker", step=1, tid=0)])
+        config = SimulationConfig(
+            fluid_shape=(8, 8, 8),
+            solver="openmp",
+            num_threads=2,
+            barrier_timeout=10.0,
+        )
+        sim = Simulation(config, fault_injector=injector)
+        with pytest.raises(WorkerError) as exc_info:
+            sim.run(5)
+        sim.close()
+        root = exc_info.value
+        while isinstance(root, WorkerError):
+            root = root.original
+        assert isinstance(root, WorkerKilledError)
