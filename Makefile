@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench examples report clean
+.PHONY: install test test-quick test-faults test-verify verify-physics bench examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -10,11 +10,29 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Fast inner-loop smoke subset (< 60 s): everything except the tests
+# marked slow, faults, or verify.  Run the full `make test` plus
+# `make verify-physics` before merging.
+test-quick:
+	$(PYTHON) -m pytest -x -m "not slow and not faults and not verify" tests/
+
 # Fault-injection / resilience suite.  Each test is wrapped in a hard
 # SIGALRM deadline (see tests/conftest.py), so a reintroduced deadlock
 # fails CI with a traceback instead of hanging it.
 test-faults:
 	LBMIB_FAULT_TEST_TIMEOUT=120 $(PYTHON) -m pytest -m faults tests/
+
+# The differential-verification pytest suite only.
+test-verify:
+	$(PYTHON) -m pytest -m verify tests/
+
+# The physics verification gate: golden baselines, the differential
+# oracle across all solver variants on generated configs, and the
+# deliberate-perturbation self-test.  Gates every PR that touches a
+# solver hot path.  Regenerate baselines after an *intentional* physics
+# change with: PYTHONPATH=src $(PYTHON) -m repro.verify --regen-golden
+verify-physics:
+	PYTHONPATH=src $(PYTHON) -m repro.verify --cases 3
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -58,6 +58,10 @@ class Simulation:
         hooks are wired into the selected solver (per-step kill/corrupt
         faults) and, for the distributed variants, into the simulated
         communicator (drop/delay faults).
+    invariants:
+        Optional :class:`~repro.verify.invariants.InvariantSuite`
+        checked after every completed time step (see
+        :meth:`attach_invariants`).
     initial_fluid / initial_structure / initial_step:
         Restore state: copy this fluid state (and adopt this structure)
         instead of the config-built initial condition, and start the
@@ -73,9 +77,11 @@ class Simulation:
         initial_fluid: FluidGrid | None = None,
         initial_structure=_UNSET,
         initial_step: int = 0,
+        invariants=None,
     ) -> None:
         self.config = config
         self.fault_injector = fault_injector
+        self._invariants = None
         if initial_structure is _UNSET:
             self._built_structure = config.build_structure()
         else:
@@ -156,11 +162,57 @@ class Simulation:
             raise ConfigurationError(f"unknown solver {config.solver!r}")
         if self._solver is not None:
             self._solver.time_step = self._initial_step
+        if invariants is not None:
+            self.attach_invariants(invariants)
 
     def _hook_for(self, state):
         if self.fault_injector is None:
             return None
         return self.fault_injector.hook_for(state)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _chain_hooks(*hooks):
+        hooks = [h for h in hooks if h is not None]
+        if not hooks:
+            return None
+        if len(hooks) == 1:
+            return hooks[0]
+
+        def chained(tid: int, step: int) -> None:
+            for hook in hooks:
+                hook(tid, step)
+
+        return chained
+
+    def attach_invariants(self, suite) -> None:
+        """Check ``suite`` after every completed time step.
+
+        Two hooks are installed: the suite's global checkers run on the
+        gathered state after each step of :meth:`run` (any variant),
+        and its cheap per-thread NaN/Inf sentinel is chained onto the
+        thread-parallel solvers' step hooks, where a violation inside a
+        worker surfaces as a typed
+        :class:`~repro.errors.InvariantError` localized to the
+        offending thread and cube.  Conserved-quantity baselines are
+        (re)bound to the *current* state, so attaching after a
+        checkpoint restore or resilience rollback measures drift from
+        the restored state, not the original run's.
+        """
+        self._invariants = suite
+        suite.bind(self.fluid, self.structure)
+        if self._solver is not None and hasattr(self._solver, "fault_hook"):
+            state = self._cubes if self._cubes is not None else self._fluid
+            self._solver.fault_hook = self._chain_hooks(
+                self._solver.fault_hook, suite.sentinel_hook(state)
+            )
+
+    @property
+    def invariants(self):
+        """The attached invariant suite (or ``None``)."""
+        return self._invariants
 
     # ------------------------------------------------------------------
     # driving
@@ -203,8 +255,20 @@ class Simulation:
         return self._solver
 
     def run(self, num_steps: int) -> None:
-        """Advance the simulation by ``num_steps`` time steps."""
-        self._ensure_solver().run(num_steps)
+        """Advance the simulation by ``num_steps`` time steps.
+
+        With an invariant suite attached the solver is driven one step
+        at a time so every step's gathered state is checked; violations
+        raise :class:`~repro.errors.InvariantError` at the first bad
+        step instead of surfacing as garbage numbers later.
+        """
+        solver = self._ensure_solver()
+        if self._invariants is None:
+            solver.run(num_steps)
+            return
+        for _ in range(num_steps):
+            solver.run(1)
+            self._invariants.check_simulation(self)
 
     def step(self) -> None:
         """Advance one time step (parallel solvers accept run(1) only)."""

@@ -106,6 +106,68 @@ class CommTimeoutError(LBMIBError, TimeoutError):
         super().__init__(msg)
 
 
+class InvariantError(LBMIBError, RuntimeError):
+    """A physics invariant failed (see :mod:`repro.verify.invariants`).
+
+    Carries structured localization — which invariant, at which step,
+    on which thread, in which cube — so a violation inside a worker
+    thread surfaces with enough context to reproduce it, instead of a
+    generic worker failure.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        step: int | None = None,
+        field: str | None = None,
+        value: float | None = None,
+        limit: float | None = None,
+        tid: int | None = None,
+        cube: tuple[int, int, int] | None = None,
+    ) -> None:
+        self.invariant = invariant
+        self.message = message
+        self.step = step
+        self.field = field
+        self.value = value
+        self.limit = limit
+        self.tid = tid
+        self.cube = tuple(cube) if cube is not None else None
+        super().__init__(message)
+
+    def attach_context(
+        self,
+        tid: int | None = None,
+        cube: tuple[int, int, int] | None = None,
+    ) -> "InvariantError":
+        """Fill in thread/cube context not known at raise time."""
+        if tid is not None and self.tid is None:
+            self.tid = tid
+        if cube is not None and self.cube is None:
+            self.cube = tuple(cube)
+        return self
+
+    def __str__(self) -> str:
+        parts = [f"invariant {self.invariant!r} violated: {self.message}"]
+        context = []
+        if self.step is not None:
+            context.append(f"step={self.step}")
+        if self.field is not None:
+            context.append(f"field={self.field}")
+        if self.value is not None:
+            context.append(f"value={self.value:.6g}")
+        if self.limit is not None:
+            context.append(f"limit={self.limit:.6g}")
+        if self.tid is not None:
+            context.append(f"thread={self.tid}")
+        if self.cube is not None:
+            context.append(f"cube={self.cube}")
+        if context:
+            parts.append(f"[{', '.join(context)}]")
+        return " ".join(parts)
+
+
 class FaultInjectedError(LBMIBError, RuntimeError):
     """Base class for failures raised deliberately by the fault injector."""
 

@@ -24,18 +24,26 @@ import threading
 import time
 from typing import Callable
 
-from repro.errors import BarrierTimeoutError, WorkerError
+from repro.errors import BarrierTimeoutError, InvariantError, WorkerError
 
 __all__ = ["WorkerPool", "run_spmd", "WorkerError"]
 
 
-def _primary_error(errors: list[WorkerError]) -> WorkerError:
+def _primary_error(errors: list[WorkerError]) -> BaseException:
     """The most informative worker error: root causes beat timeouts.
 
     When one worker dies and aborts the team barriers, its peers all
     raise :class:`BarrierTimeoutError`; the caller should see the
-    original death, not the collateral timeouts.
+    original death, not the collateral timeouts.  A failed physics
+    invariant is surfaced as the original
+    :class:`~repro.errors.InvariantError` (with the raising thread
+    attached), not wrapped in a generic :class:`WorkerError`: the
+    verification harness needs the typed violation with its step/field/
+    cube localization intact.
     """
+    for err in errors:
+        if isinstance(err.original, InvariantError):
+            return err.original.attach_context(tid=err.tid)
     for err in errors:
         if not isinstance(err.original, BarrierTimeoutError):
             return err

@@ -35,6 +35,7 @@ from repro.errors import (
     BarrierTimeoutError,
     CheckpointError,
     CommTimeoutError,
+    InvariantError,
     LBMIBError,
     StabilityError,
     WorkerError,
@@ -116,6 +117,14 @@ class ResilientRunner:
     fault_injector:
         Optional injector (tests wire planned faults through it; it is
         also attached to the incident log so injections are journaled).
+    invariants:
+        Optional :class:`~repro.verify.invariants.InvariantSuite`
+        attached to every simulation this runner builds — including the
+        rebuilt ones after a rollback or fallback, whose conserved-
+        quantity baselines are rebound to the restored state.  A
+        violated invariant (:class:`~repro.errors.InvariantError`) is
+        treated like a stability failure: roll back to the last good
+        checkpoint and retry with damped parameters.
     """
 
     def __init__(
@@ -124,6 +133,7 @@ class ResilientRunner:
         workdir: str | os.PathLike,
         policy: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
+        invariants=None,
     ) -> None:
         self.policy = policy or RetryPolicy()
         if (
@@ -136,6 +146,7 @@ class ResilientRunner:
         os.makedirs(self.workdir, exist_ok=True)
         self.incidents = IncidentLog()
         self.fault_injector = fault_injector
+        self.invariants = invariants
         if fault_injector is not None and fault_injector.incident_log is None:
             fault_injector.incident_log = self.incidents
         self._checkpoints: list[tuple[str, int]] = []  # (path, step), oldest first
@@ -164,6 +175,12 @@ class ResilientRunner:
             except OSError:
                 pass
 
+    def _attach_invariants(self, sim: Simulation) -> Simulation:
+        """Attach the invariant suite, rebinding baselines to this state."""
+        if self.invariants is not None:
+            sim.attach_invariants(self.invariants)
+        return sim
+
     def _restore(self, config: SimulationConfig) -> Simulation:
         """Newest loadable checkpoint wins; corrupt ones are discarded."""
         while self._checkpoints:
@@ -183,9 +200,11 @@ class ResilientRunner:
                     pass
                 continue
             self.incidents.record("restored", step=step, path=path)
-            return sim
+            return self._attach_invariants(sim)
         self.incidents.record("restart_from_initial", step=0)
-        return Simulation(config, fault_injector=self.fault_injector)
+        return self._attach_invariants(
+            Simulation(config, fault_injector=self.fault_injector)
+        )
 
     # ------------------------------------------------------------------
     # validation
@@ -222,7 +241,9 @@ class ResilientRunner:
         if num_steps < 0:
             raise ValueError(f"num_steps must be non-negative, got {num_steps}")
         config = self.config
-        sim = Simulation(config, fault_injector=self.fault_injector)
+        sim = self._attach_invariants(
+            Simulation(config, fault_injector=self.fault_injector)
+        )
         rollbacks = 0
         self.incidents.record(
             "run_started", step=0, solver=config.solver, target=num_steps
@@ -235,7 +256,7 @@ class ResilientRunner:
                 self._validate(sim)
             except LBMIBError as exc:
                 cause = _root_cause(exc)
-                if isinstance(cause, StabilityError):
+                if isinstance(cause, (StabilityError, InvariantError)):
                     rollbacks += 1
                     self.incidents.record(
                         "stability_rollback",

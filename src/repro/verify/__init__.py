@@ -1,0 +1,73 @@
+"""Differential verification subsystem.
+
+Machinery that proves the solver variants compute identical physics and
+that the physics itself obeys its conservation laws:
+
+* :mod:`repro.verify.oracle` — step-locked differential oracle between
+  any two solver variants, reporting the first divergent step, field,
+  and (for cube layouts) cube.
+* :mod:`repro.verify.invariants` — physics invariant checkers (mass,
+  momentum, positivity, fiber arc length, NaN/Inf sentinels) attachable
+  per step to every variant.
+* :mod:`repro.verify.generate` — seeded random valid configurations
+  with shrinking to a minimal failing case.
+* :mod:`repro.verify.golden` — committed, checksummed golden regression
+  baselines with a regeneration entry point.
+
+``python -m repro.verify`` (wired as ``make verify-physics``) runs the
+whole gate: golden baselines, the oracle across all variants on
+generated configs, and a deliberate-perturbation self-test.
+"""
+
+from repro.errors import InvariantError
+from repro.verify.generate import VerifyCase, generate_cases, random_case, shrink_case
+from repro.verify.golden import (
+    GOLDEN_CASES,
+    check_baselines,
+    compute_baseline,
+    default_golden_dir,
+    state_digest,
+    state_stats,
+    write_baselines,
+)
+from repro.verify.invariants import (
+    DistributionPositivity,
+    FiberArcLength,
+    FiniteFields,
+    Invariant,
+    InvariantSuite,
+    MassConservation,
+    MomentumConsistency,
+)
+from repro.verify.oracle import (
+    DifferentialOracle,
+    Divergence,
+    compare_variants,
+    variant_config,
+)
+
+__all__ = [
+    "InvariantError",
+    "Invariant",
+    "InvariantSuite",
+    "FiniteFields",
+    "MassConservation",
+    "MomentumConsistency",
+    "DistributionPositivity",
+    "FiberArcLength",
+    "DifferentialOracle",
+    "Divergence",
+    "compare_variants",
+    "variant_config",
+    "VerifyCase",
+    "random_case",
+    "generate_cases",
+    "shrink_case",
+    "GOLDEN_CASES",
+    "check_baselines",
+    "compute_baseline",
+    "default_golden_dir",
+    "write_baselines",
+    "state_stats",
+    "state_digest",
+]

@@ -1,0 +1,400 @@
+"""Physics invariant checkers, attachable as per-step hooks.
+
+The LBM-IB method guarantees a handful of properties regardless of how
+the computation is scheduled: collision and (periodic) streaming
+conserve mass exactly; the velocity-shift forcing scheme injects
+exactly ``F dt`` of momentum per step; distributions stay positive in
+the stable low-Mach regime; fibers are inextensible enough that their
+arc length stays within elastic bounds; and nothing is ever NaN/Inf.
+Every parallel rewrite in this repository is a pure *performance*
+transformation, so each of these must hold for every solver variant —
+these checkers turn that contract into executable assertions.
+
+Two attachment points:
+
+* **Global, per-step** — :meth:`InvariantSuite.check_simulation` runs
+  after every time step when a suite is attached to a
+  :class:`~repro.api.Simulation` (any variant, including under
+  resilience rollback via
+  :class:`~repro.resilience.runner.ResilientRunner`).
+* **Per-thread sentinel** — :meth:`InvariantSuite.sentinel_hook`
+  produces a cheap NaN/Inf sentinel run inside the worker threads of
+  the thread-parallel solvers, with per-cube localization for the
+  cube-blocked layout.  Violations raise
+  :class:`~repro.errors.InvariantError`, which the execution substrate
+  surfaces un-wrapped with thread/cube context attached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import InvariantError
+
+__all__ = [
+    "Invariant",
+    "FiniteFields",
+    "MassConservation",
+    "MomentumConsistency",
+    "DistributionPositivity",
+    "FiberArcLength",
+    "InvariantSuite",
+]
+
+#: Fluid arrays inspected by the finite sentinel, cheapest first.
+_FLUID_FIELDS = ("df", "df_new", "density", "velocity", "velocity_shifted", "force")
+
+
+class Invariant:
+    """One checkable physics property.
+
+    Subclasses implement :meth:`check`; :meth:`bind` captures any
+    reference state (conserved totals) from the initial condition and
+    is called again after every checkpoint restore or rollback so the
+    baseline always matches the state the run actually continues from.
+    """
+
+    name = "invariant"
+
+    def bind(self, fluid, structure) -> None:  # pragma: no cover - default no-op
+        """Capture reference values from the (restored) initial state."""
+
+    def check(self, fluid, structure, step: int) -> None:
+        """Raise :class:`~repro.errors.InvariantError` on violation."""
+        raise NotImplementedError
+
+
+class FiniteFields(Invariant):
+    """No fluid field or fiber array may contain NaN/Inf."""
+
+    name = "finite_fields"
+
+    def check(self, fluid, structure, step: int) -> None:
+        for field in _FLUID_FIELDS:
+            arr = getattr(fluid, field)
+            if not np.isfinite(arr).all():
+                bad = int(np.flatnonzero(~np.isfinite(arr).ravel())[0])
+                raise InvariantError(
+                    self.name,
+                    f"fluid field {field!r} contains non-finite values "
+                    f"(first at flat index {bad})",
+                    step=step,
+                    field=field,
+                )
+        if structure is not None:
+            for si, sheet in enumerate(structure.sheets):
+                for field in ("positions", "velocity", "elastic_force"):
+                    if not np.isfinite(getattr(sheet, field)).all():
+                        raise InvariantError(
+                            self.name,
+                            f"sheet {si} {field} contains non-finite values",
+                            step=step,
+                            field=f"sheet{si}.{field}",
+                        )
+
+
+class MassConservation(Invariant):
+    """Total fluid mass stays at its initial value.
+
+    Collision conserves density pointwise, periodic streaming is a
+    permutation, and bounce-back walls reflect populations in place, so
+    total mass is exact up to floating-point roundoff.  Outflow
+    boundaries deliberately lose mass — the default suite omits this
+    checker for such configs.
+    """
+
+    name = "mass_conservation"
+
+    def __init__(self, rtol: float = 1e-9) -> None:
+        self.rtol = rtol
+        self._reference: float | None = None
+
+    def bind(self, fluid, structure) -> None:
+        self._reference = fluid.total_mass()
+
+    def check(self, fluid, structure, step: int) -> None:
+        if self._reference is None:
+            self.bind(fluid, structure)
+            return
+        mass = fluid.total_mass()
+        drift = abs(mass - self._reference)
+        limit = self.rtol * abs(self._reference)
+        if drift > limit:
+            raise InvariantError(
+                self.name,
+                f"total mass drifted from {self._reference:.12g} to {mass:.12g}",
+                step=step,
+                field="df",
+                value=drift,
+                limit=limit,
+            )
+
+
+class MomentumConsistency(Invariant):
+    """Per-step momentum change equals the applied force impulse.
+
+    The velocity-shift forcing scheme injects exactly ``F dt`` of
+    momentum per step (see :attr:`FluidGrid.tau_odd`), so in a fully
+    periodic domain::
+
+        p(t+1) - p(t) = dt * (sum of spread elastic forces
+                              + external force * num_nodes)
+
+    The elastic contribution is recovered from the fiber sheets (the
+    smoothed delta is a partition of unity, so spreading preserves the
+    total force).  Walls exchange momentum with the boundary — the
+    default suite enables this checker only for periodic-only runs.
+
+    The first check after a (re)bind only records the momentum without
+    comparing: the velocity-shift scheme carries the forcing through
+    ``velocity_shifted``, which a freshly initialized state has not yet
+    passed through kernel 7, so the very first step after a cold start
+    injects no impulse.
+    """
+
+    name = "momentum_consistency"
+
+    def __init__(self, dt: float = 1.0, external_force=None, atol: float = 5e-9) -> None:
+        self.dt = dt
+        self.external_force = external_force
+        self.atol = atol
+        self._prev: np.ndarray | None = None
+        self._prev_step: int | None = None
+
+    def bind(self, fluid, structure) -> None:
+        self._prev = None
+        self._prev_step = None
+
+    def _impulse(self, fluid, structure, num_steps: int) -> np.ndarray:
+        impulse = np.zeros(3)
+        if structure is not None:
+            for sheet in structure.sheets:
+                impulse += sheet.area_element * sheet.elastic_force[sheet.active].sum(
+                    axis=0
+                )
+        if self.external_force is not None:
+            impulse += np.asarray(self.external_force, dtype=float) * fluid.num_nodes
+        return impulse * self.dt * num_steps
+
+    def check(self, fluid, structure, step: int) -> None:
+        momentum = fluid.total_momentum()
+        if self._prev is None or self._prev_step is None:
+            self._prev, self._prev_step = momentum, step
+            return
+        num_steps = max(1, step - self._prev_step)
+        expected = self._prev + self._impulse(fluid, structure, num_steps)
+        scale = float(np.abs(expected).max()) + float(np.abs(self._prev).max())
+        error = float(np.abs(momentum - expected).max())
+        limit = self.atol * max(1.0, scale) * max(1.0, fluid.num_nodes ** 0.5)
+        self._prev, self._prev_step = momentum, step
+        if error > limit:
+            raise InvariantError(
+                self.name,
+                "momentum change does not match the applied force impulse "
+                f"(got {momentum}, expected {expected})",
+                step=step,
+                field="df",
+                value=error,
+                limit=limit,
+            )
+
+
+class DistributionPositivity(Invariant):
+    """Distribution functions stay (numerically) positive.
+
+    BGK does not guarantee positivity, but in the stable low-Mach
+    regime every population stays well above zero; a distribution
+    diving negative is the canonical early sign of a blow-up, long
+    before NaN appears.  The floor is configurable for deliberately
+    aggressive runs.
+    """
+
+    name = "distribution_positivity"
+
+    def __init__(self, floor: float = -1e-6) -> None:
+        self.floor = floor
+
+    def check(self, fluid, structure, step: int) -> None:
+        low = float(fluid.df.min())
+        if low < self.floor:
+            idx = np.unravel_index(int(fluid.df.argmin()), fluid.df.shape)
+            raise InvariantError(
+                self.name,
+                f"distribution went negative at df{tuple(int(i) for i in idx)}",
+                step=step,
+                field="df",
+                value=low,
+                limit=self.floor,
+            )
+
+
+class FiberArcLength(Invariant):
+    """Fiber segment lengths stay within elastic stretch bounds.
+
+    The stretch ratio is segment length over rest spacing; a sheet
+    stretched far beyond (or collapsed far below) its rest length means
+    the structure solver has gone non-physical even while every value
+    is still finite.
+    """
+
+    name = "fiber_arc_length"
+
+    def __init__(self, max_ratio: float = 4.0, min_ratio: float = 0.05) -> None:
+        self.max_ratio = max_ratio
+        self.min_ratio = min_ratio
+
+    def check(self, fluid, structure, step: int) -> None:
+        if structure is None:
+            return
+        for si, sheet in enumerate(structure.sheets):
+            ratio = sheet.max_stretch_ratio()
+            if not np.isfinite(ratio):
+                raise InvariantError(
+                    self.name,
+                    f"sheet {si} stretch ratio is non-finite",
+                    step=step,
+                    field=f"sheet{si}.positions",
+                )
+            if ratio > self.max_ratio:
+                raise InvariantError(
+                    self.name,
+                    f"sheet {si} stretched to {ratio:.3g}x its rest spacing",
+                    step=step,
+                    field=f"sheet{si}.positions",
+                    value=ratio,
+                    limit=self.max_ratio,
+                )
+
+
+def _check_cube_state_finite(cubes, tid: int, step: int) -> None:
+    """NaN/Inf sentinel over a cube-blocked state, localized per cube."""
+    for field in ("df", "density", "velocity", "force"):
+        arr = getattr(cubes, field)
+        flat = arr.reshape(arr.shape[0], -1)
+        bad = ~np.isfinite(flat).all(axis=1)
+        if bad.any():
+            cube = int(np.flatnonzero(bad)[0])
+            raise InvariantError(
+                "finite_fields",
+                f"cube-blocked field {field!r} contains non-finite values "
+                f"in cube {cube}",
+                step=step,
+                field=field,
+                tid=tid,
+                cube=cubes.cube_coords(cube),
+            )
+
+
+def _check_grid_state_finite(fluid, tid: int, step: int) -> None:
+    """NaN/Inf sentinel over a flat grid state."""
+    for field in _FLUID_FIELDS:
+        arr = getattr(fluid, field)
+        if not np.isfinite(arr).all():
+            raise InvariantError(
+                "finite_fields",
+                f"fluid field {field!r} contains non-finite values",
+                step=step,
+                field=field,
+                tid=tid,
+            )
+
+
+class InvariantSuite:
+    """An ordered collection of invariants with the two attachment hooks.
+
+    Parameters
+    ----------
+    invariants:
+        The checkers to run, in order (first failure wins).
+    every:
+        Check cadence in steps (1 = every step).
+    """
+
+    def __init__(self, invariants: Sequence[Invariant], every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.invariants = list(invariants)
+        self.every = every
+        #: Number of successful whole-suite evaluations (diagnostics).
+        self.checks_passed = 0
+
+    @classmethod
+    def default(
+        cls,
+        config=None,
+        every: int = 1,
+        positivity_floor: float = -1e-6,
+        max_stretch: float = 4.0,
+    ) -> "InvariantSuite":
+        """The standard suite, gated on what the config makes checkable.
+
+        Mass conservation is dropped when an outflow boundary is
+        configured (mass deliberately leaves); momentum consistency
+        needs a fully periodic domain (walls exchange momentum with the
+        boundary).
+        """
+        checks: list[Invariant] = [FiniteFields()]
+        boundaries = () if config is None else config.boundaries
+        has_outflow = any(bc.kind == "outflow" for bc in boundaries)
+        fully_periodic = all(bc.kind == "periodic" for bc in boundaries)
+        if not has_outflow:
+            checks.append(MassConservation())
+        if fully_periodic:
+            checks.append(
+                MomentumConsistency(
+                    dt=1.0 if config is None else config.dt,
+                    external_force=None if config is None else config.external_force,
+                )
+            )
+        checks.append(DistributionPositivity(floor=positivity_floor))
+        if config is None or config.structure.kind != "none":
+            checks.append(FiberArcLength(max_ratio=max_stretch))
+        return cls(checks, every=every)
+
+    # ------------------------------------------------------------------
+    # global per-step checking
+    # ------------------------------------------------------------------
+    def bind(self, fluid, structure) -> None:
+        """(Re-)capture conserved-quantity baselines from this state."""
+        for invariant in self.invariants:
+            invariant.bind(fluid, structure)
+
+    def check_state(self, fluid, structure, step: int) -> None:
+        """Run every checker against a gathered global state."""
+        for invariant in self.invariants:
+            invariant.check(fluid, structure, step)
+        self.checks_passed += 1
+
+    def check_simulation(self, sim) -> None:
+        """Run every checker against a simulation's gathered state."""
+        step = sim.time_step
+        if step % self.every:
+            return
+        self.check_state(sim.fluid, sim.structure, step)
+
+    # ------------------------------------------------------------------
+    # per-thread sentinel hook
+    # ------------------------------------------------------------------
+    def sentinel_hook(self, state) -> Callable[[int, int], None]:
+        """A cheap ``(tid, step)`` NaN/Inf sentinel for worker threads.
+
+        ``state`` is the solver's live state — a
+        :class:`~repro.parallel.cubes.CubeGrid` for the cube solvers
+        (violations are localized to the offending cube) or a
+        :class:`~repro.core.lbm.fields.FluidGrid` for the slab solvers.
+        Only thread 0 scans (the state is shared; scanning once per
+        step is enough), every ``self.every`` steps.
+        """
+        cube_blocked = hasattr(state, "cube_coords")
+
+        def hook(tid: int, step: int) -> None:
+            if tid != 0 or step % self.every:
+                return
+            if cube_blocked:
+                _check_cube_state_finite(state, tid, step)
+            else:
+                _check_grid_state_finite(state, tid, step)
+
+        return hook

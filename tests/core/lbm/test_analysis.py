@@ -90,6 +90,7 @@ class TestIntegrals:
 
 
 class TestNoneqStress:
+    @pytest.mark.slow
     def test_couette_shear_matches_analytic(self):
         """sigma_xy from distribution moments equals rho*nu*du/dy."""
         from repro.constants import viscosity_from_tau

@@ -121,6 +121,7 @@ class TestTrtPhysics:
             expected, rel=0.02
         )
 
+    @pytest.mark.slow
     def test_trt_poiseuille_more_accurate_at_walls(self):
         """The magic number 3/16 removes the bounce-back slip error."""
         from repro.core.lbm.boundaries import BounceBackWall

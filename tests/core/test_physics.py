@@ -58,6 +58,7 @@ class TestTaylorGreenDecay:
 
 
 class TestPoiseuille:
+    @pytest.mark.slow
     def test_parabolic_profile(self):
         """Body-force-driven channel flow between bounce-back walls."""
         h = 12
@@ -97,6 +98,7 @@ class TestPoiseuille:
 
 
 class TestCouette:
+    @pytest.mark.slow
     def test_linear_profile(self):
         """A moving top wall drags a linear velocity profile."""
         h = 10

@@ -21,6 +21,9 @@ from repro.parallel import (
     OpenMPLBMIBSolver,
 )
 
+# Hypothesis re-runs each scenario many times; keep out of the smoke tier.
+pytestmark = pytest.mark.slow
+
 scenario = st.fixed_dictionaries(
     {
         "dims": st.tuples(

@@ -1,0 +1,89 @@
+"""Seeded config generator: determinism, validity, and shrinking."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import Simulation
+from repro.verify import VerifyCase, generate_cases, shrink_case
+from repro.verify.oracle import variant_config
+
+pytestmark = pytest.mark.verify
+
+
+class TestDeterminism:
+    def test_same_seed_same_cases(self):
+        assert generate_cases(123, 5) == generate_cases(123, 5)
+
+    def test_different_seed_different_cases(self):
+        assert generate_cases(123, 5) != generate_cases(124, 5)
+
+
+class TestValidity:
+    def test_generated_dims_are_cube_multiples(self):
+        for case in generate_cases(7, 20):
+            assert all(n % case.cube_size == 0 for n in case.dims)
+            assert case.steps >= 1
+            assert case.tau > 0.5
+
+    @pytest.mark.parametrize("solver", ["sequential", "cube", "distributed"])
+    def test_generated_configs_build_and_step(self, solver):
+        case = generate_cases(99, 1)[0]
+        config = variant_config(case.config(), solver)
+        with Simulation(config) as sim:
+            sim.run(1)
+            assert sim.time_step == 1
+
+
+class TestShrinking:
+    def test_shrinks_to_minimal_when_everything_fails(self):
+        """A predicate that always fails drives the case to the floor:
+        one step, no structure, one thread, smallest grid, bgk, block."""
+        case = VerifyCase(
+            dims=(12, 8, 8),
+            cube_size=4,
+            operator="trt",
+            num_threads=4,
+            cube_method="cyclic",
+            fiber_method="block_cyclic",
+            structure_kind="parallel_sheets",
+            external_force=(1e-5, 0.0, 0.0),
+            steps=3,
+        )
+        minimal = shrink_case(case, lambda c: True, max_attempts=200)
+        assert minimal.steps == 1
+        assert minimal.structure_kind == "none"
+        assert minimal.num_threads == 1
+        assert minimal.operator == "bgk"
+        assert minimal.external_force is None
+        assert minimal.cube_method == "block"
+        assert minimal.dims == tuple(2 * minimal.cube_size for _ in range(3))
+
+    def test_preserves_failure_relevant_field(self):
+        """Shrinking keeps whatever the failure depends on — here the
+        trt operator — while simplifying everything else away."""
+        case = VerifyCase(operator="trt", num_threads=4, steps=3)
+        minimal = shrink_case(case, lambda c: c.operator == "trt")
+        assert minimal.operator == "trt"
+        assert minimal.num_threads == 1
+        assert minimal.steps == 1
+
+    def test_predicate_exception_means_not_reproduced(self):
+        case = VerifyCase(steps=3)
+
+        def raises_on_simplified(candidate):
+            if candidate.steps == 1:
+                raise RuntimeError("candidate would not even build")
+            return True
+
+        minimal = shrink_case(case, raises_on_simplified)
+        assert minimal.steps > 1  # never adopted the raising candidate
+
+    def test_fixpoint_on_unreproducible_failure(self):
+        case = generate_cases(5, 1)[0]
+        assert shrink_case(case, lambda c: False) == case
+
+    def test_describe_mentions_key_fields(self):
+        case = replace(VerifyCase(), tau=1.1, cube_size=4)
+        text = case.describe()
+        assert "tau=1.1" in text and "k=4" in text

@@ -1,0 +1,88 @@
+"""Differential oracle: variant agreement and divergence localization."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimulationConfig, StructureConfig
+from repro.verify import DifferentialOracle, compare_variants
+from repro.verify.oracle import variant_config
+
+pytestmark = pytest.mark.verify
+
+
+def _base_config(**overrides):
+    defaults = dict(
+        fluid_shape=(8, 8, 8),
+        tau=0.8,
+        cube_size=4,
+        num_threads=2,
+        structure=StructureConfig(kind="flat_sheet", num_fibers=3, nodes_per_fiber=3),
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize(
+        "variant", ["openmp", "cube", "async_cube", "distributed", "hybrid"]
+    )
+    def test_variant_matches_sequential(self, variant):
+        divergence = compare_variants(
+            _base_config(), "sequential", variant, num_steps=3, state_seed=5
+        )
+        assert divergence is None
+
+    def test_cube_matches_async_cube(self):
+        divergence = compare_variants(
+            _base_config(), "cube", "async_cube", num_steps=3, state_seed=5
+        )
+        assert divergence is None
+
+
+class TestDivergenceDetection:
+    def test_tau_perturbation_is_caught_and_localized(self):
+        """The acceptance-criteria self-test: tau off by 1e-3 must be caught,
+        with the divergent step, field, and cube identified."""
+        config = _base_config()
+        perturbed = replace(config, tau=config.tau + 1e-3, viscosity=None)
+        oracle = DifferentialOracle(
+            config, "sequential", "cube", config_b=perturbed, state_seed=5
+        )
+        divergence = oracle.run(num_steps=3)
+        assert divergence is not None
+        assert divergence.step >= 1
+        assert divergence.field in ("df", "density", "velocity", "velocity_shifted", "force")
+        assert divergence.max_abs_error > divergence.tolerance
+        # variant_b is the cube solver, so the worst element maps to a cube
+        assert divergence.cube is not None
+        assert len(divergence.cube) == 3
+        text = str(divergence)
+        assert "step" in text and divergence.field in text
+
+    def test_no_cube_localization_without_cube_variant(self):
+        """When neither variant is cube-blocked there is no owning cube;
+        the report must still name step, field, and global index."""
+        config = _base_config()
+        perturbed = replace(config, tau=config.tau + 1e-3, viscosity=None)
+        oracle = DifferentialOracle(
+            config, "sequential", "sequential", config_b=perturbed, state_seed=5
+        )
+        divergence = oracle.run(num_steps=3)
+        assert divergence is not None
+        assert divergence.cube is None
+        assert divergence.index
+
+
+class TestVariantConfig:
+    def test_thread_counts_clamped_per_variant(self):
+        config = _base_config(num_threads=64)
+        assert variant_config(config, "sequential").num_threads == 1
+        cube_cfg = variant_config(config, "cube")
+        assert cube_cfg.num_threads <= 8  # 8^3 grid, k=4 -> 2 cubes per dim
+        dist_cfg = variant_config(config, "distributed")
+        assert dist_cfg.num_threads <= config.fluid_shape[0]
+
+    def test_solver_field_set(self):
+        config = _base_config()
+        assert variant_config(config, "hybrid").solver == "hybrid"
