@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-quick test-faults test-verify verify-physics bench examples report clean
+.PHONY: install test test-quick test-faults test-verify verify-physics bench bench-fused examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -36,6 +36,13 @@ verify-physics:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Sequential-vs-fused hot-path benchmark; writes
+# benchmarks/results/BENCH_fused.json (per-kernel + whole-step wall
+# time and tracemalloc allocation profile).  Override the run size with
+# e.g. BENCH_FUSED_ARGS="--scale 8 --steps 3".
+bench-fused:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fused_kernels.py $(BENCH_FUSED_ARGS)
 
 examples:
 	$(PYTHON) examples/quickstart.py

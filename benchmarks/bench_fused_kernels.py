@@ -1,0 +1,102 @@
+"""Benchmark: fused memory-aware hot path vs the sequential program.
+
+Measures the library's ``variant="fused"`` solver (fused collide-and-
+stream, two-lattice swap, zero-allocation scratch arena, bincount
+scatter, shared delta stencils) against the kernel-by-kernel sequential
+reference on the Table-I profiling workload, and emits the machine-
+readable record ``benchmarks/results/BENCH_fused.json``.
+
+Two entry points:
+
+* ``make bench-fused`` (this file as a script) — full run on the
+  Table-I grid (62 x 32 x 32), prints the table, writes the JSON;
+* ``pytest benchmarks/ --benchmark-only`` — pytest-benchmark timings
+  of one whole step per variant on a smaller grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.api import Simulation
+from repro.experiments.bench_fused import render_bench_fused, run_bench_fused
+from repro.experiments.workloads import scaled_profiling_config
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def write_bench_fused(result: dict, path: pathlib.Path) -> None:
+    """Persist the benchmark record as pretty-printed JSON."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("solver", ["sequential", "fused"])
+def test_whole_step(benchmark, solver):
+    """Time one full step of each variant on a scale-4 grid."""
+    sim = Simulation(scaled_profiling_config(scale=4, solver=solver))
+    try:
+        sim.run(2)  # warmup: arena, shift table, stencil cache
+        benchmark(sim.run, 1)
+    finally:
+        sim.close()
+
+
+def test_bench_fused_json(emit, results_dir):
+    """Emit BENCH_fused.json from a reduced run and sanity-check it."""
+    result = run_bench_fused(scale=4, steps=3, warmup=2, scatter_repeats=2)
+    emit("bench_fused", render_bench_fused(result))
+    write_bench_fused(result, results_dir / "BENCH_fused.json")
+    assert result["scatter"]["max_abs_delta"] == 0.0
+    fluid_only = result["fluid_only"]["fused"]
+    assert fluid_only["alloc_peak_bytes"] < fluid_only["scalar_field_bytes"]
+
+
+# ----------------------------------------------------------------------
+# command line (make bench-fused)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_fused_kernels.py",
+        description="sequential-vs-fused benchmark; writes BENCH_fused.json",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=2,
+        help="grid divisor of the Table-I workload (2 = the 62x32x32 grid)",
+    )
+    parser.add_argument("--steps", type=int, default=10, help="timed steps")
+    parser.add_argument("--warmup", type=int, default=3, help="warmup steps")
+    parser.add_argument(
+        "--scatter-repeats", type=int, default=5,
+        help="repeats of the scatter microbenchmark",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=RESULTS_DIR / "BENCH_fused.json",
+        help="JSON output path",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_bench_fused(
+        scale=args.scale,
+        steps=args.steps,
+        warmup=args.warmup,
+        scatter_repeats=args.scatter_repeats,
+    )
+    print(render_bench_fused(result))
+    write_bench_fused(result, args.output)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,18 @@ class Simulation:
                 external_force=config.external_force,
                 fault_hook=self._hook_for(self._fluid),
             )
+        elif config.solver == "fused":
+            from repro.core.fused_solver import FusedLBMIBSolver
+
+            self._solver = FusedLBMIBSolver(
+                self._fluid,
+                self._built_structure,
+                delta=self._delta,
+                boundaries=self._boundaries,
+                dt=config.dt,
+                external_force=config.external_force,
+                fault_hook=self._hook_for(self._fluid),
+            )
         elif config.solver == "openmp":
             from repro.parallel.openmp_solver import OpenMPLBMIBSolver
 

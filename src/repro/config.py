@@ -120,9 +120,11 @@ class SimulationConfig:
         Face boundary conditions (unlisted faces stay periodic).
     solver:
         ``"sequential"``, ``"openmp"``, ``"cube"`` (the paper's three
-        programs), ``"async_cube"`` (task-scheduled, barrier-free),
-        ``"distributed"`` (message-passing rank slabs), or ``"hybrid"``
-        (distributed ranks with cube-centric local layout).
+        programs), ``"fused"`` (single-core memory-aware fused kernels
+        with a zero-allocation hot path), ``"async_cube"``
+        (task-scheduled, barrier-free), ``"distributed"``
+        (message-passing rank slabs), or ``"hybrid"`` (distributed
+        ranks with cube-centric local layout).
     num_threads:
         Team size for the parallel solvers (rank count for the
         distributed variants).
@@ -156,7 +158,7 @@ class SimulationConfig:
     structure: StructureConfig = field(default_factory=StructureConfig)
     boundaries: tuple[BoundaryConfig, ...] = ()
     solver: Literal[
-        "sequential", "openmp", "cube", "async_cube", "distributed", "hybrid"
+        "sequential", "fused", "openmp", "cube", "async_cube", "distributed", "hybrid"
     ] = "sequential"
     num_threads: int = 1
     cube_size: int = 4
@@ -179,6 +181,7 @@ class SimulationConfig:
             )
         if self.solver not in (
             "sequential",
+            "fused",
             "openmp",
             "cube",
             "async_cube",

@@ -1,0 +1,75 @@
+"""Scratch-buffer arena: preallocated workspace for the hot path.
+
+On the single-core target the per-step cost of the solver is dominated
+by memory traffic, and a meaningful slice of that traffic is *allocator*
+traffic: every ``np.empty`` for an equilibrium slab, a moment field, or
+a ``np.roll`` temporary touches fresh pages that must be faulted in and
+evicts useful cache lines.  The arena removes that entirely: named
+scratch buffers are allocated once (on first request, so only the
+buffers a given operator actually needs exist) and reused on every
+subsequent step.  After warmup, a steady-state step of the fused solver
+performs zero numpy array allocations — a property pinned by a
+tracemalloc test in ``tests/verify/test_fused.py``.
+
+Buffers are keyed by name; a request whose shape no longer matches the
+stored buffer (e.g. after a grid reshape) transparently reallocates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DTYPE
+
+__all__ = ["ScratchArena"]
+
+
+class ScratchArena:
+    """Named, lazily allocated, reusable scratch buffers for one grid.
+
+    Parameters
+    ----------
+    shape:
+        Spatial grid shape ``(Nx, Ny, Nz)``; :meth:`scalar` buffers have
+        exactly this shape, :meth:`vector` buffers are ``(3, *shape)``.
+    dtype:
+        Element dtype (defaults to the library-wide :data:`DTYPE`).
+    """
+
+    def __init__(self, shape: tuple[int, int, int], dtype=DTYPE) -> None:
+        self.shape = tuple(int(n) for n in shape)
+        self.dtype = dtype
+        self._buffers: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def buffer(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """The named scratch buffer, (re)allocated on first use.
+
+        Contents are undefined between calls; callers must fully
+        overwrite the buffer (use ``out=`` forms) before reading it.
+        """
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != tuple(shape):
+            buf = np.empty(tuple(shape), dtype=self.dtype)
+            self._buffers[name] = buf
+        return buf
+
+    def scalar(self, name: str) -> np.ndarray:
+        """Scratch field of shape ``(Nx, Ny, Nz)``."""
+        return self.buffer(name, self.shape)
+
+    def vector(self, name: str) -> np.ndarray:
+        """Scratch field of shape ``(3, Nx, Ny, Nz)``."""
+        return self.buffer(name, (3,) + self.shape)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by arena buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers

@@ -29,7 +29,11 @@ from repro.constants import DT
 from repro.core.lbm import macroscopic
 from repro.core.lbm.fields import FluidGrid
 
-__all__ = ["update_velocity_fields", "shifted_velocities"]
+__all__ = [
+    "update_velocity_fields",
+    "update_velocity_fields_inplace",
+    "shifted_velocities",
+]
 
 
 def shifted_velocities(
@@ -78,3 +82,37 @@ def update_velocity_fields(fluid: FluidGrid) -> None:
         out_velocity_shifted=fluid.velocity_shifted,
         out_density=fluid.density,
     )
+
+
+def update_velocity_fields_inplace(fluid: FluidGrid, momentum: np.ndarray) -> None:
+    """Allocation-free kernel 7 used by the fused solver.
+
+    Numerically identical to :func:`update_velocity_fields` (the force
+    term is added to the momentum instead of the other way round —
+    floating-point addition commutes bit-exactly), but every temporary
+    lands in a caller-supplied or grid-owned buffer:
+
+    Parameters
+    ----------
+    momentum:
+        Scratch buffer ``(3, Nx, Ny, Nz)`` receiving ``sum_i e_i f_i``
+        (typically ``fluid.arena.vector("momentum")``).
+    """
+    macroscopic.compute_density(fluid.df_new, out=fluid.density)
+    macroscopic.compute_momentum_density(fluid.df_new, out=momentum)
+    rho = fluid.density
+
+    shifted = fluid.velocity_shifted
+    np.multiply(fluid.force, fluid.tau_odd * DT, out=shifted)
+    shifted += momentum
+
+    velocity = fluid.velocity
+    np.multiply(fluid.force, 0.5 * DT, out=velocity)
+    velocity += momentum
+
+    # Divide component-wise: an in-place ufunc with a *broadcast*
+    # divisor falls back to numpy's buffered inner loop and allocates;
+    # the same-shape form doesn't (and is elementwise identical).
+    for comp in range(3):
+        shifted[comp] /= rho
+        velocity[comp] /= rho

@@ -13,13 +13,16 @@ import numpy as np
 
 from repro.core.ib.delta import DeltaKernel
 from repro.core.ib.fiber import FiberSheet
-from repro.core.ib.spreading import flatten_stencil
+from repro.core.ib.spreading import StencilCache, flatten_stencil
 
 __all__ = ["interpolate_values", "interpolate_velocity"]
 
 
 def interpolate_values(
-    positions: np.ndarray, source: np.ndarray, delta: DeltaKernel
+    positions: np.ndarray,
+    source: np.ndarray,
+    delta: DeltaKernel,
+    flat_stencil: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> np.ndarray:
     """Gather the vector field ``source`` at Lagrangian ``positions``.
 
@@ -31,6 +34,10 @@ def interpolate_values(
         Eulerian vector field ``(3, Nx, Ny, Nz)``.
     delta:
         Smoothed delta kernel.
+    flat_stencil:
+        Optional precomputed ``(flat_idx, flat_w)`` for ``positions``
+        (from :func:`~repro.core.ib.spreading.flatten_stencil`), e.g.
+        the stencil already evaluated by this step's force spread.
 
     Returns
     -------
@@ -40,8 +47,11 @@ def interpolate_values(
     if positions.size == 0:
         return np.zeros((0, 3), dtype=source.dtype)
     grid_shape = source.shape[1:]
-    indices, weights = delta.stencil(positions, grid_shape=grid_shape)
-    flat_idx, flat_w = flatten_stencil(indices, weights, grid_shape)
+    if flat_stencil is None:
+        indices, weights = delta.stencil(positions, grid_shape=grid_shape)
+        flat_idx, flat_w = flatten_stencil(indices, weights, grid_shape)
+    else:
+        flat_idx, flat_w = flat_stencil
     out = np.empty((positions.shape[0], 3), dtype=source.dtype)
     for comp in range(3):
         gathered = source[comp].reshape(-1)[flat_idx]
@@ -54,6 +64,7 @@ def interpolate_velocity(
     delta: DeltaKernel,
     velocity_grid: np.ndarray,
     rows=None,
+    cache: StencilCache | None = None,
 ) -> np.ndarray:
     """Write the interpolated fluid velocity into ``sheet.velocity``.
 
@@ -62,6 +73,11 @@ def interpolate_velocity(
     rows:
         Optional fiber indices restricting the computation, mirroring
         ``fiber2thread`` in the parallel solvers.
+    cache:
+        Optional :class:`~repro.core.ib.spreading.StencilCache` holding
+        the stencil evaluated by this step's force spread; reused here
+        so each step computes delta weights once per sheet.  Only valid
+        without ``rows``.
     """
     if rows is None:
         node_mask = sheet.active
@@ -69,6 +85,11 @@ def interpolate_velocity(
         node_mask = np.zeros_like(sheet.active)
         node_mask[np.asarray(rows, dtype=np.int64)] = True
         node_mask &= sheet.active
-    values = interpolate_values(sheet.positions[node_mask], velocity_grid, delta)
+    flat_stencil = None
+    if cache is not None and rows is None:
+        flat_stencil = cache.flat_stencil(sheet, delta, velocity_grid.shape[1:])
+    values = interpolate_values(
+        sheet.positions[node_mask], velocity_grid, delta, flat_stencil=flat_stencil
+    )
     sheet.velocity[node_mask] = values
     return sheet.velocity

@@ -29,6 +29,7 @@ def move_fibers(
     velocity_grid: np.ndarray,
     dt: float = DT,
     rows=None,
+    cache=None,
 ) -> np.ndarray:
     """Kernel 8: interpolate fluid velocity and advance fiber positions.
 
@@ -44,13 +45,16 @@ def move_fibers(
         Time step (1 in lattice units).
     rows:
         Optional fiber indices; only those fibers are moved.
+    cache:
+        Optional :class:`~repro.core.ib.spreading.StencilCache` shared
+        with this step's force spread (fused solver fast path).
 
     Returns
     -------
     numpy.ndarray
         The updated ``sheet.positions``.
     """
-    interpolate_velocity(sheet, delta, velocity_grid, rows=rows)
+    interpolate_velocity(sheet, delta, velocity_grid, rows=rows, cache=cache)
     if rows is None:
         node_mask = sheet.active
     else:

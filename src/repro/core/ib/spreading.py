@@ -8,6 +8,15 @@ force onto them, weighted by the smoothed Dirac delta::
 
 where ``dA`` is the Lagrangian area element of the sheet.  Periodic
 wrap-around matches the fluid grid's periodic topology.
+
+The scatter itself uses :func:`numpy.bincount` over raveled grid
+indices rather than ``np.add.at``: both accumulate contributions in
+input order (so the two are bit-identical), but ``bincount`` runs a
+tight C histogram loop while ``ufunc.at`` historically dispatched
+through the generic buffered inner loop and was an order of magnitude
+slower.  NumPy 1.25 gave ``ufunc.at`` an indexed fast path that closes
+most of that gap — ``BENCH_fused.json`` records the measured delta on
+the build in use.
 """
 
 from __future__ import annotations
@@ -18,7 +27,13 @@ from repro.constants import DTYPE
 from repro.core.ib.delta import DeltaKernel
 from repro.core.ib.fiber import FiberSheet
 
-__all__ = ["flatten_stencil", "spread_forces", "spread_values"]
+__all__ = [
+    "flatten_stencil",
+    "scatter_flat",
+    "spread_forces",
+    "spread_values",
+    "StencilCache",
+]
 
 
 def flatten_stencil(
@@ -55,6 +70,40 @@ def flatten_stencil(
     return flat.reshape(n, s**3), weights.reshape(n, s**3)
 
 
+def scatter_flat(
+    flat_idx: np.ndarray,
+    flat_w: np.ndarray,
+    values: np.ndarray,
+    target: np.ndarray,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Scatter pre-flattened stencil contributions onto ``target``.
+
+    Parameters
+    ----------
+    flat_idx, flat_w:
+        Output of :func:`flatten_stencil`, both ``(N, s**3)``.
+    values:
+        Per-point vectors ``(N, 3)``.
+    target:
+        Eulerian vector field ``(3, Nx, Ny, Nz)``, accumulated in place.
+    scale:
+        Constant multiplier (the Lagrangian area element).
+    """
+    if flat_idx.size == 0:
+        return target
+    grid_shape = target.shape[1:]
+    num_nodes = target[0].size
+    if scale != 1.0:
+        flat_w = flat_w * scale
+    idx = flat_idx.ravel()
+    for comp in range(3):
+        contrib = (values[:, comp : comp + 1] * flat_w).ravel()
+        binned = np.bincount(idx, weights=contrib, minlength=num_nodes)
+        target[comp] += binned.reshape(grid_shape)
+    return target
+
+
 def spread_values(
     positions: np.ndarray,
     values: np.ndarray,
@@ -82,13 +131,41 @@ def spread_values(
     grid_shape = target.shape[1:]
     indices, weights = delta.stencil(positions, grid_shape=grid_shape)
     flat_idx, flat_w = flatten_stencil(indices, weights, grid_shape)
-    if scale != 1.0:
-        flat_w = flat_w * scale
-    flat_idx = flat_idx.ravel()
-    for comp in range(3):
-        contrib = (values[:, comp : comp + 1] * flat_w).ravel()
-        np.add.at(target[comp].reshape(-1), flat_idx, contrib)
-    return target
+    return scatter_flat(flat_idx, flat_w, values, target, scale=scale)
+
+
+class StencilCache:
+    """Per-step cache of flattened delta stencils, keyed per sheet.
+
+    Within one time step the fiber positions do not move between the
+    spread (kernel 4) and the velocity interpolation inside kernel 8,
+    so the delta-stencil indices and weights computed for the spread
+    can be reused verbatim for the interpolation.  The fused solver
+    owns one cache and calls :meth:`begin_step` at the top of every
+    step; both transfer kernels then share one stencil evaluation.
+    """
+
+    def __init__(self) -> None:
+        self._flat: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def begin_step(self) -> None:
+        """Invalidate every cached stencil (positions are about to move)."""
+        self._flat.clear()
+
+    def flat_stencil(
+        self,
+        sheet: FiberSheet,
+        delta: DeltaKernel,
+        grid_shape: tuple[int, int, int],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened ``(indices, weights)`` of ``sheet``'s active nodes."""
+        entry = self._flat.get(id(sheet))
+        if entry is None:
+            positions = sheet.positions[sheet.active]
+            indices, weights = delta.stencil(positions, grid_shape=grid_shape)
+            entry = flatten_stencil(indices, weights, grid_shape)
+            self._flat[id(sheet)] = entry
+        return entry
 
 
 def spread_forces(
@@ -96,6 +173,7 @@ def spread_forces(
     delta: DeltaKernel,
     force_grid: np.ndarray,
     rows=None,
+    cache: StencilCache | None = None,
 ) -> np.ndarray:
     """Kernel 4: spread the sheet's elastic force into ``force_grid``.
 
@@ -111,8 +189,20 @@ def spread_forces(
     rows:
         Optional fiber indices restricting which fibers spread — the
         parallel unit of ``fiber2thread``.
+    cache:
+        Optional :class:`StencilCache`; the stencil computed here is
+        then reused by the same step's velocity interpolation.  Only
+        valid without ``rows`` (the cache covers all active nodes).
     """
     if rows is None:
+        if cache is not None:
+            flat_idx, flat_w = cache.flat_stencil(
+                sheet, delta, force_grid.shape[1:]
+            )
+            values = sheet.elastic_force[sheet.active]
+            return scatter_flat(
+                flat_idx, flat_w, values, force_grid, scale=sheet.area_element
+            )
         node_mask = sheet.active
     else:
         node_mask = np.zeros_like(sheet.active)

@@ -82,6 +82,29 @@ class Boundary:
     def apply(self, df_post: np.ndarray, df_new: np.ndarray) -> None:
         raise NotImplementedError
 
+    # -- fused-sweep protocol ------------------------------------------
+    def post_dependencies(self) -> tuple[int, ...]:
+        """Directions whose *post-collision* face layer this boundary reads.
+
+        The fused collide-and-stream sweep never materializes the full
+        post-collision lattice, so boundaries that read ``df_post`` (like
+        bounce-back walls) declare the directions they need here; the
+        fused solver captures just those face layers during the sweep and
+        hands them to :meth:`apply_fused`.
+        """
+        return ()
+
+    def apply_fused(
+        self, post_faces: dict[int, np.ndarray], df_new: np.ndarray
+    ) -> None:
+        """Repair ``df_new`` using captured post-collision face layers.
+
+        ``post_faces`` maps each direction from :meth:`post_dependencies`
+        to the post-collision values on this boundary's face.  The
+        default covers boundaries that never read ``df_post``.
+        """
+        self.apply(None, df_new)  # type: ignore[arg-type]
+
 
 @dataclass
 class PeriodicBoundary(Boundary):
@@ -119,6 +142,28 @@ class BounceBackWall(Boundary):
                 value = value + 6.0 * W[i] * self.wall_density * float(E[i] @ u_w)
             df_new[(i,) + idx] = value
 
+    def post_dependencies(self) -> tuple[int, ...]:  # noqa: D102
+        return tuple(int(OPPOSITE[i]) for i in self.incoming_directions())
+
+    def apply_fused(
+        self, post_faces: dict[int, np.ndarray], df_new: np.ndarray
+    ) -> None:
+        """Bounce back from captured face layers, allocation-free.
+
+        Writing the captured layer first and adding the scalar Ladd
+        correction in place matches :meth:`apply` bit-for-bit while
+        avoiding the temporary it creates for moving walls.
+        """
+        shape = df_new.shape[1:]
+        idx = face_index(self.axis, self.side, shape)
+        u_w = np.asarray(self.wall_velocity, dtype=DTYPE)
+        moving = bool(np.any(u_w != 0.0))
+        for i in self.incoming_directions():
+            target = df_new[(i,) + idx]
+            target[...] = post_faces[int(OPPOSITE[i])]
+            if moving:
+                target += 6.0 * W[i] * self.wall_density * float(E[i] @ u_w)
+
 
 @dataclass
 class OutflowBoundary(Boundary):
@@ -130,7 +175,7 @@ class OutflowBoundary(Boundary):
     """
 
     def apply(self, df_post: np.ndarray, df_new: np.ndarray) -> None:  # noqa: D102
-        shape = df_post.shape[1:]
+        shape = df_new.shape[1:]
         if shape[self.axis] < 2:
             raise ConfigurationError(
                 "outflow boundary needs at least two layers along its axis"

@@ -101,6 +101,7 @@ class FluidGrid:
         self.velocity = np.zeros((3, nx, ny, nz), dtype=DTYPE)
         self.velocity_shifted = np.zeros((3, nx, ny, nz), dtype=DTYPE)
         self.force = np.zeros((3, nx, ny, nz), dtype=DTYPE)
+        self._arena = None
         self.initialize_equilibrium()
 
     # ------------------------------------------------------------------
@@ -129,6 +130,34 @@ class FluidGrid:
         self.velocity_shifted[...] = self.velocity
         equilibrium.equilibrium(self.density, self.velocity, out=self.df)
         self.df_new[...] = self.df
+
+    # ------------------------------------------------------------------
+    # hot-path helpers
+    # ------------------------------------------------------------------
+    @property
+    def arena(self):
+        """Lazily created scratch arena for allocation-free kernels.
+
+        Buffers live as long as the grid; the fused solver's steady
+        state performs zero numpy allocations because every temporary
+        it needs comes from here.
+        """
+        if self._arena is None:
+            from repro.core.arena import ScratchArena
+
+            self._arena = ScratchArena(self.shape)
+        return self._arena
+
+    def swap_distributions(self) -> None:
+        """Exchange ``df`` and ``df_new`` (two-lattice ping-pong).
+
+        The fused solver replaces kernel 9's full-buffer copy with this
+        pointer swap: after a fused step the freshly streamed state is
+        already in ``df_new``, so swapping the references publishes it
+        as the present buffer for free.  ``df_new`` then holds the
+        *previous* step's distributions (finite, but stale).
+        """
+        self.df, self.df_new = self.df_new, self.df
 
     # ------------------------------------------------------------------
     # inspection helpers

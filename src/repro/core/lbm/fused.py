@@ -1,0 +1,241 @@
+"""Fused collide-and-stream sweep (kernels 5 + 6 in one lattice pass).
+
+The sequential solver walks the full ``(19, Nx, Ny, Nz)`` lattice three
+times per step for the LBM half: collision (kernel 5), streaming
+(kernel 6) and the buffer copy (kernel 9).  On a memory-bound manycore
+node that triples the distribution traffic.  This module performs
+moments, equilibrium, collision and the periodic streaming shift in a
+*single* traversal, direction by direction:
+
+* per-node density and the ``1.5 |u|^2`` equilibrium term are computed
+  once up front into arena scratch buffers;
+* for each direction ``i`` the equilibrium slab is built in a reused
+  scratch buffer (``e_i . u`` needs no multiplies — every D3Q19
+  component is -1, 0 or +1, so it is one or two adds), the collision is
+  applied *in place* on ``df[i]`` (the pre-collision values are never
+  needed again), and the post-collision slab is immediately shifted
+  into ``df_new[i]`` via the precomputed block-copy table of
+  :func:`repro.core.lbm.streaming.periodic_shift_table`;
+* callers that must see post-collision values the sweep would otherwise
+  discard (bounce-back walls) register a ``capture`` callback invoked
+  with each finalized post-collision slab.
+
+The whole-lattice post-collision array and the separate ``feq`` lattice
+of the unfused path simply never exist, and after warmup the sweep
+performs zero numpy allocations (all scratch comes from
+``fluid.arena``).  The arithmetic replicates the batch kernels
+operation for operation, so the differential oracle sees no divergence
+against the ``sequential`` variant for either collision operator.
+
+Equilibrium per direction (same operation order as
+:func:`repro.core.lbm.equilibrium.equilibrium`)::
+
+    f_i^eq = w_i * rho * (4.5 (e_i.u)^2 + 3 (e_i.u) - 1.5 |u|^2 + 1)
+
+BGK in place (same order as :func:`repro.core.lbm.collision.bgk_collide`)::
+
+    df_i = (1 - omega) df_i + omega f_i^eq
+
+TRT processes direction pairs ``(i, opp(i))`` together, exploiting
+``e_opp(i) = -e_i`` so the squared term and the ``|u|^2`` term are
+shared between the pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.constants import Q
+from repro.core.lbm.fields import FluidGrid
+from repro.core.lbm.lattice import E, OPPOSITE, W
+from repro.core.lbm.streaming import periodic_shift_table
+
+__all__ = ["fused_collide_stream"]
+
+#: Callback receiving each finalized post-collision slab ``(i, df_i)``.
+CaptureHook = Callable[[int, np.ndarray], None]
+
+#: Nonzero lattice-velocity components per direction: ``(axis, sign)``.
+_COMPONENTS: tuple[tuple[tuple[int, int], ...], ...] = tuple(
+    tuple((a, int(E[i, a])) for a in range(3) if E[i, a] != 0) for i in range(Q)
+)
+
+#: TRT direction pairs ``(i, opp(i))`` with ``i < opp(i)`` (rest excluded).
+_TRT_PAIRS: tuple[tuple[int, int], ...] = tuple(
+    (i, int(OPPOSITE[i])) for i in range(Q) if 0 < i < OPPOSITE[i]
+)
+
+
+def _direction_velocity(u: np.ndarray, i: int, out: np.ndarray) -> np.ndarray:
+    """``e_i . u`` without multiplications (components are -1/0/+1)."""
+    (a0, s0), *rest = _COMPONENTS[i]
+    if s0 > 0:
+        np.copyto(out, u[a0])
+    else:
+        np.negative(u[a0], out=out)
+    for a, s in rest:
+        if s > 0:
+            out += u[a]
+        else:
+            out -= u[a]
+    return out
+
+
+def _feq_direction(
+    rho: np.ndarray,
+    eu: np.ndarray | None,
+    usq15: np.ndarray,
+    w: float,
+    feq: np.ndarray,
+    tmp: np.ndarray,
+    sign: float = 1.0,
+) -> np.ndarray:
+    """Equilibrium slab for one direction into ``feq`` (arena scratch).
+
+    ``eu=None`` selects the rest direction (``e_0 = 0``).  ``sign=-1``
+    evaluates the *opposite* direction from the same ``eu`` buffer
+    (``e_opp.u = -e_i.u``; the squared term is shared), which is how the
+    TRT pair loop avoids recomputing the dot product.
+    """
+    if eu is None:
+        np.subtract(1.0, usq15, out=feq)
+    else:
+        np.multiply(eu, eu, out=feq)
+        feq *= 4.5
+        np.multiply(eu, 3.0 * sign, out=tmp)
+        feq += tmp
+        feq -= usq15
+        feq += 1.0
+    feq *= rho
+    feq *= w
+    return feq
+
+
+def _moments(fluid: FluidGrid) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Density and the ``1.5 |u*|^2`` term into arena scratch buffers."""
+    arena = fluid.arena
+    u = fluid.velocity_shifted
+    rho = arena.scalar("fused_rho")
+    np.sum(fluid.df, axis=0, out=rho)
+    usq15 = arena.scalar("fused_usq15")
+    tmp = arena.scalar("fused_tmp")
+    np.multiply(u[0], u[0], out=usq15)
+    np.multiply(u[1], u[1], out=tmp)
+    usq15 += tmp
+    np.multiply(u[2], u[2], out=tmp)
+    usq15 += tmp
+    usq15 *= 1.5
+    return rho, usq15, tmp
+
+
+def _emit(
+    i: int,
+    post: np.ndarray,
+    df_new: np.ndarray,
+    table,
+    capture: CaptureHook | None,
+) -> None:
+    """Hand the finalized slab to the capture hook, then stream it."""
+    if capture is not None:
+        capture(i, post)
+    for dst, src in table[i]:
+        df_new[(i,) + dst] = post[src]
+
+
+def _fused_bgk(fluid: FluidGrid, table, capture: CaptureHook | None) -> None:
+    arena = fluid.arena
+    df, df_new = fluid.df, fluid.df_new
+    u = fluid.velocity_shifted
+    rho, usq15, tmp = _moments(fluid)
+    eu = arena.scalar("fused_eu")
+    feq = arena.scalar("fused_feq")
+    omega = 1.0 / fluid.tau
+    keep = 1.0 - omega
+    for i in range(Q):
+        post = df[i]
+        if i == 0:
+            _feq_direction(rho, None, usq15, float(W[0]), feq, tmp)
+        else:
+            _direction_velocity(u, i, eu)
+            _feq_direction(rho, eu, usq15, float(W[i]), feq, tmp)
+        post *= keep
+        feq *= omega
+        post += feq
+        _emit(i, post, df_new, table, capture)
+
+
+def _fused_trt(fluid: FluidGrid, table, capture: CaptureHook | None) -> None:
+    arena = fluid.arena
+    df, df_new = fluid.df, fluid.df_new
+    u = fluid.velocity_shifted
+    rho, usq15, tmp = _moments(fluid)
+    eu = arena.scalar("fused_eu")
+    feq_i = arena.scalar("fused_feq")
+    feq_j = arena.scalar("fused_feq_j")
+    even = arena.scalar("fused_even")
+    odd = arena.scalar("fused_odd")
+
+    tau = fluid.tau
+    omega_plus = 1.0 / tau
+    omega_minus = 1.0 / (fluid.trt_magic / (tau - 0.5) + 0.5)
+
+    # Rest direction: the odd half vanishes, leaving a pure BGK relax
+    # with omega+ (bit-identical to the batch TRT path, where
+    # even = 0.5*(diff + diff) = diff and odd = 0 exactly).
+    post = df[0]
+    _feq_direction(rho, None, usq15, float(W[0]), feq_i, tmp)
+    np.subtract(post, feq_i, out=feq_i)
+    feq_i *= omega_plus
+    post -= feq_i
+    _emit(0, post, df_new, table, capture)
+
+    for i, j in _TRT_PAIRS:
+        _direction_velocity(u, i, eu)
+        _feq_direction(rho, eu, usq15, float(W[i]), feq_i, tmp)
+        _feq_direction(rho, eu, usq15, float(W[j]), feq_j, tmp, sign=-1.0)
+        # Reuse the feq buffers for the non-equilibrium parts.
+        np.subtract(df[i], feq_i, out=feq_i)
+        np.subtract(df[j], feq_j, out=feq_j)
+        np.add(feq_i, feq_j, out=even)
+        even *= 0.5
+        even *= omega_plus
+        np.subtract(feq_i, feq_j, out=odd)
+        odd *= 0.5
+        odd *= omega_minus
+        post_i, post_j = df[i], df[j]
+        post_i -= even
+        post_i -= odd
+        post_j -= even
+        post_j += odd
+        _emit(i, post_i, df_new, table, capture)
+        _emit(j, post_j, df_new, table, capture)
+
+
+def fused_collide_stream(
+    fluid: FluidGrid, capture: CaptureHook | None = None
+) -> None:
+    """Collide ``fluid.df`` in place and stream into ``fluid.df_new``.
+
+    Equivalent to kernel 5 followed by kernel 6 (periodic wrap), but in
+    one traversal of the distribution lattice and — after warmup — with
+    zero numpy allocations.  Physical boundaries still need repairing
+    afterwards; boundaries that read post-collision values declare them
+    via :meth:`~repro.core.lbm.boundaries.Boundary.post_dependencies`
+    and receive the face layers captured by ``capture``.
+
+    Parameters
+    ----------
+    fluid:
+        The fluid grid; ``df`` is left holding the post-collision state
+        (as after the unfused kernel 5) and ``df_new`` the streamed one.
+    capture:
+        Optional hook ``capture(i, df_i)`` called once per direction
+        with the finalized post-collision slab before it is streamed.
+    """
+    table = periodic_shift_table(fluid.shape)
+    if fluid.collision_operator == "trt":
+        _fused_trt(fluid, table, capture)
+    else:
+        _fused_bgk(fluid, table, capture)

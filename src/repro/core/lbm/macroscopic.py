@@ -25,7 +25,21 @@ def compute_density(df: np.ndarray, out: np.ndarray | None = None) -> np.ndarray
 
 
 def compute_momentum_density(df: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-    """First moment ``sum_i e_i f_i``; returns shape ``(3, *S)``."""
+    """First moment ``sum_i e_i f_i``; returns shape ``(3, *S)``.
+
+    With ``out`` given (and both arrays C-contiguous) the moment is
+    computed as a direct GEMM into ``out`` — the allocation-free form
+    the fused hot path relies on.
+    """
+    if (
+        out is not None
+        and df.flags.c_contiguous
+        and out.flags.c_contiguous
+        and df.dtype == out.dtype
+    ):
+        q = df.shape[0]
+        np.matmul(E_FLOAT.T, df.reshape(q, -1), out=out.reshape(3, -1))
+        return out
     mom = np.tensordot(E_FLOAT.T, df, axes=([1], [0]))
     if out is not None:
         out[...] = mom

@@ -15,20 +15,73 @@ import numpy as np
 from repro.constants import Q
 from repro.core.lbm.lattice import E
 
-__all__ = ["stream", "stream_direction", "shift_slices"]
+__all__ = [
+    "stream",
+    "stream_direction",
+    "shift_slices",
+    "periodic_shift_table",
+]
+
+#: Slice pair ``(dst, src)`` realizing one contiguous block of a shift.
+_BlockPair = tuple[tuple[slice, slice, slice], tuple[slice, slice, slice]]
+
+#: grid shape -> per-direction tuple of (dst, src) block pairs.  A cyclic
+#: shift by ``E[i]`` decomposes into at most 8 contiguous block copies
+#: (bulk/wrap per axis); precomputing them once per grid shape removes
+#: both the per-call slice arithmetic and the full temporary that
+#: ``np.roll`` would allocate on every direction of every step.
+_SHIFT_TABLE_CACHE: dict[tuple[int, int, int], tuple[tuple[_BlockPair, ...], ...]] = {}
+
+
+def _axis_pieces(extent: int, shift: int) -> list[tuple[slice, slice]]:
+    """``(dst, src)`` slice pairs covering a cyclic shift along one axis."""
+    s = shift % extent
+    if s == 0:
+        return [(slice(0, extent), slice(0, extent))]
+    return [
+        (slice(s, extent), slice(0, extent - s)),  # bulk
+        (slice(0, s), slice(extent - s, extent)),  # wrap-around
+    ]
+
+
+def periodic_shift_table(
+    grid_shape: tuple[int, int, int],
+) -> tuple[tuple[_BlockPair, ...], ...]:
+    """Per-direction block-copy plans for a periodic push-stream.
+
+    Entry ``i`` is a tuple of ``(dst, src)`` 3-tuple-of-slice pairs such
+    that ``out[dst] = field[src]`` over all pairs realizes the cyclic
+    shift of ``field`` by ``E[i]``.  Tables are cached per grid shape
+    for the lifetime of the process (they are tiny and immutable).
+    """
+    key = tuple(int(n) for n in grid_shape)
+    table = _SHIFT_TABLE_CACHE.get(key)
+    if table is None:
+        directions = []
+        for i in range(Q):
+            pieces = [_axis_pieces(key[a], int(E[i, a])) for a in range(3)]
+            pairs = tuple(
+                ((px[0], py[0], pz[0]), (px[1], py[1], pz[1]))
+                for px in pieces[0]
+                for py in pieces[1]
+                for pz in pieces[2]
+            )
+            directions.append(pairs)
+        table = tuple(directions)
+        _SHIFT_TABLE_CACHE[key] = table
+    return table
 
 
 def stream_direction(field: np.ndarray, direction: int, out: np.ndarray) -> None:
     """Push-stream one direction's field by its lattice velocity.
 
     ``out[x + e] = field[x]`` with periodic wrap, i.e. a cyclic shift of
-    ``field`` by ``E[direction]``.
+    ``field`` by ``E[direction]``, realized as direct block copies into
+    ``out`` (no intermediate array).
     """
-    ex, ey, ez = (int(c) for c in E[direction])
-    if ex == 0 and ey == 0 and ez == 0:
-        out[...] = field
-        return
-    out[...] = np.roll(field, shift=(ex, ey, ez), axis=(0, 1, 2))
+    table = periodic_shift_table(field.shape)
+    for dst, src in table[direction]:
+        out[dst] = field[src]
 
 
 def stream(df_post: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -45,8 +98,10 @@ def stream(df_post: np.ndarray, out: np.ndarray) -> np.ndarray:
         raise ValueError(
             f"source shape {df_post.shape} != destination shape {out.shape}"
         )
+    table = periodic_shift_table(df_post.shape[1:])
     for i in range(Q):
-        stream_direction(df_post[i], i, out[i])
+        for dst, src in table[i]:
+            out[(i,) + dst] = df_post[(i,) + src]
     return out
 
 

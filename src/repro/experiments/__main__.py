@@ -54,6 +54,12 @@ def _fig8() -> str:
     return render_fig8(run_fig8())
 
 
+def _fused() -> str:
+    from repro.experiments.bench_fused import render_bench_fused, run_bench_fused
+
+    return render_bench_fused(run_bench_fused(scale=4, steps=5, warmup=2))
+
+
 #: Artifact name -> renderer.
 ARTIFACTS = {
     "table1": _table1,
@@ -62,6 +68,7 @@ ARTIFACTS = {
     "table4": _table4,
     "fig5": _fig5,
     "fig8": _fig8,
+    "fused": _fused,
 }
 
 

@@ -26,8 +26,9 @@ from repro.verify.generate import generate_cases, shrink_case
 from repro.verify.golden import check_baselines, write_baselines
 from repro.verify.oracle import DifferentialOracle, compare_variants
 
-#: Parallel variants checked against the sequential reference.
-VARIANTS = ("openmp", "cube", "async_cube", "distributed", "hybrid")
+#: Variants checked against the sequential reference: the fused
+#: single-core fast path plus every parallel schedule.
+VARIANTS = ("fused", "openmp", "cube", "async_cube", "distributed", "hybrid")
 
 
 def _run_golden(regen: bool, golden_dir: str | None) -> int:

@@ -31,6 +31,7 @@ from repro.verify.generate import VerifyCase
 
 __all__ = [
     "GOLDEN_CASES",
+    "GOLDEN_VARIANTS",
     "DIGEST_DECIMALS",
     "default_golden_dir",
     "state_stats",
@@ -83,6 +84,16 @@ GOLDEN_CASES: dict[str, VerifyCase] = {
 }
 
 
+#: Solver variants pinned by committed baselines, as a file-name suffix
+#: -> solver mapping: every case in :data:`GOLDEN_CASES` is stored once
+#: per variant (``fluid_decay_bgk.json`` for the sequential reference,
+#: ``fluid_decay_bgk_fused.json`` for the fused fast path, ...).
+GOLDEN_VARIANTS: dict[str, str] = {
+    "": "sequential",
+    "_fused": "fused",
+}
+
+
 def default_golden_dir() -> str:
     """``tests/golden`` relative to the repository root."""
     here = os.path.dirname(os.path.abspath(__file__))
@@ -90,10 +101,10 @@ def default_golden_dir() -> str:
     return os.path.join(root, "tests", "golden")
 
 
-def _run_case(case: VerifyCase) -> Simulation:
+def _run_case(case: VerifyCase, solver: str = "sequential") -> Simulation:
     from repro.verify.oracle import _seeded_initial_fluid
 
-    config = case.config("sequential")
+    config = case.config(solver)
     sim = Simulation(
         config,
         initial_fluid=_seeded_initial_fluid(config, case.state_seed),
@@ -152,13 +163,14 @@ def state_digest(sim: Simulation, decimals: int = DIGEST_DECIMALS) -> str:
     return digest.hexdigest()
 
 
-def compute_baseline(name: str, case: VerifyCase) -> dict:
-    """Run one golden case and reduce it to its baseline record."""
-    sim = _run_case(case)
+def compute_baseline(name: str, case: VerifyCase, solver: str = "sequential") -> dict:
+    """Run one golden case under ``solver`` and reduce it to its record."""
+    sim = _run_case(case, solver)
     try:
         return {
             "name": name,
             "case": case.describe(),
+            "solver": solver,
             "steps": case.steps,
             "digest_decimals": DIGEST_DECIMALS,
             "stats": state_stats(sim),
@@ -168,14 +180,23 @@ def compute_baseline(name: str, case: VerifyCase) -> dict:
         sim.close()
 
 
+def _baseline_files() -> list[tuple[str, VerifyCase, str, str]]:
+    """Every ``(case name, case, solver, file name)`` baseline on disk."""
+    return [
+        (name, case, solver, f"{name}{suffix}.json")
+        for name, case in GOLDEN_CASES.items()
+        for suffix, solver in GOLDEN_VARIANTS.items()
+    ]
+
+
 def write_baselines(golden_dir: str | os.PathLike | None = None) -> list[str]:
     """(Re)generate every golden baseline file; returns written paths."""
     directory = os.fspath(golden_dir or default_golden_dir())
     os.makedirs(directory, exist_ok=True)
     written = []
-    for name, case in GOLDEN_CASES.items():
-        record = compute_baseline(name, case)
-        path = os.path.join(directory, f"{name}.json")
+    for name, case, solver, filename in _baseline_files():
+        record = compute_baseline(name, case, solver)
+        path = os.path.join(directory, filename)
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(record, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -192,30 +213,31 @@ def check_baselines(golden_dir: str | os.PathLike | None = None) -> list[str]:
     """
     directory = os.fspath(golden_dir or default_golden_dir())
     failures: list[str] = []
-    for name, case in GOLDEN_CASES.items():
-        path = os.path.join(directory, f"{name}.json")
+    for name, case, solver, filename in _baseline_files():
+        label = name if solver == "sequential" else f"{name}[{solver}]"
+        path = os.path.join(directory, filename)
         if not os.path.exists(path):
             failures.append(
-                f"{name}: baseline file {path} is missing "
+                f"{label}: baseline file {path} is missing "
                 "(run `python -m repro.verify --regen-golden`)"
             )
             continue
         with open(path, encoding="utf-8") as fh:
             stored = json.load(fh)
-        current = compute_baseline(name, case)
+        current = compute_baseline(name, case, solver)
         for key, expected in stored["stats"].items():
             got = current["stats"].get(key)
             if got is None:
-                failures.append(f"{name}: statistic {key!r} no longer computed")
+                failures.append(f"{label}: statistic {key!r} no longer computed")
                 continue
             if abs(got - expected) > STATS_ATOL + STATS_RTOL * abs(expected):
                 failures.append(
-                    f"{name}: statistic {key!r} moved from {expected:.12g} "
+                    f"{label}: statistic {key!r} moved from {expected:.12g} "
                     f"to {got:.12g}"
                 )
         if current["digest"] != stored["digest"]:
             failures.append(
-                f"{name}: state digest changed "
+                f"{label}: state digest changed "
                 f"({stored['digest'][:12]}... -> {current['digest'][:12]}...); "
                 "the computed physics is no longer bit-compatible with the "
                 "baseline — if intentional, regenerate with "

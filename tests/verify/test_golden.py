@@ -13,6 +13,7 @@ from repro.verify import (
     state_digest,
     write_baselines,
 )
+from repro.verify.golden import GOLDEN_VARIANTS
 
 pytestmark = pytest.mark.verify
 
@@ -34,7 +35,7 @@ class TestCommittedBaselines:
 class TestRegeneration:
     def test_regen_round_trips(self, tmp_path):
         written = write_baselines(tmp_path)
-        assert len(written) == len(GOLDEN_CASES)
+        assert len(written) == len(GOLDEN_CASES) * len(GOLDEN_VARIANTS)
         assert check_baselines(tmp_path) == []
 
     def test_missing_file_is_a_failure_not_a_skip(self, tmp_path):
