@@ -2,7 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-quick test-faults test-verify verify-physics bench bench-fused examples report clean
+# bench-gate knobs: the candidate must be produced with the same
+# workload as the checked-in baseline (identity keys are compared
+# exactly), the tolerance is generous because the smoke workload is
+# tiny, and only the stable headline keys are gated by default
+# (aggregate step times, deterministic allocation bytes, speedups —
+# individual sub-millisecond kernel timings are pure scheduler noise).
+BENCH_GATE_BASELINE ?= benchmarks/baselines/BENCH_fused.json
+BENCH_GATE_ARGS ?= --scale 8 --steps 3 --warmup 2 --scatter-repeats 2
+BENCH_GATE_TOL ?= 0.75
+BENCH_GATE_KEYS ?= '*.step_seconds' '*alloc*_bytes' '*speedup*'
+
+.PHONY: install test test-quick test-faults test-verify verify-physics bench bench-fused bench-gate trace-example examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -14,7 +25,7 @@ test:
 # marked slow, faults, or verify.  Run the full `make test` plus
 # `make verify-physics` before merging.
 test-quick:
-	$(PYTHON) -m pytest -x -m "not slow and not faults and not verify" tests/
+	$(PYTHON) -m pytest -x --durations=15 -m "not slow and not faults and not verify" tests/
 
 # Fault-injection / resilience suite.  Each test is wrapped in a hard
 # SIGALRM deadline (see tests/conftest.py), so a reintroduced deadlock
@@ -43,6 +54,25 @@ bench:
 # e.g. BENCH_FUSED_ARGS="--scale 8 --steps 3".
 bench-fused:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fused_kernels.py $(BENCH_FUSED_ARGS)
+
+# Benchmark-regression gate: re-run the fused benchmark at the
+# baseline's smoke workload and diff it against the checked-in record.
+# Exit 1 = a gated key regressed beyond BENCH_GATE_TOL; exit 2 = the
+# two records describe different workloads (regenerate the baseline
+# with `make bench-fused BENCH_FUSED_ARGS="$(BENCH_GATE_ARGS)"` and
+# copy it to $(BENCH_GATE_BASELINE) after an intentional change).
+bench-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fused_kernels.py $(BENCH_GATE_ARGS)
+	PYTHONPATH=src $(PYTHON) -m repro.observe compare \
+		$(BENCH_GATE_BASELINE) benchmarks/results/BENCH_fused.json \
+		--tol $(BENCH_GATE_TOL) --keys $(BENCH_GATE_KEYS)
+
+# Chrome-trace demo: traces a small sequential + cube run and writes
+# benchmarks/results/trace_example.json (open at chrome://tracing or
+# https://ui.perfetto.dev) plus a metrics snapshot next to it.
+trace-example:
+	PYTHONPATH=src $(PYTHON) -m repro.observe trace-example \
+		--output benchmarks/results/trace_example.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

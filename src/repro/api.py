@@ -68,6 +68,12 @@ class Simulation:
         step counter at ``initial_step``.  Used by
         :meth:`from_checkpoint`; the fluid's ``tau`` still comes from
         ``config`` so a restore may retry with damped parameters.
+    telemetry:
+        Optional :class:`~repro.observe.Telemetry` bundle; its tracer
+        is wired into the selected solver (per-kernel spans) and its
+        metrics registry receives the ``sim.steps`` counter (see
+        :meth:`attach_telemetry`).  ``None`` (the default) keeps every
+        solver on its zero-overhead untraced path.
     """
 
     def __init__(
@@ -78,10 +84,12 @@ class Simulation:
         initial_structure=_UNSET,
         initial_step: int = 0,
         invariants=None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.fault_injector = fault_injector
         self._invariants = None
+        self._telemetry = None
         if initial_structure is _UNSET:
             self._built_structure = config.build_structure()
         else:
@@ -176,6 +184,8 @@ class Simulation:
             self._solver.time_step = self._initial_step
         if invariants is not None:
             self.attach_invariants(invariants)
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
 
     def _hook_for(self, state):
         if self.fault_injector is None:
@@ -215,6 +225,8 @@ class Simulation:
         """
         self._invariants = suite
         suite.bind(self.fluid, self.structure)
+        if self._telemetry is not None:
+            suite.metrics = self._telemetry.metrics
         if self._solver is not None and hasattr(self._solver, "fault_hook"):
             state = self._cubes if self._cubes is not None else self._fluid
             self._solver.fault_hook = self._chain_hooks(
@@ -225,6 +237,30 @@ class Simulation:
     def invariants(self):
         """The attached invariant suite (or ``None``)."""
         return self._invariants
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        """Route this simulation's spans and metrics into ``telemetry``.
+
+        The bundle's :class:`~repro.observe.tracer.Tracer` is installed
+        on the underlying solver (for the lazily built distributed
+        variants, installation is deferred to the first :meth:`run`),
+        and every :meth:`run` bumps the registry's ``sim.steps``
+        counter.  Call :func:`repro.observe.Telemetry.collect` after a
+        run to harvest barrier/lock/trace statistics into metrics.
+        """
+        self._telemetry = telemetry
+        if self._solver is not None:
+            self._solver.tracer = telemetry.tracer
+        if self._invariants is not None:
+            self._invariants.metrics = telemetry.metrics
+
+    @property
+    def telemetry(self):
+        """The attached telemetry bundle (or ``None``)."""
+        return self._telemetry
 
     # ------------------------------------------------------------------
     # driving
@@ -263,6 +299,8 @@ class Simulation:
             self._solver.comm.fault_injector = self.fault_injector
         if config.barrier_timeout is not None:
             self._solver.comm.timeout = config.barrier_timeout
+        if self._telemetry is not None:
+            self._solver.tracer = self._telemetry.tracer
         self._distributed = self._solver
         return self._solver
 
@@ -277,10 +315,12 @@ class Simulation:
         solver = self._ensure_solver()
         if self._invariants is None:
             solver.run(num_steps)
-            return
-        for _ in range(num_steps):
-            solver.run(1)
-            self._invariants.check_simulation(self)
+        else:
+            for _ in range(num_steps):
+                solver.run(1)
+                self._invariants.check_simulation(self)
+        if self._telemetry is not None and num_steps:
+            self._telemetry.metrics.counter("sim.steps").inc(num_steps)
 
     def step(self) -> None:
         """Advance one time step (parallel solvers accept run(1) only)."""

@@ -35,9 +35,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.tracer import Tracer
 
 from repro.constants import DT
 from repro.core import kernels
@@ -72,6 +75,7 @@ class FusedLBMIBSolver:
     check_stability_every: int = 0
     external_force: tuple[float, float, float] | None = None
     fault_hook: Callable[[int, int], None] | None = None
+    tracer: "Tracer | None" = None
     time_step: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
@@ -113,12 +117,17 @@ class FusedLBMIBSolver:
 
     # ------------------------------------------------------------------
     def _timed(self, name: str, fn: Callable[[], None]) -> None:
-        if self.kernel_timer is None:
+        tracer = self.tracer
+        if tracer is None and self.kernel_timer is None:
             fn()
             return
         start = time.perf_counter()
         fn()
-        self.kernel_timer(name, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        if self.kernel_timer is not None:
+            self.kernel_timer(name, elapsed)
+        if tracer is not None:
+            tracer.record(name, 0, start, elapsed, step=self.time_step)
 
     def _collide_stream_boundaries(self) -> None:
         fused_collide_stream(self.fluid, capture=self._capture)

@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.tracer import Tracer
 
 from repro.constants import DT
 from repro.core import kernels
@@ -58,6 +61,10 @@ class SequentialLBMIBSolver:
         (tid is always 0 here); installed by the resilience layer's
         :class:`~repro.resilience.faults.FaultInjector` to corrupt
         fields or kill the run at a chosen step.
+    tracer:
+        Optional :class:`~repro.observe.tracer.Tracer` receiving one
+        span per kernel per step (``None`` = telemetry disabled, the
+        zero-overhead default).
     """
 
     fluid: FluidGrid
@@ -69,6 +76,7 @@ class SequentialLBMIBSolver:
     check_stability_every: int = 0
     external_force: tuple[float, float, float] | None = None
     fault_hook: Callable[[int, int], None] | None = None
+    tracer: "Tracer | None" = None
     time_step: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
@@ -82,12 +90,17 @@ class SequentialLBMIBSolver:
 
     # ------------------------------------------------------------------
     def _timed(self, name: str, fn: Callable[[], None]) -> None:
-        if self.kernel_timer is None:
+        tracer = self.tracer
+        if tracer is None and self.kernel_timer is None:
             fn()
             return
         start = time.perf_counter()
         fn()
-        self.kernel_timer(name, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        if self.kernel_timer is not None:
+            self.kernel_timer(name, elapsed)
+        if tracer is not None:
+            tracer.record(name, 0, start, elapsed, step=self.time_step)
 
     def _apply_boundaries(self) -> None:
         for boundary in self.boundaries:

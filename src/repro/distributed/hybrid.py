@@ -28,6 +28,9 @@ distributed-cube.
 
 from __future__ import annotations
 
+import time
+from typing import Callable
+
 import numpy as np
 
 from repro.constants import DT, DTYPE
@@ -102,6 +105,9 @@ class HybridCubeLBMIBSolver:
         self.external_force = external_force
         self.time_step = 0
         self.comm = SimulatedComm(num_ranks)
+        # Optional observe.Tracer; one span per phase per rank per step
+        # (tid = rank).  None keeps the rank loop overhead-free.
+        self.tracer = None
 
         # distribute whole cubes: rank slab thickness = cubes * k
         base, rem = divmod(cubes_x, num_ranks)
@@ -268,51 +274,102 @@ class HybridCubeLBMIBSolver:
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
+    def _phase(
+        self, name: str, rank: int, step: int, fn: Callable[[], None]
+    ) -> None:
+        """Run one rank-loop phase, emitting a span when tracing."""
+        tracer = self.tracer
+        if tracer is None:
+            fn()
+            return
+        start = time.perf_counter()
+        fn()
+        tracer.record(
+            name,
+            rank,
+            start,
+            time.perf_counter() - start,
+            step=step,
+            cat="phase",
+        )
+
+    def _halo_exchange(self, rank: int, rc: RankComm, step: int) -> None:
+        """Exchange the y/z-rolled boundary populations of ``df``."""
+        right = (rank + 1) % self.num_ranks
+        left = (rank - 1) % self.num_ranks
+        last = self.slab_sizes[rank] - 1
+        out_right = self._gather_df_plane(rank, last, _PLUS_X)
+        out_left = self._gather_df_plane(rank, 0, _MINUS_X)
+        for slot, i in enumerate(_PLUS_X):
+            ey, ez = int(E[i, 1]), int(E[i, 2])
+            out_right[slot] = np.roll(out_right[slot], (ey, ez), (0, 1))
+        for slot, i in enumerate(_MINUS_X):
+            ey, ez = int(E[i, 1]), int(E[i, 2])
+            out_left[slot] = np.roll(out_left[slot], (ey, ez), (0, 1))
+        tag_r = (step << 1) | _TAG_RIGHT
+        tag_l = (step << 1) | _TAG_LEFT
+        rc.send(right, tag_r, out_right)
+        rc.send(left, tag_l, out_left)
+        self._scatter_df_new_plane(rank, 0, _PLUS_X, rc.recv(left, tag_r))
+        self._scatter_df_new_plane(rank, last, _MINUS_X, rc.recv(right, tag_l))
+
     def _rank_loop(self, rank: int, num_steps: int) -> None:
         rc = self.comm.rank_comm(rank)
         engine = self._engines[rank]
         cubes = engine.cubes
         has_structure = self._structures[rank] is not None
-        right = (rank + 1) % self.num_ranks
-        left = (rank - 1) % self.num_ranks
-        last = self.slab_sizes[rank] - 1
+
+        def all_cubes(op) -> Callable[[], None]:
+            return lambda: [op(c) for c in range(cubes.num_cubes)]
 
         for local_step in range(num_steps):
             step = self.time_step + local_step
             if has_structure:
-                self._spread_local(rank)
+                self._phase(
+                    "fiber_forces_and_spread",
+                    rank,
+                    step,
+                    lambda: self._spread_local(rank),
+                )
 
             # loop 2 (cube-centric): fused collide + stream, all own cubes
-            for c in range(cubes.num_cubes):
-                engine._collide_cube(c)
-            for c in range(cubes.num_cubes):
-                engine._stream_cube(c)
+            self._phase(
+                "compute_fluid_collision", rank, step, all_cubes(engine._collide_cube)
+            )
+            self._phase(
+                "stream_fluid_velocity_distribution",
+                rank,
+                step,
+                all_cubes(engine._stream_cube),
+            )
 
             # halo exchange: y/z-rolled boundary populations of df
-            out_right = self._gather_df_plane(rank, last, _PLUS_X)
-            out_left = self._gather_df_plane(rank, 0, _MINUS_X)
-            for slot, i in enumerate(_PLUS_X):
-                ey, ez = int(E[i, 1]), int(E[i, 2])
-                out_right[slot] = np.roll(out_right[slot], (ey, ez), (0, 1))
-            for slot, i in enumerate(_MINUS_X):
-                ey, ez = int(E[i, 1]), int(E[i, 2])
-                out_left[slot] = np.roll(out_left[slot], (ey, ez), (0, 1))
-            tag_r = (step << 1) | _TAG_RIGHT
-            tag_l = (step << 1) | _TAG_LEFT
-            rc.send(right, tag_r, out_right)
-            rc.send(left, tag_l, out_left)
-            self._scatter_df_new_plane(rank, 0, _PLUS_X, rc.recv(left, tag_r))
-            self._scatter_df_new_plane(rank, last, _MINUS_X, rc.recv(right, tag_l))
+            self._phase(
+                "halo_exchange",
+                rank,
+                step,
+                lambda: self._halo_exchange(rank, rc, step),
+            )
 
             # loop 3: boundaries + velocity update per cube
-            for c in range(cubes.num_cubes):
-                engine._update_cube(c)
+            self._phase(
+                "update_fluid_velocity", rank, step, all_cubes(engine._update_cube)
+            )
 
             # loop 4 + 5
             if has_structure:
-                self._move_fibers_allreduce(rank, rc)
-            for c in range(cubes.num_cubes):
-                engine._copy_cube(c)
+                self._phase(
+                    "move_fibers",
+                    rank,
+                    step,
+                    lambda: self._move_fibers_allreduce(rank, rc),
+                )
+            self._phase(
+                "copy_fluid_velocity_distribution",
+                rank,
+                step,
+                all_cubes(engine._copy_cube),
+            )
 
     def run(self, num_steps: int) -> None:
         """Advance ``num_steps`` steps across all cube-layout ranks."""

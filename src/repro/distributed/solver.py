@@ -23,6 +23,9 @@ shared-memory programs.
 
 from __future__ import annotations
 
+import time
+from typing import Callable
+
 import numpy as np
 
 from repro.constants import DT, DTYPE
@@ -94,6 +97,9 @@ class DistributedLBMIBSolver:
         self.external_force = external_force
         self.time_step = 0
         self.comm = SimulatedComm(num_ranks)
+        # Optional observe.Tracer; one span per phase per rank per step
+        # (tid = rank).  None keeps the rank loop overhead-free.
+        self.tracer = None
 
         self.slabs = static_slabs(nx, num_ranks)
         self._grids: list[FluidGrid] = []
@@ -259,20 +265,71 @@ class DistributedLBMIBSolver:
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
+    def _phase(
+        self, name: str, rank: int, step: int, fn: Callable[[], None]
+    ) -> None:
+        """Run one rank-loop phase, emitting a span when tracing."""
+        tracer = self.tracer
+        if tracer is None:
+            fn()
+            return
+        start = time.perf_counter()
+        fn()
+        tracer.record(
+            name,
+            rank,
+            start,
+            time.perf_counter() - start,
+            step=step,
+            cat="phase",
+        )
+
     def _rank_loop(self, rank: int, num_steps: int) -> None:
         rc = self.comm.rank_comm(rank)
         has_structure = self._structures[rank] is not None
         for local_step in range(num_steps):
             step = self.time_step + local_step
             if has_structure:
-                self._spread_local(rank)
-            self._collide_local(rank)
-            self._stream_exchange(rank, rc, step)
-            self._apply_boundaries_local(rank)
-            self._update_local(rank)
+                self._phase(
+                    "fiber_forces_and_spread",
+                    rank,
+                    step,
+                    lambda: self._spread_local(rank),
+                )
+            self._phase(
+                "compute_fluid_collision",
+                rank,
+                step,
+                lambda: self._collide_local(rank),
+            )
+            self._phase(
+                "stream_and_halo_exchange",
+                rank,
+                step,
+                lambda: (
+                    self._stream_exchange(rank, rc, step),
+                    self._apply_boundaries_local(rank),
+                )[0],
+            )
+            self._phase(
+                "update_fluid_velocity",
+                rank,
+                step,
+                lambda: self._update_local(rank),
+            )
             if has_structure:
-                self._move_fibers_allreduce(rank, rc)
-            self._copy_local(rank)
+                self._phase(
+                    "move_fibers",
+                    rank,
+                    step,
+                    lambda: self._move_fibers_allreduce(rank, rc),
+                )
+            self._phase(
+                "copy_fluid_velocity_distribution",
+                rank,
+                step,
+                lambda: self._copy_local(rank),
+            )
 
     def run(self, num_steps: int) -> None:
         """Advance ``num_steps`` steps across all ranks."""

@@ -1,0 +1,258 @@
+"""Benchmark-regression gate: diff two BENCH artifacts under a tolerance.
+
+``python -m repro.observe compare baseline.json candidate.json --tol 0.5``
+(or ``make bench-gate``) loads two benchmark records — e.g. the
+checked-in ``benchmarks/baselines/BENCH_fused.json`` and a fresh run —
+flattens every numeric leaf into a dotted key, and fails when a gated
+key regresses beyond the relative tolerance:
+
+* keys ending in ``_seconds`` or ``_bytes`` are *lower-is-better*:
+  regression when ``candidate > baseline * (1 + tol)``;
+* keys containing ``speedup`` are *higher-is-better*: regression when
+  ``candidate < baseline * (1 - tol)``;
+* descriptive keys (``workload.*``, shapes, counts) are *identity*
+  keys: any difference is schema drift and fails with a clear error —
+  comparing runs of different sizes is meaningless, not "within
+  tolerance".
+
+A gated key present on one side only is likewise reported explicitly
+(``missing``/``unexpected``) instead of being silently skipped, so a
+renamed metric cannot disable its own gate.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import LBMIBError
+
+__all__ = [
+    "GateError",
+    "KeyVerdict",
+    "GateReport",
+    "flatten_numeric",
+    "classify_key",
+    "compare_benchmarks",
+    "load_bench",
+]
+
+#: Default relative tolerance; benchmark timings on shared machines are
+#: noisy, so the default gate only catches step-change regressions
+#: (the acceptance demo is an injected 2x slowdown).
+DEFAULT_TOLERANCE = 0.5
+
+
+class GateError(LBMIBError):
+    """Schema drift between two benchmark records (not a slowdown)."""
+
+
+def load_bench(path: str | os.PathLike) -> dict:
+    """Load one benchmark JSON record, with a helpful failure message."""
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except FileNotFoundError:
+        raise GateError(
+            f"benchmark record {path!r} does not exist; run `make bench-fused` "
+            "to produce one, or point the gate at the checked-in baseline"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise GateError(f"benchmark record {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(record, dict):
+        raise GateError(
+            f"benchmark record {path!r} must be a JSON object, "
+            f"got {type(record).__name__}"
+        )
+    return record
+
+
+def flatten_numeric(record: dict, prefix: str = "") -> dict[str, float]:
+    """Every numeric leaf of a nested record as ``dotted.key -> value``.
+
+    Lists are indexed (``fluid_shape.0``); booleans and strings are
+    skipped (they never gate, and identity keys are checked separately).
+    """
+    flat: dict[str, float] = {}
+
+    def walk(obj, key: str) -> None:
+        if isinstance(obj, bool):
+            return
+        if isinstance(obj, (int, float)):
+            flat[key] = float(obj)
+        elif isinstance(obj, dict):
+            for name, child in obj.items():
+                walk(child, f"{key}.{name}" if key else str(name))
+        elif isinstance(obj, (list, tuple)):
+            for i, child in enumerate(obj):
+                walk(child, f"{key}.{i}" if key else str(i))
+
+    walk(record, prefix)
+    return flat
+
+
+def classify_key(key: str) -> str:
+    """Gate direction of one dotted key.
+
+    Returns ``"lower"`` (lower is better), ``"higher"`` (higher is
+    better), or ``"identity"`` (must match exactly — workload shape,
+    counts, configuration echoes).
+    """
+    if key.startswith("workload.") or ".workload." in key:
+        return "identity"
+    # Any path segment ending in _seconds/_bytes marks a cost subtree
+    # (covers per_kernel_seconds.<kernel name> style nesting).
+    if any(
+        seg.endswith("_seconds") or seg.endswith("_bytes")
+        for seg in key.split(".")
+    ):
+        return "lower"
+    if "speedup" in key.rsplit(".", 1)[-1]:
+        return "higher"
+    return "identity"
+
+
+@dataclass(frozen=True)
+class KeyVerdict:
+    """The gate's decision on one dotted key."""
+
+    key: str
+    direction: str  # "lower" | "higher" | "identity"
+    baseline: float | None
+    candidate: float | None
+    status: str  # "ok" | "regression" | "drift" | "missing" | "unexpected"
+
+    @property
+    def ratio(self) -> float | None:
+        """``candidate / baseline`` when both sides exist and divide."""
+        if self.baseline in (None, 0.0) or self.candidate is None:
+            return None
+        return self.candidate / self.baseline
+
+    def describe(self) -> str:
+        """One human-readable report line."""
+        ratio = self.ratio
+        ratio_s = f" ({ratio:.2f}x)" if ratio is not None else ""
+        return (
+            f"[{self.status:>10}] {self.key}: "
+            f"baseline={self.baseline} candidate={self.candidate}{ratio_s}"
+        )
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Full outcome of one baseline-vs-candidate comparison."""
+
+    tolerance: float
+    verdicts: list[KeyVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every gated key passed."""
+        return not self.failures
+
+    @property
+    def failures(self) -> list[KeyVerdict]:
+        """Verdicts that fail the gate."""
+        return [v for v in self.verdicts if v.status != "ok"]
+
+    def render(self) -> str:
+        """Fixed-width text report, failures first."""
+        gated = [v for v in self.verdicts if v.direction != "identity"]
+        lines = [
+            f"benchmark gate: {len(gated)} gated keys, "
+            f"tolerance {self.tolerance:.0%}, "
+            f"{len(self.failures)} failure(s)",
+        ]
+        for v in self.failures:
+            lines.append("  " + v.describe())
+        for v in self.verdicts:
+            if v.status == "ok" and v.direction != "identity":
+                lines.append("  " + v.describe())
+        return "\n".join(lines)
+
+
+def compare_benchmarks(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    keys: list[str] | None = None,
+    bytes_slack: float = 4096.0,
+) -> GateReport:
+    """Gate ``candidate`` against ``baseline``.
+
+    Parameters
+    ----------
+    baseline / candidate:
+        Parsed benchmark records (e.g. ``BENCH_fused.json`` contents).
+    tolerance:
+        Relative tolerance for the directional keys.
+    keys:
+        Optional fnmatch patterns; when given, only matching dotted keys
+        are gated (identity keys are always checked — a gate that
+        compares two different workloads is lying).
+    bytes_slack:
+        Absolute slack added to ``_bytes`` keys, so a zero-byte baseline
+        (the fused fluid path retains nothing) does not turn every
+        positive candidate into an infinite-ratio regression.
+
+    Raises
+    ------
+    GateError
+        On schema drift: an identity key differing, or a gated key
+        present on only one side.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    base_flat = flatten_numeric(baseline)
+    cand_flat = flatten_numeric(candidate)
+    verdicts: list[KeyVerdict] = []
+    drift: list[str] = []
+
+    def selected(key: str) -> bool:
+        return keys is None or any(fnmatch.fnmatch(key, pat) for pat in keys)
+
+    for key in sorted(set(base_flat) | set(cand_flat)):
+        direction = classify_key(key)
+        base = base_flat.get(key)
+        cand = cand_flat.get(key)
+        if base is None or cand is None:
+            if direction == "identity" or selected(key):
+                status = "missing" if cand is None else "unexpected"
+                verdicts.append(KeyVerdict(key, direction, base, cand, status))
+                side = "candidate" if cand is None else "baseline"
+                drift.append(f"key {key!r} is absent from the {side} record")
+            continue
+        if direction == "identity":
+            if base != cand:
+                verdicts.append(KeyVerdict(key, direction, base, cand, "drift"))
+                drift.append(
+                    f"identity key {key!r} differs: baseline={base} "
+                    f"candidate={cand} (the two records describe different "
+                    "workloads — regenerate the baseline, don't widen the "
+                    "tolerance)"
+                )
+            else:
+                verdicts.append(KeyVerdict(key, direction, base, cand, "ok"))
+            continue
+        if not selected(key):
+            continue
+        if direction == "lower":
+            slack = bytes_slack if key.rsplit(".", 1)[-1].endswith("_bytes") else 0.0
+            regressed = cand > base * (1.0 + tolerance) + slack
+        else:  # higher is better
+            regressed = cand < base * (1.0 - tolerance)
+        verdicts.append(
+            KeyVerdict(key, direction, base, cand,
+                       "regression" if regressed else "ok")
+        )
+
+    if drift:
+        raise GateError(
+            "benchmark schema drift between baseline and candidate:\n  "
+            + "\n  ".join(drift)
+        )
+    return GateReport(tolerance=tolerance, verdicts=verdicts)

@@ -1,0 +1,197 @@
+"""Metrics registry: counters, gauges, and histograms with JSON export.
+
+One :class:`MetricsRegistry` per telemetry session; solvers, the
+resilient runner, and the verification layer record into it through
+dotted metric names (``resilience.rollbacks``, ``verify.invariant_checks``,
+``parallel.barrier_wait_seconds``...).  A snapshot is a plain JSON
+document that round-trips through :meth:`MetricsRegistry.from_snapshot`,
+so benchmark artifacts and incident reports can embed it directly.
+
+All instruments are thread-safe (one registry-wide lock; every
+recording site is orders of magnitude colder than the solver kernels).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count (steps, retries, checks...)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value (queue depth, current tau, thread count...)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution summary: count, sum, min, max.
+
+    Enough to answer the questions the paper's tables ask (totals,
+    means, worst case) without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("sim.steps").inc(5)
+    >>> registry.snapshot()["counters"]["sim.steps"]
+    5
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # get-or-create
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name, self._lock)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name, self._lock)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name, self._lock)
+            return inst
+
+    # ------------------------------------------------------------------
+    # snapshot / round-trip
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The registry as a plain JSON-serializable document."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: {
+                        "count": h.count,
+                        "sum": h.total,
+                        "min": h.min if h.count else None,
+                        "max": h.max if h.count else None,
+                        "mean": h.mean,
+                    }
+                    for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        """Rebuild a registry whose :meth:`snapshot` equals ``snapshot``."""
+        registry = cls()
+        for name, value in snapshot.get("counters", {}).items():
+            registry.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            registry.gauge(name).set(value)
+        for name, rec in snapshot.get("histograms", {}).items():
+            hist = registry.histogram(name)
+            count = int(rec["count"])
+            if count:
+                # Reconstruct the exact summary: the extremes are real
+                # samples; the remaining mass is balanced to keep the sum.
+                hist.observe(rec["min"])
+                if count > 1:
+                    hist.observe(rec["max"])
+                rest = count - hist.count
+                if rest > 0:
+                    fill = (rec["sum"] - hist.total) / rest
+                    for _ in range(rest):
+                        hist.observe(fill)
+                # Guard against float drift flipping min/max.
+                hist.total = float(rec["sum"])
+                hist.min = float(rec["min"])
+                hist.max = float(rec["max"])
+        return registry
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the snapshot as pretty-printed JSON."""
+        path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`save` file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_snapshot(json.load(fh))

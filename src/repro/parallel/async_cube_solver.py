@@ -34,6 +34,7 @@ neighbour sets wrap onto themselves are handled exactly.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 
 import numpy as np
@@ -42,6 +43,15 @@ from repro.parallel.cube_solver import CubeLBMIBSolver
 from repro.parallel.executor import run_spmd
 
 __all__ = ["AsyncCubeLBMIBSolver"]
+
+#: Span names of the task-graph units (Algorithm-1 kernel vocabulary).
+_TASK_KERNELS = {
+    "spread": "fiber_forces_and_spread",
+    "stream": "collide_stream",
+    "update": "update_fluid_velocity",
+    "move": "move_fibers",
+    "copy": "copy_fluid_velocity_distribution",
+}
 
 
 class AsyncCubeLBMIBSolver(CubeLBMIBSolver):
@@ -149,6 +159,8 @@ class AsyncCubeLBMIBSolver(CubeLBMIBSolver):
                             return
                         task = ready.popleft()
                     kind, payload = task
+                    tracer = self.tracer
+                    start = time.perf_counter() if tracer is not None else 0.0
                     if kind == "spread":
                         si, rows = fiber_blocks[payload]
                         self._fiber_forces_and_spread(si, rows)
@@ -162,6 +174,16 @@ class AsyncCubeLBMIBSolver(CubeLBMIBSolver):
                         self._move_fiber_rows(si, rows)
                     elif kind == "copy":
                         self._copy_cube(payload)
+                    if tracer is not None:
+                        tracer.record(
+                            _TASK_KERNELS[kind],
+                            tid,
+                            start,
+                            time.perf_counter() - start,
+                            step=self.time_step,
+                            cube=payload if kind in ("stream", "update", "copy") else -1,
+                            cat="task",
+                        )
                     with state_lock:
                         self.tasks_executed += 1
                     complete(task)

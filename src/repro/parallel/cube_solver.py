@@ -183,6 +183,11 @@ class CubeLBMIBSolver:
         self.trace: ExecutionTrace | None = (
             ExecutionTrace(num_threads) if trace else None
         )
+        #: Optional span tracer (repro.observe); None = telemetry off.
+        #: When attached, every cube loop additionally emits per-cube
+        #: spans (cat="cube") nested inside the kernel span, and every
+        #: barrier crossing emits a wait span (cat="barrier").
+        self.tracer = None
         self._plan = _streaming_plan(cubes.cube_size)
         k = cubes.cube_size
         self._k3 = k * k * k
@@ -191,8 +196,39 @@ class CubeLBMIBSolver:
     # helpers
     # ------------------------------------------------------------------
     def _record(self, step: int, kernel: str, tid: int, start: float, work: int) -> None:
+        end = time.perf_counter()
         if self.trace is not None:
-            self.trace.record(step, kernel, tid, time.perf_counter() - start, work)
+            self.trace.record(step, kernel, tid, end - start, work)
+        if self.tracer is not None:
+            self.tracer.record(kernel, tid, start, end - start, step=step)
+
+    def _cube_pass(self, kernel: str, tid: int, step: int, cubes, body) -> None:
+        """Run ``body(c)`` over ``cubes``, tracing each cube when enabled."""
+        tracer = self.tracer
+        if tracer is None:
+            for c in cubes:
+                body(c)
+            return
+        for c in cubes:
+            start = time.perf_counter()
+            body(c)
+            tracer.record(
+                kernel, tid, start, time.perf_counter() - start,
+                step=step, cube=int(c), cat="cube",
+            )
+
+    def _wait(self, name: str, tid: int, step: int) -> None:
+        """Cross the named barrier, tracing the wait when enabled."""
+        tracer = self.tracer
+        if tracer is None:
+            self.barriers[name].wait()
+            return
+        start = time.perf_counter()
+        self.barriers[name].wait()
+        tracer.record(
+            "barrier:" + name, tid, start, time.perf_counter() - start,
+            step=step, cat="barrier",
+        )
 
     def _fiber_rows(self, sheet_index: int, tid: int) -> np.ndarray:
         return self._fiber_dist[sheet_index].fibers_of(tid)
@@ -317,13 +353,13 @@ class CubeLBMIBSolver:
     def _loop2_cubes(self, tid: int, step: int) -> None:
         start = time.perf_counter()
         owned = self._owned_cubes[tid]
-        for c in owned:
-            self._collide_cube(c)
-        mid = time.perf_counter()
+        self._cube_pass("compute_fluid_collision", tid, step, owned, self._collide_cube)
         self._record(step, "compute_fluid_collision", tid, start, owned.size * self._k3)
+        mid = time.perf_counter()
 
-        for c in owned:
-            self._stream_cube(c)
+        self._cube_pass(
+            "stream_fluid_velocity_distribution", tid, step, owned, self._stream_cube
+        )
         self._record(
             step,
             "stream_fluid_velocity_distribution",
@@ -383,8 +419,7 @@ class CubeLBMIBSolver:
     def _loop3_cubes(self, tid: int, step: int) -> None:
         start = time.perf_counter()
         owned = self._owned_cubes[tid]
-        for c in owned:
-            self._update_cube(c)
+        self._cube_pass("update_fluid_velocity", tid, step, owned, self._update_cube)
         self._record(step, "update_fluid_velocity", tid, start, owned.size * self._k3)
 
     # ------------------------------------------------------------------
@@ -442,8 +477,9 @@ class CubeLBMIBSolver:
     def _loop5_cubes(self, tid: int, step: int) -> None:
         start = time.perf_counter()
         owned = self._owned_cubes[tid]
-        for c in owned:
-            self._copy_cube(c)
+        self._cube_pass(
+            "copy_fluid_velocity_distribution", tid, step, owned, self._copy_cube
+        )
         self._record(
             step, "copy_fluid_velocity_distribution", tid, start, owned.size * self._k3
         )
@@ -460,13 +496,13 @@ class CubeLBMIBSolver:
                 if self.structure is not None:
                     self._loop1_fibers(tid, step)
                 self._loop2_cubes(tid, step)
-                self.barriers["after_stream"].wait()
+                self._wait("after_stream", tid, step)
                 self._loop3_cubes(tid, step)
-                self.barriers["after_update"].wait()
+                self._wait("after_update", tid, step)
                 if self.structure is not None:
                     self._loop4_fibers(tid, step)
                 self._loop5_cubes(tid, step)
-                self.barriers["after_step"].wait()
+                self._wait("after_step", tid, step)
         except BaseException:
             # A dying worker must not strand its peers at the next
             # rendezvous: break every barrier so they fail fast with a

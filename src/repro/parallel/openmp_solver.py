@@ -136,6 +136,8 @@ class OpenMPLBMIBSolver:
         self.trace: ExecutionTrace | None = (
             ExecutionTrace(num_threads) if trace else None
         )
+        #: Optional span tracer (repro.observe); None = telemetry off.
+        self.tracer = None
         self._pool: WorkerPool | None = None
         # Private force buffers for the spreading reduction, allocated lazily.
         self._force_private: np.ndarray | None = None
@@ -164,6 +166,7 @@ class OpenMPLBMIBSolver:
         """One parallel region: run ``fn(tid) -> work_items`` on the team."""
         pool = self._ensure_pool()
         trace = self.trace
+        tracer = self.tracer
         step = self.time_step
 
         def wrapped(tid: int) -> None:
@@ -173,10 +176,12 @@ class OpenMPLBMIBSolver:
                 self.fault_hook(tid, step)
             start = time.perf_counter()
             work = fn(tid)
-            if trace is not None:
-                trace.record(
-                    step, kernel, tid, time.perf_counter() - start, int(work or 0)
-                )
+            if trace is not None or tracer is not None:
+                elapsed = time.perf_counter() - start
+                if trace is not None:
+                    trace.record(step, kernel, tid, elapsed, int(work or 0))
+                if tracer is not None:
+                    tracer.record(kernel, tid, start, elapsed, step=step)
 
         pool.dispatch(wrapped)
 

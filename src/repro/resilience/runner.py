@@ -125,6 +125,11 @@ class ResilientRunner:
         violated invariant (:class:`~repro.errors.InvariantError`) is
         treated like a stability failure: roll back to the last good
         checkpoint and retry with damped parameters.
+    telemetry:
+        Optional :class:`~repro.observe.Telemetry` attached to every
+        simulation this runner builds; each incident kind additionally
+        bumps a ``resilience.<kind>`` counter in its metrics registry,
+        mirroring the incident log as queryable metrics.
     """
 
     def __init__(
@@ -134,6 +139,7 @@ class ResilientRunner:
         policy: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
         invariants=None,
+        telemetry=None,
     ) -> None:
         self.policy = policy or RetryPolicy()
         if (
@@ -147,9 +153,16 @@ class ResilientRunner:
         self.incidents = IncidentLog()
         self.fault_injector = fault_injector
         self.invariants = invariants
+        self.telemetry = telemetry
         if fault_injector is not None and fault_injector.incident_log is None:
             fault_injector.incident_log = self.incidents
         self._checkpoints: list[tuple[str, int]] = []  # (path, step), oldest first
+
+    def _record(self, kind: str, **fields) -> None:
+        """Journal an incident and mirror it as a resilience counter."""
+        self.incidents.record(kind, **fields)
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(f"resilience.{kind}").inc()
 
     # ------------------------------------------------------------------
     # checkpoint management
@@ -167,7 +180,7 @@ class ResilientRunner:
             self.fault_injector.after_checkpoint(path, step)
         self._checkpoints = [(p, s) for p, s in self._checkpoints if s != step]
         self._checkpoints.append((path, step))
-        self.incidents.record("checkpoint_saved", step=step, path=path)
+        self._record("checkpoint_saved", step=step, path=path)
         while len(self._checkpoints) > self.policy.keep_checkpoints:
             old_path, old_step = self._checkpoints.pop(0)
             try:
@@ -177,6 +190,8 @@ class ResilientRunner:
 
     def _attach_invariants(self, sim: Simulation) -> Simulation:
         """Attach the invariant suite, rebinding baselines to this state."""
+        if self.telemetry is not None:
+            sim.attach_telemetry(self.telemetry)
         if self.invariants is not None:
             sim.attach_invariants(self.invariants)
         return sim
@@ -191,7 +206,7 @@ class ResilientRunner:
                 )
             except CheckpointError as exc:
                 self._checkpoints.pop()
-                self.incidents.record(
+                self._record(
                     "checkpoint_corrupt", step=step, path=path, error=str(exc)
                 )
                 try:
@@ -199,9 +214,9 @@ class ResilientRunner:
                 except OSError:
                     pass
                 continue
-            self.incidents.record("restored", step=step, path=path)
+            self._record("restored", step=step, path=path)
             return self._attach_invariants(sim)
-        self.incidents.record("restart_from_initial", step=0)
+        self._record("restart_from_initial", step=0)
         return self._attach_invariants(
             Simulation(config, fault_injector=self.fault_injector)
         )
@@ -245,7 +260,7 @@ class ResilientRunner:
             Simulation(config, fault_injector=self.fault_injector)
         )
         rollbacks = 0
-        self.incidents.record(
+        self._record(
             "run_started", step=0, solver=config.solver, target=num_steps
         )
         while sim.time_step < num_steps:
@@ -258,19 +273,19 @@ class ResilientRunner:
                 cause = _root_cause(exc)
                 if isinstance(cause, (StabilityError, InvariantError)):
                     rollbacks += 1
-                    self.incidents.record(
+                    self._record(
                         "stability_rollback",
                         step=failed_step,
                         attempt=rollbacks,
                         error=str(cause),
                     )
                     if rollbacks > self.policy.max_rollbacks:
-                        self.incidents.record(
+                        self._record(
                             "gave_up", step=failed_step, rollbacks=rollbacks
                         )
                         raise
                     config = self._dampened(config)
-                    self.incidents.record(
+                    self._record(
                         "retry_dampened",
                         step=failed_step,
                         tau=config.effective_tau,
@@ -279,19 +294,19 @@ class ResilientRunner:
                 elif isinstance(
                     cause, (WorkerError, BarrierTimeoutError, CommTimeoutError)
                 ) or isinstance(exc, (WorkerError, BarrierTimeoutError, CommTimeoutError)):
-                    self.incidents.record(
+                    self._record(
                         "worker_failure",
                         step=failed_step,
                         solver=config.solver,
                         error=str(cause),
                     )
                     if config.solver == "sequential":
-                        self.incidents.record("gave_up", step=failed_step)
+                        self._record("gave_up", step=failed_step)
                         raise
                     config = replace(config, solver="sequential", num_threads=1)
-                    self.incidents.record("fallback_sequential", step=failed_step)
+                    self._record("fallback_sequential", step=failed_step)
                 else:
-                    self.incidents.record(
+                    self._record(
                         "unrecoverable", step=failed_step, error=str(cause)
                     )
                     raise
@@ -299,7 +314,7 @@ class ResilientRunner:
                 sim = self._restore(config)
                 continue
             self._save_checkpoint(sim)
-        self.incidents.record(
+        self._record(
             "run_completed",
             step=sim.time_step,
             solver=config.solver,

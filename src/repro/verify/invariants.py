@@ -319,6 +319,11 @@ class InvariantSuite:
         self.every = every
         #: Number of successful whole-suite evaluations (diagnostics).
         self.checks_passed = 0
+        #: Optional :class:`~repro.observe.metrics.MetricsRegistry`;
+        #: when set, every suite evaluation bumps the
+        #: ``verify.invariant_checks`` counter (installed by
+        #: :meth:`repro.api.Simulation.attach_telemetry`).
+        self.metrics = None
 
     @classmethod
     def default(
@@ -363,6 +368,9 @@ class InvariantSuite:
 
     def check_state(self, fluid, structure, step: int) -> None:
         """Run every checker against a gathered global state."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("verify.invariant_checks").inc(len(self.invariants))
         for invariant in self.invariants:
             invariant.check(fluid, structure, step)
         self.checks_passed += 1

@@ -177,6 +177,10 @@ class DifferentialOracle:
         Optional override for the second run's config — used by the
         self-test to deliberately perturb a parameter (e.g. tau) and
         prove the oracle catches it.
+    telemetry:
+        Optional :class:`~repro.observe.Telemetry`; each compared step
+        bumps ``verify.steps_compared`` and each detected divergence
+        bumps ``verify.divergences`` in its metrics registry.
     """
 
     def __init__(
@@ -188,6 +192,7 @@ class DifferentialOracle:
         atol: float = 1e-11,
         state_seed: int | None = 0,
         config_b: SimulationConfig | None = None,
+        telemetry=None,
     ) -> None:
         self.config_a = variant_config(config, variant_a)
         self.config_b = (
@@ -198,6 +203,7 @@ class DifferentialOracle:
         self.rtol = rtol
         self.atol = atol
         self.state_seed = state_seed
+        self.telemetry = telemetry
         self._cube_size: int | None = None
         for cfg in (self.config_a, self.config_b):
             if cfg.solver in _CUBE_VARIANTS:
@@ -225,6 +231,7 @@ class DifferentialOracle:
         variants agree for all ``num_steps`` steps.
         """
         sim_a, sim_b = self._build_pair()
+        metrics = self.telemetry.metrics if self.telemetry is not None else None
         try:
             for _ in range(num_steps):
                 sim_a.run(1)
@@ -237,7 +244,11 @@ class DifferentialOracle:
                     atol=self.atol,
                     cube_size=self._cube_size,
                 )
+                if metrics is not None:
+                    metrics.counter("verify.steps_compared").inc()
                 if divergence is not None:
+                    if metrics is not None:
+                        metrics.counter("verify.divergences").inc()
                     return divergence
             return None
         finally:

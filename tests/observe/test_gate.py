@@ -1,0 +1,185 @@
+"""The benchmark-regression gate: pass/fail/drift semantics and the CLI.
+
+The acceptance story: the gate passes a candidate within tolerance,
+demonstrably fails an injected 2x slowdown, and reports schema drift
+(missing keys, changed workload) as a typed error — never as a silent
+pass.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.observe.__main__ import main as cli_main
+from repro.observe.gate import (
+    GateError,
+    classify_key,
+    compare_benchmarks,
+    flatten_numeric,
+    load_bench,
+)
+
+#: A miniature BENCH_fused.json-shaped record.
+BASELINE = {
+    "workload": {"scale": 8, "fluid_shape": [16, 16, 16], "steps": 3},
+    "fused": {
+        "solver": "fused",
+        "step_seconds": 0.010,
+        "per_kernel_seconds": {
+            "fused_collide_stream": 0.006,
+            "update_fluid_velocity": 0.002,
+        },
+        "alloc_peak_bytes": 4096,
+        "alloc_retained_bytes": 0,
+    },
+    "whole_step_speedup": 2.0,
+}
+
+
+def _candidate(**tweaks):
+    cand = copy.deepcopy(BASELINE)
+    for dotted, value in tweaks.items():
+        node = cand
+        *path, leaf = dotted.split(".")
+        for key in path:
+            node = node[key]
+        node[leaf] = value
+    return cand
+
+
+class TestFlattenAndClassify:
+    def test_flatten_indexes_lists_and_skips_strings(self):
+        flat = flatten_numeric(BASELINE)
+        assert flat["workload.fluid_shape.0"] == 16.0
+        assert flat["fused.step_seconds"] == pytest.approx(0.010)
+        assert "fused.solver" not in flat  # string leaf
+
+    def test_flatten_skips_bools(self):
+        assert flatten_numeric({"flag": True}) == {}
+
+    def test_classification(self):
+        assert classify_key("fused.step_seconds") == "lower"
+        assert classify_key("fused.alloc_peak_bytes") == "lower"
+        # the kernel-name leaf inherits the _seconds subtree direction
+        assert (
+            classify_key("fused.per_kernel_seconds.fused_collide_stream") == "lower"
+        )
+        assert classify_key("whole_step_speedup") == "higher"
+        assert classify_key("scatter.speedup") == "higher"
+        assert classify_key("workload.scale") == "identity"
+        assert classify_key("workload.fluid_shape.0") == "identity"
+
+
+class TestGateDecisions:
+    def test_identical_records_pass(self):
+        report = compare_benchmarks(BASELINE, copy.deepcopy(BASELINE))
+        assert report.ok
+        assert not report.failures
+
+    def test_within_tolerance_passes(self):
+        cand = _candidate(**{"fused.step_seconds": 0.012})  # +20% < 50%
+        assert compare_benchmarks(BASELINE, cand, tolerance=0.5).ok
+
+    def test_injected_2x_slowdown_fails(self):
+        cand = _candidate(**{"fused.step_seconds": 0.020})
+        report = compare_benchmarks(BASELINE, cand, tolerance=0.5)
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.key == "fused.step_seconds"
+        assert failure.status == "regression"
+        assert failure.ratio == pytest.approx(2.0)
+        assert "fused.step_seconds" in report.render()
+
+    def test_speedup_collapse_fails(self):
+        cand = _candidate(whole_step_speedup=0.8)  # 2.0 -> 0.8 = -60%
+        report = compare_benchmarks(BASELINE, cand, tolerance=0.5)
+        assert [v.key for v in report.failures] == ["whole_step_speedup"]
+
+    def test_faster_candidate_passes(self):
+        cand = _candidate(**{"fused.step_seconds": 0.001}, whole_step_speedup=9.0)
+        assert compare_benchmarks(BASELINE, cand, tolerance=0.5).ok
+
+    def test_zero_byte_baseline_gets_absolute_slack(self):
+        # retained 0 -> 2048 bytes would be an infinite relative ratio
+        cand = _candidate(**{"fused.alloc_retained_bytes": 2048})
+        assert compare_benchmarks(BASELINE, cand).ok
+        cand = _candidate(**{"fused.alloc_retained_bytes": 65536})
+        assert not compare_benchmarks(BASELINE, cand).ok
+
+    def test_keys_patterns_restrict_gating(self):
+        cand = _candidate(**{"fused.step_seconds": 0.050})
+        report = compare_benchmarks(
+            BASELINE, cand, keys=["*alloc*"]
+        )  # timing key not gated
+        assert report.ok
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_benchmarks(BASELINE, BASELINE, tolerance=-0.1)
+
+
+class TestSchemaDrift:
+    def test_workload_drift_raises(self):
+        cand = _candidate(**{"workload.scale": 4})
+        with pytest.raises(GateError, match="identity key 'workload.scale'"):
+            compare_benchmarks(BASELINE, cand)
+
+    def test_missing_gated_key_raises(self):
+        cand = copy.deepcopy(BASELINE)
+        del cand["fused"]["step_seconds"]
+        with pytest.raises(GateError, match="absent from the candidate"):
+            compare_benchmarks(BASELINE, cand)
+
+    def test_unexpected_key_raises(self):
+        cand = _candidate(**{"fused.new_seconds": 1.0})
+        with pytest.raises(GateError, match="absent from the baseline"):
+            compare_benchmarks(BASELINE, cand)
+
+    def test_load_bench_errors_are_typed_and_clear(self, tmp_path):
+        with pytest.raises(GateError, match="does not exist"):
+            load_bench(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(GateError, match="not valid JSON"):
+            load_bench(bad)
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(GateError, match="must be a JSON object"):
+            load_bench(arr)
+
+
+class TestCommandLine:
+    def _write(self, tmp_path, name, record):
+        path = tmp_path / name
+        path.write_text(json.dumps(record), encoding="utf-8")
+        return str(path)
+
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        cand = self._write(
+            tmp_path, "cand.json", _candidate(**{"fused.step_seconds": 0.011})
+        )
+        assert cli_main(["compare", base, cand]) == 0
+        assert "bench-gate: PASS" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        cand = self._write(
+            tmp_path, "cand.json", _candidate(**{"fused.step_seconds": 0.020})
+        )
+        assert cli_main(["compare", base, cand, "--tol", "0.5"]) == 1
+        captured = capsys.readouterr()
+        assert "bench-gate: FAIL" in captured.err
+        assert "fused.step_seconds" in captured.out
+
+    def test_schema_drift_exits_two(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        cand = self._write(tmp_path, "cand.json", _candidate(**{"workload.scale": 4}))
+        assert cli_main(["compare", base, cand]) == 2
+        assert "SCHEMA ERROR" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        assert cli_main(["compare", base, str(tmp_path / "gone.json")]) == 2
+        assert "SCHEMA ERROR" in capsys.readouterr().err

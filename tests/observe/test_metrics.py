@@ -1,0 +1,105 @@
+"""The metrics registry: semantics, thread-safety, snapshot round-trip."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observe import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sim.steps")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 5
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("parallel.load_imbalance")
+        gauge.set(0.25)
+        gauge.set(0.125)
+        assert gauge.value == 0.125
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("parallel.barrier_wait_seconds")
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(6.0)
+        assert hist.min == pytest.approx(1.0)
+        assert hist.max == pytest.approx(3.0)
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        hist = registry.histogram("samples")
+        per_thread, threads = 1000, 8
+
+        def worker():
+            for _ in range(per_thread):
+                counter.inc()
+                hist.observe(1.0)
+
+        workers = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert counter.value == per_thread * threads
+        assert hist.count == per_thread * threads
+        assert hist.total == pytest.approx(per_thread * threads)
+
+
+class TestSnapshotRoundTrip:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.steps").inc(42)
+        registry.counter("resilience.stability_rollback").inc(2)
+        registry.gauge("parallel.load_imbalance").set(0.375)
+        hist = registry.histogram("parallel.barrier_wait_seconds")
+        for v in (0.001, 0.25, 0.01, 0.02):
+            hist.observe(v)
+        registry.histogram("empty.histogram")
+        return registry
+
+    def test_snapshot_is_json_serializable(self):
+        snap = self._populated().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"]["sim.steps"] == 42
+        assert snap["histograms"]["empty.histogram"]["min"] is None
+
+    def test_from_snapshot_reproduces_snapshot_exactly(self):
+        original = self._populated()
+        rebuilt = MetricsRegistry.from_snapshot(original.snapshot())
+        assert rebuilt.snapshot() == original.snapshot()
+
+    def test_single_sample_histogram_round_trips(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(3.5)
+        rebuilt = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert rebuilt.snapshot() == registry.snapshot()
+
+    def test_save_load_file_round_trip(self, tmp_path):
+        original = self._populated()
+        path = tmp_path / "nested" / "metrics.json"
+        original.save(path)
+        assert MetricsRegistry.load(path).snapshot() == original.snapshot()

@@ -1,0 +1,160 @@
+"""Randomized concurrency stress of the synchronization primitives.
+
+Sweeps thread counts with seeded arrival jitter through the
+instrumented barrier and the owner locks, under the fault-suite SIGALRM
+deadline (``@pytest.mark.faults`` arms the watchdog in conftest), so a
+reintroduced lost-wakeup or deadlock fails the test instead of hanging
+CI.  Every assertion is exact — generation counts, acquisition totals —
+because the primitives promise exact bookkeeping, not approximations.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import BarrierTimeoutError
+from repro.parallel.barrier import InstrumentedBarrier
+from repro.parallel.executor import WorkerError, run_spmd
+from repro.parallel.locks import OwnerLocks
+
+pytestmark = pytest.mark.faults  # arm the conftest SIGALRM watchdog
+
+SEED = 20150715
+
+
+class TestBarrierStress:
+    @pytest.mark.parametrize("parties", [2, 3, 5, 8])
+    def test_jittered_arrivals_exact_generation_count(self, parties):
+        """Random per-thread arrival jitter never desynchronizes the
+        barrier: every thread observes every generation exactly once."""
+        iterations = 20
+        barrier = InstrumentedBarrier(parties, "stress", timeout=30.0)
+        seen = [[] for _ in range(parties)]
+        generation = [0]
+
+        def worker(tid):
+            rng = random.Random(SEED * 1000 + tid)
+            for _ in range(iterations):
+                time.sleep(rng.uniform(0.0, 0.003))
+                index = barrier.wait()
+                if index == 0:
+                    generation[0] += 1
+                barrier.wait()  # second phase: generation[0] is stable
+                seen[tid].append(generation[0])
+
+        run_spmd(parties, worker, timeout=60.0)
+        assert generation[0] == iterations
+        for tid in range(parties):
+            assert seen[tid] == list(range(1, iterations + 1))
+        assert barrier.stats.crossings == 2 * iterations
+        assert barrier.stats.total_wait_seconds >= 0.0
+        assert barrier.stats.max_wait_seconds <= 30.0
+
+    def test_interleaved_pair_of_barriers(self):
+        """Two barriers used alternately (the cube solver's pattern)
+        keep independent, exact crossing counts under jitter."""
+        parties, iterations = 4, 15
+        after_a = InstrumentedBarrier(parties, "after_a", timeout=30.0)
+        after_b = InstrumentedBarrier(parties, "after_b", timeout=30.0)
+        counter = [0]
+        lock = threading.Lock()
+
+        def worker(tid):
+            rng = random.Random(SEED + tid)
+            for _ in range(iterations):
+                with lock:
+                    counter[0] += 1
+                after_a.wait()
+                time.sleep(rng.uniform(0.0, 0.002))
+                after_b.wait()
+
+        run_spmd(parties, worker, timeout=60.0)
+        assert counter[0] == parties * iterations
+        assert after_a.stats.crossings == iterations
+        assert after_b.stats.crossings == iterations
+
+    def test_abort_releases_jittered_waiters(self):
+        """A worker dying mid-episode aborts the barrier; every peer
+        surfaces a typed error instead of waiting out the deadline."""
+        parties = 4
+        barrier = InstrumentedBarrier(parties, "doomed", timeout=30.0)
+        failures = []
+        lock = threading.Lock()
+
+        def worker(tid):
+            rng = random.Random(SEED - tid)
+            try:
+                for step in range(10):
+                    time.sleep(rng.uniform(0.0, 0.002))
+                    if tid == 0 and step == 3:
+                        barrier.abort()
+                        raise RuntimeError("worker 0 dies")
+                    barrier.wait()
+            except BarrierTimeoutError:
+                with lock:
+                    failures.append(tid)
+                raise
+
+        start = time.perf_counter()
+        with pytest.raises(WorkerError):
+            run_spmd(parties, worker, timeout=60.0)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0, "peers waited out the deadline instead of aborting"
+        assert sorted(failures) == [1, 2, 3]
+
+
+class TestOwnerLocksStress:
+    @pytest.mark.parametrize("num_threads", [2, 4, 8])
+    def test_exact_acquisition_totals_under_contention(self, num_threads):
+        """Randomly interleaved owner-lock acquisitions count exactly:
+        every acquisition is recorded, contentions never exceed them,
+        and the protected increments are race-free."""
+        per_thread = 150
+        locks = OwnerLocks(num_threads)
+        cells = [0] * num_threads
+
+        def worker(tid):
+            rng = random.Random(SEED * 7 + tid)
+            for _ in range(per_thread):
+                owner = rng.randrange(num_threads)
+                with locks.owning(owner):
+                    value = cells[owner]
+                    if rng.random() < 0.05:
+                        time.sleep(0.0002)  # widen the race window
+                    cells[owner] = value + 1
+
+        run_spmd(num_threads, worker, timeout=60.0)
+        assert sum(cells) == num_threads * per_thread
+        assert locks.total_acquisitions() == num_threads * per_thread
+        assert 0 <= locks.total_contentions() <= locks.total_acquisitions()
+        per_owner = [locks.stats(t).acquisitions for t in range(num_threads)]
+        assert per_owner == cells
+
+    def test_reset_stats_zeroes_counters(self):
+        locks = OwnerLocks(2)
+        with locks.owning(0):
+            pass
+        assert locks.total_acquisitions() == 1
+        locks.reset_stats()
+        assert locks.total_acquisitions() == 0
+        assert locks.total_contentions() == 0
+
+
+class TestBarrierTimeoutUnderJitter:
+    def test_missing_party_times_out_with_stall_report(self):
+        """parties=3 but only two jittered arrivals: the deadline fires
+        with a stall report instead of hanging."""
+        barrier = InstrumentedBarrier(3, "short", timeout=0.2)
+
+        def worker(tid):
+            rng = random.Random(SEED + 31 * tid)
+            time.sleep(rng.uniform(0.0, 0.002))
+            barrier.wait()
+
+        with pytest.raises(WorkerError) as excinfo:
+            run_spmd(2, worker, timeout=30.0)
+        original = excinfo.value.original
+        assert isinstance(original, BarrierTimeoutError)
+        assert barrier.stats.crossings == 0

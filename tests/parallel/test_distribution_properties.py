@@ -1,0 +1,206 @@
+"""Property-based sweep of the data-distribution functions (Section V-A).
+
+Seeded stdlib ``random`` drives randomized cube-grid shapes, thread
+meshes, and fiber counts through all three distribution methods and
+asserts the properties any ``cube2thread`` / ``fiber2thread`` must
+satisfy regardless of shape:
+
+* **totality** — every cube/fiber has exactly one owner;
+* **range** — every owner is a valid thread id;
+* **determinism** — the mapping is a pure function of the coordinates;
+* **bounded imbalance** — per-axis part sizes differ by at most one
+  block, so the 3D load factorizes into per-axis loads with a provable
+  bound;
+* **consistency** — ``cubes_of`` / ``fibers_of`` partition the index
+  space exactly as the forward map says.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.parallel.distribution import (
+    DISTRIBUTION_METHODS,
+    CubeDistribution,
+    FiberDistribution,
+    block_cyclic_map_1d,
+    block_map_1d,
+    cyclic_map_1d,
+)
+from repro.parallel.thread_mesh import ThreadMesh
+
+#: Seeded cases: property tests must be reproducible in CI.
+SEED = 20150715
+NUM_CASES = 25
+
+
+def _random_cases(seed=SEED, n=NUM_CASES):
+    rng = random.Random(seed)
+    cases = []
+    for _ in range(n):
+        counts = tuple(rng.randint(1, 12) for _ in range(3))
+        dims = tuple(rng.randint(1, c) for c in counts)
+        method = rng.choice(DISTRIBUTION_METHODS)
+        block = rng.randint(1, 4)
+        cases.append((counts, dims, method, block))
+    return cases
+
+
+CASES = _random_cases()
+IDS = [
+    f"{c[2]}-cubes{c[0]}-mesh{c[1]}-b{c[3]}".replace(" ", "") for c in CASES
+]
+
+
+def _map_1d(method, block):
+    if method == "block":
+        return lambda idx, extent, parts: block_map_1d(idx, extent, parts)
+    if method == "cyclic":
+        return lambda idx, extent, parts: cyclic_map_1d(idx, extent, parts)
+    return lambda idx, extent, parts: block_cyclic_map_1d(
+        idx, extent, parts, block=block
+    )
+
+
+class TestOneDimensionalMaps:
+    @pytest.mark.parametrize("method", DISTRIBUTION_METHODS)
+    def test_total_in_range_and_bounded(self, method):
+        rng = random.Random(SEED ^ hash(method))
+        for _ in range(50):
+            extent = rng.randint(1, 200)
+            parts = rng.randint(1, extent)
+            block = rng.randint(1, 5)
+            owners = np.asarray(
+                _map_1d(method, block)(np.arange(extent), extent, parts)
+            )
+            assert owners.shape == (extent,)
+            assert owners.min() >= 0 and owners.max() < parts
+            loads = np.bincount(owners, minlength=parts)
+            assert loads.sum() == extent  # total and disjoint by construction
+            # Block/cyclic spread sizes differ by <= 1; block-cyclic by
+            # <= block (one partial block plus whole-block rotation).
+            bound = 1 if method in ("block", "cyclic") else block
+            assert loads.max() - loads.min() <= bound, (
+                f"{method} extent={extent} parts={parts} block={block} "
+                f"loads={loads.tolist()}"
+            )
+
+    def test_block_map_is_monotone_and_contiguous(self):
+        rng = random.Random(SEED + 1)
+        for _ in range(50):
+            extent = rng.randint(1, 100)
+            parts = rng.randint(1, extent)
+            owners = block_map_1d(np.arange(extent), extent, parts)
+            assert (np.diff(owners) >= 0).all()  # contiguous runs
+            assert set(np.asarray(owners).tolist()) == set(range(parts))
+
+    def test_cyclic_map_is_round_robin(self):
+        owners = cyclic_map_1d(np.arange(10), 10, 3)
+        assert owners.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(PartitionError):
+            block_map_1d(0, 0, 1)
+        with pytest.raises(PartitionError):
+            cyclic_map_1d(0, 4, 0)
+        with pytest.raises(PartitionError):
+            block_cyclic_map_1d(0, 4, 2, block=0)
+
+
+class TestCubeDistributionProperties:
+    @pytest.mark.parametrize("counts,dims,method,block", CASES, ids=IDS)
+    def test_total_disjoint_in_range(self, counts, dims, method, block):
+        dist = CubeDistribution(
+            counts, ThreadMesh(dims), method=method, block=block
+        )
+        table = np.asarray(dist.owner_table())
+        num_threads = dist.mesh.num_threads
+        assert table.shape == counts
+        assert table.min() >= 0 and table.max() < num_threads
+        loads = dist.load_per_thread()
+        # totality: the per-thread loads partition the cube count
+        assert loads.sum() == np.prod(counts)
+        # consistency: cubes_of(t) is exactly the preimage of t
+        total = 0
+        for tid in range(num_threads):
+            coords = dist.cubes_of(tid)
+            total += len(coords)
+            assert len(coords) == loads[tid]
+            if len(coords):
+                owners = dist.cube2thread(
+                    coords[:, 0], coords[:, 1], coords[:, 2]
+                )
+                assert (np.asarray(owners) == tid).all()
+        assert total == np.prod(counts)
+
+    @pytest.mark.parametrize("counts,dims,method,block", CASES, ids=IDS)
+    def test_load_factorizes_per_axis(self, counts, dims, method, block):
+        """3D load(tid) is the product of the three 1D part sizes, so the
+        global imbalance is bounded by the per-axis bounds."""
+        dist = CubeDistribution(
+            counts, ThreadMesh(dims), method=method, block=block
+        )
+        fn = _map_1d(method, block)
+        axis_loads = [
+            np.bincount(
+                np.asarray(fn(np.arange(extent), extent, parts)),
+                minlength=parts,
+            )
+            for extent, parts in zip(counts, dims)
+        ]
+        loads = dist.load_per_thread()
+        p, q, r = dims
+        for tid in range(dist.mesh.num_threads):
+            i, j, k = tid // (q * r), (tid // r) % q, tid % r
+            expected = axis_loads[0][i] * axis_loads[1][j] * axis_loads[2][k]
+            assert loads[tid] == expected
+
+    @pytest.mark.parametrize("counts,dims,method,block", CASES, ids=IDS)
+    def test_deterministic(self, counts, dims, method, block):
+        a = CubeDistribution(counts, ThreadMesh(dims), method=method, block=block)
+        b = CubeDistribution(counts, ThreadMesh(dims), method=method, block=block)
+        assert np.array_equal(a.owner_table(), b.owner_table())
+
+    def test_mesh_larger_than_cubes_rejected(self):
+        with pytest.raises(PartitionError):
+            CubeDistribution((2, 2, 2), ThreadMesh((3, 1, 1)))
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(PartitionError, match="unknown distribution"):
+            CubeDistribution((4, 4, 4), ThreadMesh((2, 2, 2)), method="zigzag")
+
+
+class TestFiberDistributionProperties:
+    @pytest.mark.parametrize("method", DISTRIBUTION_METHODS)
+    def test_total_disjoint_in_range_bounded(self, method):
+        rng = random.Random(SEED ^ len(method))
+        for _ in range(40):
+            fibers = rng.randint(1, 64)
+            threads = rng.randint(1, 80)  # may exceed the fiber count
+            block = rng.randint(1, 4)
+            dist = FiberDistribution(fibers, threads, method=method, block=block)
+            owners = np.asarray(dist.fiber2thread(np.arange(fibers)))
+            assert owners.min() >= 0 and owners.max() < threads
+            loads = dist.load_per_thread()
+            assert loads.sum() == fibers
+            assert loads.shape == (threads,)
+            # imbalance bound over the clipped part count
+            parts = min(threads, fibers)
+            active = loads[:parts]
+            bound = 1 if method in ("block", "cyclic") else block
+            assert active.max() - active.min() <= bound
+            # threads beyond the clipped part count own nothing
+            assert (loads[parts:] == 0).all()
+            # fibers_of partitions the index space
+            owned = np.concatenate(
+                [dist.fibers_of(tid) for tid in range(threads)]
+            )
+            assert sorted(owned.tolist()) == list(range(fibers))
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(PartitionError):
+            FiberDistribution(0, 2)
+        with pytest.raises(PartitionError):
+            FiberDistribution(4, 0)
