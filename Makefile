@@ -11,9 +11,15 @@ PYTHON ?= python
 BENCH_GATE_BASELINE ?= benchmarks/baselines/BENCH_fused.json
 BENCH_GATE_ARGS ?= --scale 8 --steps 3 --warmup 2 --scatter-repeats 2
 BENCH_GATE_TOL ?= 0.75
-BENCH_GATE_KEYS ?= '*.step_seconds' '*alloc*_bytes' '*speedup*'
+BENCH_GATE_KEYS ?= '*.step_seconds' '*alloc*_bytes' '*speedup*' '*_per_second'
 
-.PHONY: install test test-quick test-faults test-verify verify-physics bench bench-fused bench-gate trace-example examples report clean
+# batched-execution benchmark gate: same pattern as the fused gate —
+# the checked-in baseline pins the smoke workload, and the candidate
+# must be produced with identical arguments.
+BENCH_BATCH_BASELINE ?= benchmarks/baselines/BENCH_batch.json
+BENCH_BATCH_GATE_ARGS ?= --steps 6 --warmup 2 --batch-sizes 1 4 16
+
+.PHONY: install test test-quick test-faults test-verify verify-physics bench bench-fused bench-batch bench-gate trace-example examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -55,16 +61,29 @@ bench:
 bench-fused:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fused_kernels.py $(BENCH_FUSED_ARGS)
 
-# Benchmark-regression gate: re-run the fused benchmark at the
-# baseline's smoke workload and diff it against the checked-in record.
-# Exit 1 = a gated key regressed beyond BENCH_GATE_TOL; exit 2 = the
-# two records describe different workloads (regenerate the baseline
-# with `make bench-fused BENCH_FUSED_ARGS="$(BENCH_GATE_ARGS)"` and
-# copy it to $(BENCH_GATE_BASELINE) after an intentional change).
+# Batched multi-simulation benchmark (solo loop vs vectorized batch,
+# plus the continuous-batching scheduler); writes
+# benchmarks/results/BENCH_batch.json.  Override the run size with e.g.
+# BENCH_BATCH_ARGS="--steps 10 --batch-sizes 1 8".
+bench-batch:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_batch_throughput.py $(BENCH_BATCH_ARGS)
+
+# Benchmark-regression gate: re-run the fused and batched benchmarks at
+# each baseline's smoke workload and diff them against the checked-in
+# records.  Exit 1 = a gated key regressed beyond BENCH_GATE_TOL; exit
+# 2 = the two records describe different workloads (regenerate with
+# `make bench-fused BENCH_FUSED_ARGS="$(BENCH_GATE_ARGS)"` /
+# `make bench-batch BENCH_BATCH_ARGS="$(BENCH_BATCH_GATE_ARGS)"` and
+# copy the results into benchmarks/baselines/ after an intentional
+# change).
 bench-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fused_kernels.py $(BENCH_GATE_ARGS)
 	PYTHONPATH=src $(PYTHON) -m repro.observe compare \
 		$(BENCH_GATE_BASELINE) benchmarks/results/BENCH_fused.json \
+		--tol $(BENCH_GATE_TOL) --keys $(BENCH_GATE_KEYS)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_batch_throughput.py $(BENCH_BATCH_GATE_ARGS)
+	PYTHONPATH=src $(PYTHON) -m repro.observe compare \
+		$(BENCH_BATCH_BASELINE) benchmarks/results/BENCH_batch.json \
 		--tol $(BENCH_GATE_TOL) --keys $(BENCH_GATE_KEYS)
 
 # Chrome-trace demo: traces a small sequential + cube run and writes

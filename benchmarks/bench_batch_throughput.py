@@ -1,0 +1,104 @@
+"""Benchmark: batched multi-simulation execution vs the solo-loop baseline.
+
+Measures the library's ``variant="batched"`` subsystem — B simulations
+stacked along a leading batch axis so each fluid kernel is one numpy
+call for the whole batch, plus the continuous-batching scheduler — and
+emits the machine-readable record ``benchmarks/results/BENCH_batch.json``.
+
+Two entry points:
+
+* ``make bench-batch`` (this file as a script) — full run, prints the
+  table, writes the JSON;
+* ``pytest benchmarks/ --benchmark-only`` — pytest-benchmark timing of
+  one batched sweep vs one solo round-robin sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.experiments.bench_batch import render_bench_batch, run_bench_batch
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def write_bench_batch(result: dict, path: pathlib.Path) -> None:
+    """Persist the benchmark record as pretty-printed JSON."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("batch", [4])
+def test_batched_sweep(benchmark, batch):
+    """Time one batched step of a B-slot batch on the small grid."""
+    from repro.batch import BatchedFluidGrid, BatchedLBMIBSolver
+
+    grid = BatchedFluidGrid((8, 8, 8), batch, tau=0.8)
+    solver = BatchedLBMIBSolver(grid)
+    solver.run(2)  # warmup: arena, shift table
+    benchmark(solver.run, 1)
+
+
+def test_bench_batch_json(emit, results_dir):
+    """Emit BENCH_batch.json from a reduced run and sanity-check it."""
+    result = run_bench_batch(steps=5, warmup=2, batch_sizes=(1, 4))
+    emit("bench_batch", render_bench_batch(result))
+    write_bench_batch(result, results_dir / "BENCH_batch.json")
+    assert result["fluid_only"]["b4"]["max_abs_delta"] == 0.0
+    assert result["fluid_only"]["b4"]["speedup"] > 1.0
+    assert result["scheduler"]["completed"] == result["scheduler"]["jobs"]
+
+
+# ----------------------------------------------------------------------
+# command line (make bench-batch)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_batch_throughput.py",
+        description="batched-vs-solo-loop benchmark; writes BENCH_batch.json",
+    )
+    parser.add_argument(
+        "--shape", type=int, nargs=3, default=(8, 8, 8),
+        metavar=("NX", "NY", "NZ"), help="fluid grid shape",
+    )
+    parser.add_argument("--steps", type=int, default=20, help="timed steps")
+    parser.add_argument("--warmup", type=int, default=3, help="warmup steps")
+    parser.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=(1, 4, 16),
+        help="batch axis lengths to measure",
+    )
+    parser.add_argument(
+        "--fsi-fibers", type=int, default=4,
+        help="flat-sheet size (NxN fiber nodes) of the FSI measurement",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=RESULTS_DIR / "BENCH_batch.json",
+        help="JSON output path",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_bench_batch(
+        shape=tuple(args.shape),
+        steps=args.steps,
+        warmup=args.warmup,
+        batch_sizes=tuple(args.batch_sizes),
+        fsi_fibers=args.fsi_fibers,
+    )
+    print(render_bench_batch(result))
+    write_bench_batch(result, args.output)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

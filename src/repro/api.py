@@ -112,6 +112,7 @@ class Simulation:
         self._initial_step = int(initial_step)
         self._cubes = None
         self._distributed = None
+        self._batch = None
 
         if config.solver == "sequential":
             self._solver = SequentialLBMIBSolver(
@@ -135,6 +136,28 @@ class Simulation:
                 external_force=config.external_force,
                 fault_hook=self._hook_for(self._fluid),
             )
+        elif config.solver == "batched":
+            from repro.batch import BatchedFluidGrid, BatchedLBMIBSolver
+
+            # A single Simulation runs as a batch of one; the state
+            # lives in the batched layout and is reached through a live
+            # slot view (df/df_new track the batched buffer swap).
+            self._batch = BatchedFluidGrid(
+                config.fluid_shape,
+                1,
+                tau=config.effective_tau,
+                collision_operator=config.collision_operator,
+            )
+            solver = BatchedLBMIBSolver(
+                self._batch,
+                delta=self._delta,
+                boundaries=self._boundaries,
+                dt=config.dt,
+                external_force=config.external_force,
+            )
+            solver.load_slot(0, self._fluid, self._built_structure)
+            solver.fault_hook = self._hook_for(self._batch.view(0))
+            self._solver = solver
         elif config.solver == "openmp":
             from repro.parallel.openmp_solver import OpenMPLBMIBSolver
 
@@ -228,7 +251,12 @@ class Simulation:
         if self._telemetry is not None:
             suite.metrics = self._telemetry.metrics
         if self._solver is not None and hasattr(self._solver, "fault_hook"):
-            state = self._cubes if self._cubes is not None else self._fluid
+            if self._cubes is not None:
+                state = self._cubes
+            elif self._batch is not None:
+                state = self._batch.view(0)
+            else:
+                state = self._fluid
             self._solver.fault_hook = self._chain_hooks(
                 self._solver.fault_hook, suite.sentinel_hook(state)
             )
@@ -392,12 +420,15 @@ class Simulation:
 
         For the cube-layout and distributed solvers this *gathers* the
         partitioned state into a fresh :class:`FluidGrid` (a copy); for
-        the other solvers it is the live grid.
+        the batched solver it is a live slot view; for the other
+        solvers it is the live grid.
         """
         if self._distributed is not None:
             return self._distributed.gather_fluid()
         if self._cubes is not None:
             return self._cubes.to_fluid_grid()
+        if self._batch is not None:
+            return self._batch.view(0)
         return self._fluid
 
     @property

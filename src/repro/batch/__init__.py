@@ -1,0 +1,41 @@
+"""Batched multi-simulation execution (``variant="batched"``).
+
+Stacks B independent same-shaped simulations along a leading batch
+axis and advances them with one numpy call per kernel operation,
+amortizing dispatch overhead across the batch — plus a continuous-
+batching scheduler that keeps batches full from a submission queue.
+
+* :class:`~repro.batch.fields.BatchedFluidGrid` — batched fluid state
+  with live per-slot :class:`~repro.core.lbm.fields.FluidGrid` views;
+* :mod:`~repro.batch.kernels` — batched fused collide+stream and
+  kernel 7, bit-identical per slot to the solo kernels;
+* :class:`~repro.batch.solver.BatchedLBMIBSolver` — the nine-kernel
+  step with the fluid half batched and the IB half per slot;
+* :class:`~repro.batch.scheduler.BatchScheduler` — compatibility
+  grouping, FIFO admission, slot refill on completion/divergence.
+"""
+
+from repro.batch.fields import BatchedFluidGrid, BatchSlotView
+from repro.batch.kernels import (
+    batched_collide_stream,
+    batched_update_velocity_fields,
+)
+from repro.batch.scheduler import (
+    BatchJob,
+    BatchResult,
+    BatchScheduler,
+    compatibility_key,
+)
+from repro.batch.solver import BatchedLBMIBSolver
+
+__all__ = [
+    "BatchedFluidGrid",
+    "BatchSlotView",
+    "BatchedLBMIBSolver",
+    "BatchJob",
+    "BatchResult",
+    "BatchScheduler",
+    "batched_collide_stream",
+    "batched_update_velocity_fields",
+    "compatibility_key",
+]

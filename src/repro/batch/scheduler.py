@@ -1,0 +1,326 @@
+"""Continuous-batching scheduler for many independent simulations.
+
+The ROADMAP's serving-style north star applied to simulation traffic:
+callers :meth:`~BatchScheduler.submit` any number of
+:class:`~repro.config.SimulationConfig` runs; the scheduler groups
+*compatible* configs (same grid shape, lattice parameters, boundary
+set, time step — everything the batched kernels share across the batch
+axis) into batches of up to ``max_batch`` slots, advances each batch
+with the vectorized :class:`~repro.batch.solver.BatchedLBMIBSolver`,
+and practices **continuous admission**: the moment a slot's simulation
+completes (or diverges) it is retired and the slot refilled from the
+queue, exactly like continuous batching in inference serving — the
+batch never drains to run at partial occupancy while work is waiting.
+
+Determinism: each slot's trajectory is bit-identical to its solo
+sequential run (the batched kernels are operation-for-operation
+mirrors of the solo ones and slots never interact), so results are
+independent of batch composition, admission order and ``max_batch`` —
+a property pinned by the scheduler test suite.
+
+Telemetry (optional :class:`~repro.observe.Telemetry`): per-group spans
+(``batch.group``), gauges ``batch.occupancy`` / ``batch.capacity``, and
+counters ``batch.steps`` (batched kernel sweeps), ``batch.sim_steps``
+(per-simulation steps advanced), ``batch.sims_completed``,
+``batch.sims_diverged`` and ``batch.refills``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.batch.fields import BatchedFluidGrid
+from repro.batch.solver import BatchedLBMIBSolver
+from repro.config import SimulationConfig
+from repro.core.ib.fiber import ImmersedStructure
+from repro.core.lbm.fields import FluidGrid
+from repro.errors import ConfigurationError
+
+__all__ = ["BatchJob", "BatchResult", "BatchScheduler", "compatibility_key"]
+
+
+def compatibility_key(config: SimulationConfig) -> tuple:
+    """Grouping key: everything the batched kernels share batch-wide.
+
+    Two configs may share a batch iff they agree on the fluid grid
+    shape, the lattice relaxation (effective tau and collision
+    operator), the delta kernel, the time step, the external body force
+    and the full ordered boundary set.  The immersed structure is *not*
+    part of the key — the IB half is applied per slot.
+    """
+    return (
+        tuple(config.fluid_shape),
+        float(config.effective_tau),
+        config.collision_operator,
+        config.delta_kind,
+        float(config.dt),
+        config.external_force,
+        tuple(
+            (bc.kind, bc.resolved_axis(), bc.side, tuple(bc.wall_velocity))
+            for bc in config.boundaries
+        ),
+    )
+
+
+@dataclass(eq=False)
+class BatchJob:
+    """One submitted simulation awaiting (or undergoing) batched execution."""
+
+    job_id: str
+    config: SimulationConfig
+    num_steps: int
+    order: int
+    initial_fluid: FluidGrid | None = None
+
+
+@dataclass(eq=False)
+class BatchResult:
+    """Per-simulation outcome returned by :meth:`BatchScheduler.run`.
+
+    Attributes
+    ----------
+    status:
+        ``"completed"`` (ran its full ``num_steps``) or ``"diverged"``
+        (non-finite state detected; retired early).
+    steps_completed:
+        Time steps actually advanced.
+    fluid / structure:
+        Final state, gathered into the solo layout (deep copies — the
+        slot is refilled immediately after).
+    slot:
+        Batch slot the simulation ran in (composition diagnostics).
+    """
+
+    job_id: str
+    status: str
+    steps_completed: int
+    fluid: FluidGrid
+    structure: ImmersedStructure | None
+    slot: int = -1
+
+
+class BatchScheduler:
+    """Group, batch and continuously run submitted simulations.
+
+    Parameters
+    ----------
+    max_batch:
+        Slot count ceiling per batch (the batch axis length).
+    check_finite_every:
+        Divergence-probe period in steps (``0`` disables the probe;
+        diverged slots then run to their step budget producing NaNs,
+        exactly as a solo run would).
+    telemetry:
+        Optional :class:`~repro.observe.Telemetry` receiving the
+        scheduler's spans and metrics.
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 16,
+        check_finite_every: int = 1,
+        telemetry=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be positive, got {max_batch}")
+        if check_finite_every < 0:
+            raise ConfigurationError(
+                f"check_finite_every must be >= 0, got {check_finite_every}"
+            )
+        self.max_batch = max_batch
+        self.check_finite_every = check_finite_every
+        self.telemetry = telemetry
+        self._jobs: list[BatchJob] = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        config: SimulationConfig,
+        num_steps: int,
+        job_id: str | None = None,
+        initial_fluid: FluidGrid | None = None,
+    ) -> str:
+        """Queue one simulation; returns its job id (FIFO per group)."""
+        if num_steps < 1:
+            raise ConfigurationError(
+                f"num_steps must be positive, got {num_steps}"
+            )
+        if initial_fluid is not None and tuple(initial_fluid.shape) != tuple(
+            config.fluid_shape
+        ):
+            raise ConfigurationError(
+                f"initial fluid shape {initial_fluid.shape} does not match "
+                f"configured shape {config.fluid_shape}"
+            )
+        if job_id is None:
+            job_id = f"sim{self._counter}"
+        elif any(job.job_id == job_id for job in self._jobs):
+            raise ConfigurationError(f"duplicate job id {job_id!r}")
+        self._jobs.append(
+            BatchJob(
+                job_id=job_id,
+                config=config,
+                num_steps=int(num_steps),
+                order=self._counter,
+                initial_fluid=initial_fluid,
+            )
+        )
+        self._counter += 1
+        return job_id
+
+    def pending_groups(self) -> dict[tuple, list[str]]:
+        """Submitted job ids per compatibility group, in admission order."""
+        groups: dict[tuple, list[str]] = {}
+        for job in self._jobs:
+            groups.setdefault(compatibility_key(job.config), []).append(job.job_id)
+        return groups
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> dict[str, BatchResult]:
+        """Run every submitted simulation; returns results by job id.
+
+        Jobs are grouped by :func:`compatibility_key` (incompatible
+        configs never share a batch) and each group runs as one batch
+        of up to ``max_batch`` slots with continuous slot refill.  The
+        queue is drained on return — a scheduler can be reused for a
+        new wave of submissions afterwards.
+        """
+        jobs, self._jobs = self._jobs, []
+        groups: dict[tuple, list[BatchJob]] = {}
+        for job in jobs:
+            groups.setdefault(compatibility_key(job.config), []).append(job)
+        results: dict[str, BatchResult] = {}
+        for index, group in enumerate(groups.values()):
+            self._run_group(index, group, results)
+        return results
+
+    # ------------------------------------------------------------------
+    def _metrics(self):
+        return self.telemetry.metrics if self.telemetry is not None else None
+
+    def _run_group(
+        self,
+        group_index: int,
+        jobs: list[BatchJob],
+        results: dict[str, BatchResult],
+    ) -> None:
+        start = time.perf_counter()
+        config = jobs[0].config
+        batch = min(self.max_batch, len(jobs))
+        grid = BatchedFluidGrid(
+            config.fluid_shape,
+            batch,
+            tau=config.effective_tau,
+            collision_operator=config.collision_operator,
+        )
+        solver = BatchedLBMIBSolver(
+            grid,
+            delta=config.build_delta(),
+            boundaries=config.build_boundaries(),
+            dt=config.dt,
+            external_force=config.external_force,
+            tracer=self.telemetry.tracer if self.telemetry is not None else None,
+        )
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.gauge("batch.capacity").set(batch)
+
+        queue = deque(jobs)
+        slots: list[BatchJob | None] = [None] * batch
+        for slot in range(batch):
+            self._admit(solver, slots, slot, queue.popleft())
+
+        while any(job is not None for job in slots):
+            solver.step()
+            if metrics is not None:
+                metrics.counter("batch.steps").inc()
+                metrics.counter("batch.sim_steps").inc(solver.occupancy)
+            probe = (
+                self.check_finite_every
+                and solver.time_step % self.check_finite_every == 0
+            )
+            for slot, job in enumerate(slots):
+                if job is None:
+                    continue
+                if probe and not solver.slot_finite(slot):
+                    self._retire(solver, slots, slot, results, "diverged")
+                    self._refill(solver, slots, slot, queue)
+                elif solver.slot_steps[slot] >= job.num_steps:
+                    self._retire(solver, slots, slot, results, "completed")
+                    self._refill(solver, slots, slot, queue)
+            if metrics is not None:
+                metrics.gauge("batch.occupancy").set(solver.occupancy)
+
+        if self.telemetry is not None:
+            elapsed = time.perf_counter() - start
+            self.telemetry.tracer.record(
+                f"batch.group{group_index}", 0, start, elapsed, cat="batch"
+            )
+
+    def _admit(
+        self,
+        solver: BatchedLBMIBSolver,
+        slots: list[BatchJob | None],
+        slot: int,
+        job: BatchJob,
+    ) -> None:
+        config = job.config
+        if job.initial_fluid is not None:
+            fluid = job.initial_fluid
+        else:
+            fluid = FluidGrid(
+                config.fluid_shape,
+                tau=config.effective_tau,
+                collision_operator=config.collision_operator,
+            )
+        solver.load_slot(slot, fluid, config.build_structure())
+        slots[slot] = job
+
+    def _retire(
+        self,
+        solver: BatchedLBMIBSolver,
+        slots: list[BatchJob | None],
+        slot: int,
+        results: dict[str, BatchResult],
+        status: str,
+    ) -> None:
+        job = slots[slot]
+        assert job is not None
+        results[job.job_id] = BatchResult(
+            job_id=job.job_id,
+            status=status,
+            steps_completed=solver.slot_steps[slot],
+            fluid=solver.grid.gather_slot(slot),
+            structure=solver.structures[slot],
+            slot=slot,
+        )
+        slots[slot] = None
+        solver.clear_slot(slot)
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter(
+                "batch.sims_completed"
+                if status == "completed"
+                else "batch.sims_diverged"
+            ).inc()
+
+    def _refill(
+        self,
+        solver: BatchedLBMIBSolver,
+        slots: list[BatchJob | None],
+        slot: int,
+        queue: deque,
+    ) -> None:
+        if not queue:
+            return
+        self._admit(solver, slots, slot, queue.popleft())
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("batch.refills").inc()

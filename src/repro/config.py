@@ -123,8 +123,11 @@ class SimulationConfig:
         programs), ``"fused"`` (single-core memory-aware fused kernels
         with a zero-allocation hot path), ``"async_cube"``
         (task-scheduled, barrier-free), ``"distributed"``
-        (message-passing rank slabs), or ``"hybrid"`` (distributed
-        ranks with cube-centric local layout).
+        (message-passing rank slabs), ``"hybrid"`` (distributed
+        ranks with cube-centric local layout), or ``"batched"``
+        (the fused kernels over a leading batch axis; a single
+        simulation runs as a batch of one, many compatible ones run
+        through :class:`repro.batch.scheduler.BatchScheduler`).
     num_threads:
         Team size for the parallel solvers (rank count for the
         distributed variants).
@@ -158,7 +161,14 @@ class SimulationConfig:
     structure: StructureConfig = field(default_factory=StructureConfig)
     boundaries: tuple[BoundaryConfig, ...] = ()
     solver: Literal[
-        "sequential", "fused", "openmp", "cube", "async_cube", "distributed", "hybrid"
+        "sequential",
+        "fused",
+        "batched",
+        "openmp",
+        "cube",
+        "async_cube",
+        "distributed",
+        "hybrid",
     ] = "sequential"
     num_threads: int = 1
     cube_size: int = 4
@@ -182,6 +192,7 @@ class SimulationConfig:
         if self.solver not in (
             "sequential",
             "fused",
+            "batched",
             "openmp",
             "cube",
             "async_cube",

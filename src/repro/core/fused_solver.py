@@ -189,6 +189,9 @@ class FusedLBMIBSolver:
         )
         if structure is not None:
             self._timed("move_fibers", self._move_fibers)
+            # The interpolation was the stencil's last consumer; release
+            # it so no dead stencil arrays stay retained after the run.
+            self._stencil_cache.end_step()
         # Kernel 9 degenerates to a pointer swap (two-lattice scheme).
         self._timed("swap_distributions", fluid.swap_distributions)
 

@@ -9,17 +9,25 @@ force onto them, weighted by the smoothed Dirac delta::
 where ``dA`` is the Lagrangian area element of the sheet.  Periodic
 wrap-around matches the fluid grid's periodic topology.
 
-The scatter itself uses :func:`numpy.bincount` over raveled grid
-indices rather than ``np.add.at``: both accumulate contributions in
-input order (so the two are bit-identical), but ``bincount`` runs a
-tight C histogram loop while ``ufunc.at`` historically dispatched
-through the generic buffered inner loop and was an order of magnitude
-slower.  NumPy 1.25 gave ``ufunc.at`` an indexed fast path that closes
-most of that gap — ``BENCH_fused.json`` records the measured delta on
-the build in use.
+The scatter has two implementations that are bit-identical (both
+accumulate contributions in strict input order): :func:`numpy.bincount`
+over raveled grid indices, and ``np.add.at`` through NumPy's indexed
+fast path.  Their costs differ in *which* size dominates: ``bincount``
+allocates and sweeps a full ``minlength=num_grid_nodes`` output per
+component on top of its histogram loop, while ``add.at`` only touches
+the actual contributions.  ``benchmarks/results/bench_fused.txt``
+records the crossover on the paper's Table-I grid (43k contributions on
+a 63k-node grid: ``add.at`` 0.31 ms vs ``bincount`` 0.52 ms), so
+:func:`scatter_method` picks ``bincount`` only when the contribution
+count reaches the grid size and ``add_at`` otherwise.  The
+``LBMIB_SCATTER`` environment variable (``auto``/``bincount``/
+``add_at``, read at import) forces a specific implementation for
+benchmarking.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -30,10 +38,43 @@ from repro.core.ib.fiber import FiberSheet
 __all__ = [
     "flatten_stencil",
     "scatter_flat",
+    "scatter_method",
+    "set_scatter_method",
     "spread_forces",
     "spread_values",
     "StencilCache",
 ]
+
+_SCATTER_METHODS = ("auto", "bincount", "add_at")
+
+#: Forced scatter implementation; ``"auto"`` selects by problem size.
+_scatter_override = os.environ.get("LBMIB_SCATTER", "auto")
+
+
+def set_scatter_method(method: str) -> None:
+    """Force the scatter implementation (``"auto"`` restores selection)."""
+    global _scatter_override
+    if method not in _SCATTER_METHODS:
+        raise ValueError(
+            f"scatter method must be one of {_SCATTER_METHODS}, got {method!r}"
+        )
+    _scatter_override = method
+
+
+def scatter_method(num_grid_nodes: int, num_contributions: int) -> str:
+    """The scatter implementation used for this problem size.
+
+    ``bincount`` pays O(``num_grid_nodes``) per component (a fresh
+    ``minlength``-sized output, zeroed, summed back into the target) on
+    top of its O(``num_contributions``) histogram loop; ``add_at`` pays
+    only the contributions.  ``bincount`` therefore wins only once the
+    stencil contributions cover the grid — below that the dense output
+    sweep dominates (the kernel-4 regression recorded in
+    ``benchmarks/results/bench_fused.txt``).
+    """
+    if _scatter_override != "auto":
+        return _scatter_override
+    return "bincount" if num_contributions >= num_grid_nodes else "add_at"
 
 
 def flatten_stencil(
@@ -76,6 +117,7 @@ def scatter_flat(
     values: np.ndarray,
     target: np.ndarray,
     scale: float = 1.0,
+    method: str | None = None,
 ) -> np.ndarray:
     """Scatter pre-flattened stencil contributions onto ``target``.
 
@@ -89,6 +131,10 @@ def scatter_flat(
         Eulerian vector field ``(3, Nx, Ny, Nz)``, accumulated in place.
     scale:
         Constant multiplier (the Lagrangian area element).
+    method:
+        ``"bincount"`` or ``"add_at"``; ``None`` (the default) picks via
+        :func:`scatter_method`.  Both are bit-identical — they
+        accumulate contributions in the same input order.
     """
     if flat_idx.size == 0:
         return target
@@ -97,10 +143,18 @@ def scatter_flat(
     if scale != 1.0:
         flat_w = flat_w * scale
     idx = flat_idx.ravel()
+    if method is None:
+        method = scatter_method(num_nodes, idx.size)
+    if method == "add_at" and not target.flags.c_contiguous:
+        # add.at needs a flat in-place view of each component.
+        method = "bincount"
     for comp in range(3):
         contrib = (values[:, comp : comp + 1] * flat_w).ravel()
-        binned = np.bincount(idx, weights=contrib, minlength=num_nodes)
-        target[comp] += binned.reshape(grid_shape)
+        if method == "add_at":
+            np.add.at(target[comp].reshape(-1), idx, contrib)
+        else:
+            binned = np.bincount(idx, weights=contrib, minlength=num_nodes)
+            target[comp] += binned.reshape(grid_shape)
     return target
 
 
@@ -150,6 +204,18 @@ class StencilCache:
 
     def begin_step(self) -> None:
         """Invalidate every cached stencil (positions are about to move)."""
+        self._flat.clear()
+
+    def end_step(self) -> None:
+        """Release this step's stencils once the last consumer has run.
+
+        The stencil arrays are large (``active_nodes x support`` indices
+        plus weights — ~692 kB for the paper's Table-I sheet); holding
+        the final step's entry across the end of a run shows up as
+        retained memory in the allocation profile even though the data
+        is dead.  Dropping it here keeps the cache's retained footprint
+        at zero between steps at no numerical cost.
+        """
         self._flat.clear()
 
     def flat_stencil(

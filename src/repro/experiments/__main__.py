@@ -60,6 +60,12 @@ def _fused() -> str:
     return render_bench_fused(run_bench_fused(scale=4, steps=5, warmup=2))
 
 
+def _batch() -> str:
+    from repro.experiments.bench_batch import render_bench_batch, run_bench_batch
+
+    return render_bench_batch(run_bench_batch(steps=5, warmup=2, batch_sizes=(1, 4)))
+
+
 #: Artifact name -> renderer.
 ARTIFACTS = {
     "table1": _table1,
@@ -69,6 +75,7 @@ ARTIFACTS = {
     "fig5": _fig5,
     "fig8": _fig8,
     "fused": _fused,
+    "batch": _batch,
 }
 
 

@@ -85,8 +85,18 @@ def _measure_variant(
 
 
 def _measure_scatter(scale: int, repeats: int) -> dict:
-    """``np.add.at`` vs the bincount scatter on the workload's stencil."""
-    from repro.core.ib.spreading import flatten_stencil, scatter_flat
+    """``np.add.at`` vs the bincount scatter on the workload's stencil.
+
+    Both implementations are forced explicitly (``method=``) so the
+    size-based dispatch of :func:`~repro.core.ib.spreading.scatter_method`
+    cannot make the two timings measure the same code; the dispatcher's
+    pick for this stencil is reported as ``chosen_method``.
+    """
+    from repro.core.ib.spreading import (
+        flatten_stencil,
+        scatter_flat,
+        scatter_method,
+    )
 
     config = scaled_profiling_config(scale=scale)
     structure = config.build_structure()
@@ -98,27 +108,22 @@ def _measure_scatter(scale: int, repeats: int) -> dict:
     indices, weights = delta.stencil(positions, grid_shape=grid_shape)
     flat_idx, flat_w = flatten_stencil(indices, weights, grid_shape)
     values = np.random.default_rng(0).standard_normal((positions.shape[0], 3))
-    idx = flat_idx.ravel()
-
-    def add_at(target: np.ndarray) -> None:
-        for comp in range(3):
-            contrib = (values[:, comp : comp + 1] * flat_w).ravel()
-            np.add.at(target[comp].reshape(-1), idx, contrib)
+    num_nodes = int(np.prod(grid_shape))
 
     target_a = np.zeros((3,) + grid_shape)
     target_b = np.zeros_like(target_a)
-    add_at(target_a)
-    scatter_flat(flat_idx, flat_w, values, target_b)
+    scatter_flat(flat_idx, flat_w, values, target_a, method="add_at")
+    scatter_flat(flat_idx, flat_w, values, target_b, method="bincount")
     max_delta = float(np.abs(target_a - target_b).max())
 
     start = time.perf_counter()
     for _ in range(repeats):
-        add_at(target_a)
+        scatter_flat(flat_idx, flat_w, values, target_a, method="add_at")
     add_at_seconds = (time.perf_counter() - start) / repeats
 
     start = time.perf_counter()
     for _ in range(repeats):
-        scatter_flat(flat_idx, flat_w, values, target_b)
+        scatter_flat(flat_idx, flat_w, values, target_b, method="bincount")
     bincount_seconds = (time.perf_counter() - start) / repeats
 
     return {
@@ -128,6 +133,7 @@ def _measure_scatter(scale: int, repeats: int) -> dict:
         "bincount_seconds": bincount_seconds,
         "speedup": add_at_seconds / bincount_seconds,
         "max_abs_delta": max_delta,
+        "chosen_method": scatter_method(num_nodes, flat_idx.size),
     }
 
 
@@ -213,6 +219,7 @@ def render_bench_fused(result: dict) -> str:
         f"{sc['stencil_support']} stencil): np.add.at "
         f"{sc['add_at_seconds'] * 1e3:.3f} ms -> bincount "
         f"{sc['bincount_seconds'] * 1e3:.3f} ms "
-        f"({sc['speedup']:.1f}x, max |delta| = {sc['max_abs_delta']:.1e})"
+        f"({sc['speedup']:.1f}x, max |delta| = {sc['max_abs_delta']:.1e}, "
+        f"dispatch picks {sc['chosen_method']})"
     )
     return "\n".join(lines)

@@ -8,7 +8,8 @@ key regresses beyond the relative tolerance:
 
 * keys ending in ``_seconds`` or ``_bytes`` are *lower-is-better*:
   regression when ``candidate > baseline * (1 + tol)``;
-* keys containing ``speedup`` are *higher-is-better*: regression when
+* keys containing ``speedup`` or ending in ``_per_second`` (throughput
+  rates) are *higher-is-better*: regression when
   ``candidate < baseline * (1 - tol)``;
 * descriptive keys (``workload.*``, shapes, counts) are *identity*
   keys: any difference is schema drift and fails with a clear error —
@@ -110,7 +111,8 @@ def classify_key(key: str) -> str:
         for seg in key.split(".")
     ):
         return "lower"
-    if "speedup" in key.rsplit(".", 1)[-1]:
+    leaf = key.rsplit(".", 1)[-1]
+    if "speedup" in leaf or leaf.endswith("_per_second"):
         return "higher"
     return "identity"
 

@@ -91,6 +91,7 @@ GOLDEN_CASES: dict[str, VerifyCase] = {
 GOLDEN_VARIANTS: dict[str, str] = {
     "": "sequential",
     "_fused": "fused",
+    "_batched": "batched",
 }
 
 

@@ -1,0 +1,140 @@
+"""BatchedFluidGrid: layout, live slot views, and slot lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchedFluidGrid, BatchSlotView
+from repro.constants import Q, RHO0
+from repro.core.lbm.fields import FluidGrid
+from repro.errors import ConfigurationError
+
+
+def _seeded_fluid(shape=(6, 5, 4), tau=0.8, seed=0, operator="bgk"):
+    fluid = FluidGrid(shape, tau=tau, collision_operator=operator)
+    rng = np.random.default_rng(seed)
+    fluid.initialize_equilibrium(
+        density=1.0 + 0.01 * rng.standard_normal(shape),
+        velocity=0.01 * rng.standard_normal((3,) + shape),
+    )
+    return fluid
+
+
+class TestConstruction:
+    def test_shapes_and_equilibrium_start(self):
+        grid = BatchedFluidGrid((6, 5, 4), 3, tau=0.8)
+        assert grid.df.shape == (3, Q, 6, 5, 4)
+        assert grid.df_new.shape == (3, Q, 6, 5, 4)
+        assert grid.density.shape == (3, 6, 5, 4)
+        assert grid.velocity.shape == (3, 3, 6, 5, 4)
+        # Every slot starts at the same quiescent equilibrium.
+        assert np.array_equal(grid.df[1], grid.df[0])
+        assert np.array_equal(grid.df[2], grid.df[0])
+        assert np.all(grid.density == RHO0)
+        # A slot is laid out exactly like a solo grid.
+        solo = FluidGrid((6, 5, 4), tau=0.8)
+        assert np.array_equal(grid.df[1], solo.df)
+
+    def test_slot_subarrays_are_contiguous(self):
+        grid = BatchedFluidGrid((6, 5, 4), 2)
+        assert grid.df[1].flags.c_contiguous
+        assert grid.density[0].flags.c_contiguous
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchedFluidGrid((6, 5, 4), 0)
+
+    def test_tau_odd_matches_solo(self):
+        for operator in ("bgk", "trt"):
+            grid = BatchedFluidGrid((6, 5, 4), 2, tau=0.8, collision_operator=operator)
+            solo = FluidGrid((6, 5, 4), tau=0.8, collision_operator=operator)
+            assert grid.tau_odd == solo.tau_odd
+
+
+class TestSlotViews:
+    def test_view_is_a_fluid_grid(self):
+        grid = BatchedFluidGrid((6, 5, 4), 2, tau=0.8)
+        view = grid.view(1)
+        assert isinstance(view, BatchSlotView)
+        assert isinstance(view, FluidGrid)
+        assert view.shape == grid.shape
+        assert view.tau == grid.tau
+
+    def test_view_is_live(self):
+        grid = BatchedFluidGrid((6, 5, 4), 2)
+        view = grid.view(1)
+        grid.density[1, 2, 2, 2] = 3.5
+        assert view.density[2, 2, 2] == 3.5
+        view.velocity[0, 1, 1, 1] = 0.25
+        assert grid.velocity[1, 0, 1, 1, 1] == 0.25
+
+    def test_view_tracks_buffer_swap(self):
+        """After swap_distributions the view's df is the *new* buffer —
+        the property reads through the batch on every access."""
+        grid = BatchedFluidGrid((6, 5, 4), 2)
+        view = grid.view(0)
+        grid.df_new[0, 3] = 7.0
+        assert not np.any(view.df[3] == 7.0)
+        grid.swap_distributions()
+        assert np.all(view.df[3] == 7.0)
+
+    def test_gather_slot_is_a_deep_copy(self):
+        grid = BatchedFluidGrid((6, 5, 4), 2)
+        gathered = grid.gather_slot(0)
+        gathered.density[...] = 9.0
+        gathered.df[...] = 9.0
+        assert not np.any(grid.density[0] == 9.0)
+        assert not np.any(grid.df[0] == 9.0)
+
+    def test_out_of_range_slot_rejected(self):
+        grid = BatchedFluidGrid((6, 5, 4), 2)
+        with pytest.raises(IndexError):
+            grid.view(2)
+        with pytest.raises(IndexError):
+            grid.load_slot(-1, _seeded_fluid())
+
+
+class TestSlotLifecycle:
+    def test_load_slot_copies_state(self):
+        grid = BatchedFluidGrid((6, 5, 4), 2, tau=0.8)
+        fluid = _seeded_fluid(seed=3)
+        grid.load_slot(1, fluid)
+        assert np.array_equal(grid.df[1], fluid.df)
+        assert np.array_equal(grid.density[1], fluid.density)
+        # It is a copy: mutating the source does not reach the slot.
+        fluid.density[...] = 0.0
+        assert not np.any(grid.density[1] == 0.0)
+        # The other slot is untouched.
+        assert np.all(grid.density[0] == RHO0)
+
+    def test_load_slot_validates_shape_and_lattice(self):
+        grid = BatchedFluidGrid((6, 5, 4), 2, tau=0.8)
+        with pytest.raises(ConfigurationError):
+            grid.load_slot(0, FluidGrid((6, 5, 5), tau=0.8))
+        with pytest.raises(ConfigurationError):
+            grid.load_slot(0, FluidGrid((6, 5, 4), tau=0.9))
+        with pytest.raises(ConfigurationError):
+            grid.load_slot(
+                0, FluidGrid((6, 5, 4), tau=0.8, collision_operator="trt")
+            )
+
+    def test_reset_slot_parks_at_equilibrium(self):
+        grid = BatchedFluidGrid((6, 5, 4), 2, tau=0.8)
+        grid.load_slot(1, _seeded_fluid(seed=5))
+        grid.reset_slot(1)
+        fresh = BatchedFluidGrid((6, 5, 4), 1, tau=0.8)
+        assert np.array_equal(grid.df[1], fresh.df[0])
+        assert np.all(grid.density[1] == RHO0)
+        assert np.all(grid.velocity[1] == 0.0)
+
+    def test_slot_finite_probe_is_per_slot(self):
+        grid = BatchedFluidGrid((6, 5, 4), 2)
+        assert grid.slot_finite(0) and grid.slot_finite(1)
+        grid.density[1, 0, 0, 0] = np.nan
+        assert grid.slot_finite(0)
+        assert not grid.slot_finite(1)
+
+    def test_nbytes_scales_with_batch(self):
+        small = BatchedFluidGrid((6, 5, 4), 1)
+        big = BatchedFluidGrid((6, 5, 4), 4)
+        assert big.nbytes == 4 * small.nbytes
+        assert small.num_nodes == 6 * 5 * 4

@@ -118,3 +118,72 @@ class TestSpreadValues:
         target = np.zeros((3, 8, 8, 8))
         spreading.spread_forces(sheet, LinearDelta(), target)
         assert (np.abs(target[0]) > 1e-12).sum() == 8
+
+
+class TestScatterDispatch:
+    """Kernel-4 scatter implementation selection (bincount vs add.at)."""
+
+    @pytest.fixture(autouse=True)
+    def _auto_dispatch(self, monkeypatch):
+        """Neutralize any LBMIB_SCATTER override for these tests."""
+        monkeypatch.setattr(spreading, "_scatter_override", "auto")
+
+    def test_heuristic_picks_by_contribution_density(self):
+        """bincount pays O(grid nodes) per component for its dense
+        output, so it only wins once contributions cover the grid."""
+        assert spreading.scatter_method(1000, 999) == "add_at"
+        assert spreading.scatter_method(1000, 1000) == "bincount"
+        assert spreading.scatter_method(1000, 50_000) == "bincount"
+        # The Table-I profiling stencil: 43k contributions on 63k nodes.
+        assert spreading.scatter_method(63_488, 43_264) == "add_at"
+
+    def test_override_forces_implementation(self, monkeypatch):
+        spreading.set_scatter_method("bincount")
+        assert spreading.scatter_method(1000, 1) == "bincount"
+        spreading.set_scatter_method("add_at")
+        assert spreading.scatter_method(1000, 10**6) == "add_at"
+        spreading.set_scatter_method("auto")
+        assert spreading.scatter_method(1000, 1) == "add_at"
+        with pytest.raises(ValueError):
+            spreading.set_scatter_method("magic")
+
+    def _stencil(self, seed=3, grid_shape=(8, 8, 8)):
+        sheet = _random_sheet(seed, grid_shape=grid_shape)
+        delta = CosineDelta()
+        pos = sheet.positions[sheet.active]
+        idx, w = delta.stencil(pos, grid_shape=grid_shape)
+        flat_idx, flat_w = spreading.flatten_stencil(idx, w, grid_shape)
+        values = np.random.default_rng(seed).standard_normal((pos.shape[0], 3))
+        return flat_idx, flat_w, values
+
+    def test_forced_methods_are_bit_identical(self):
+        """Both implementations accumulate contributions in strict
+        input order — exact equality, not a tolerance."""
+        flat_idx, flat_w, values = self._stencil()
+        a = np.zeros((3, 8, 8, 8))
+        b = np.zeros_like(a)
+        spreading.scatter_flat(flat_idx, flat_w, values, a, method="add_at")
+        spreading.scatter_flat(flat_idx, flat_w, values, b, method="bincount")
+        assert np.array_equal(a, b)
+        assert a.any()
+
+    def test_auto_dispatch_matches_forced(self):
+        flat_idx, flat_w, values = self._stencil()
+        picked = spreading.scatter_method(8**3, flat_idx.size)
+        auto = np.zeros((3, 8, 8, 8))
+        forced = np.zeros_like(auto)
+        spreading.scatter_flat(flat_idx, flat_w, values, auto)
+        spreading.scatter_flat(flat_idx, flat_w, values, forced, method=picked)
+        assert np.array_equal(auto, forced)
+
+    def test_non_contiguous_target_falls_back_safely(self):
+        """add.at needs a flat C-order view; a non-contiguous target
+        silently uses the bincount path instead of scattering into a
+        temporary copy."""
+        flat_idx, flat_w, values = self._stencil()
+        contiguous = np.zeros((3, 8, 8, 8))
+        strided = np.zeros((8, 8, 8, 3)).transpose(3, 0, 1, 2)
+        assert not strided.flags.c_contiguous
+        spreading.scatter_flat(flat_idx, flat_w, values, contiguous, method="add_at")
+        spreading.scatter_flat(flat_idx, flat_w, values, strided, method="add_at")
+        assert np.array_equal(strided, contiguous)

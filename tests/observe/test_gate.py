@@ -70,6 +70,18 @@ class TestFlattenAndClassify:
         assert classify_key("workload.scale") == "identity"
         assert classify_key("workload.fluid_shape.0") == "identity"
 
+    def test_throughput_rates_are_higher_is_better(self):
+        """``*_per_second`` leaves (the batched benchmark's steps/sec
+        and sims/sec) gate as throughput: regressions are *drops*."""
+        assert classify_key("fluid_only.b16.batched_sim_steps_per_second") == "higher"
+        assert classify_key("scheduler.sims_per_second") == "higher"
+        assert classify_key("fluid_only.b16.speedup") == "higher"
+        # ...but only as the leaf: a nested identity echo stays identity,
+        # and cost subtrees are untouched.
+        assert classify_key("scheduler.wall_seconds") == "lower"
+        assert classify_key("workload.scheduler_jobs") == "identity"
+        assert classify_key("scheduler.jobs") == "identity"
+
 
 class TestGateDecisions:
     def test_identical_records_pass(self):

@@ -18,7 +18,16 @@ from repro.verify.oracle import _seeded_initial_fluid, variant_config
 
 pytestmark = [pytest.mark.verify, pytest.mark.slow]
 
-VARIANTS = ["sequential", "fused", "openmp", "cube", "async_cube", "distributed", "hybrid"]
+VARIANTS = [
+    "sequential",
+    "fused",
+    "batched",
+    "openmp",
+    "cube",
+    "async_cube",
+    "distributed",
+    "hybrid",
+]
 
 _FIELDS = ("df", "density", "velocity", "velocity_shifted", "force")
 
