@@ -19,7 +19,7 @@ BENCH_GATE_KEYS ?= '*.step_seconds' '*alloc*_bytes' '*speedup*' '*_per_second'
 BENCH_BATCH_BASELINE ?= benchmarks/baselines/BENCH_batch.json
 BENCH_BATCH_GATE_ARGS ?= --steps 6 --warmup 2 --batch-sizes 1 4 16
 
-.PHONY: install test test-quick test-faults test-verify verify-physics bench bench-fused bench-batch bench-gate trace-example examples report clean
+.PHONY: install test test-quick test-faults test-chaos test-verify verify-physics bench bench-fused bench-batch bench-gate trace-example examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,15 @@ test-quick:
 # fails CI with a traceback instead of hanging it.
 test-faults:
 	LBMIB_FAULT_TEST_TIMEOUT=120 $(PYTHON) -m pytest -m faults tests/
+
+# Deterministic chaos suite for the fault-tolerant batch scheduler:
+# seeded fault plans (slot corruption, checkpoint truncation, scheduler
+# kill + resume) with completed results pinned bit-identical to a
+# fault-free golden run.  Set LBMIB_CHAOS_DIR to keep the incident
+# journal and resume manifest for inspection (CI archives them on
+# failure).
+test-chaos:
+	LBMIB_FAULT_TEST_TIMEOUT=180 $(PYTHON) -m pytest -m chaos tests/
 
 # The differential-verification pytest suite only.
 test-verify:

@@ -11,11 +11,15 @@ batching scheduler that keeps batches full from a submission queue.
   kernel 7, bit-identical per slot to the solo kernels;
 * :class:`~repro.batch.solver.BatchedLBMIBSolver` — the nine-kernel
   step with the fluid half batched and the IB half per slot;
+* :class:`~repro.batch.guard.SlotGuard` — per-slot health sentinels
+  that eject a failing slot without perturbing its siblings;
 * :class:`~repro.batch.scheduler.BatchScheduler` — compatibility
-  grouping, FIFO admission, slot refill on completion/divergence.
+  grouping, FIFO admission, slot refill on completion/divergence,
+  retry/quarantine lifecycle and checkpoint-backed resume.
 """
 
-from repro.batch.fields import BatchedFluidGrid, BatchSlotView
+from repro.batch.fields import BatchedFluidGrid, BatchSlotView, adopt_state
+from repro.batch.guard import SlotEjection, SlotGuard
 from repro.batch.kernels import (
     batched_collide_stream,
     batched_update_velocity_fields,
@@ -23,7 +27,9 @@ from repro.batch.kernels import (
 from repro.batch.scheduler import (
     BatchJob,
     BatchResult,
+    BatchRetryPolicy,
     BatchScheduler,
+    FailureInfo,
     compatibility_key,
 )
 from repro.batch.solver import BatchedLBMIBSolver
@@ -34,7 +40,12 @@ __all__ = [
     "BatchedLBMIBSolver",
     "BatchJob",
     "BatchResult",
+    "BatchRetryPolicy",
     "BatchScheduler",
+    "FailureInfo",
+    "SlotEjection",
+    "SlotGuard",
+    "adopt_state",
     "batched_collide_stream",
     "batched_update_velocity_fields",
     "compatibility_key",

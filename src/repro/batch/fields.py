@@ -37,10 +37,32 @@ from repro.core.lbm import equilibrium
 from repro.core.lbm.fields import FluidGrid
 from repro.errors import ConfigurationError
 
-__all__ = ["BatchedFluidGrid", "BatchSlotView"]
+__all__ = ["BatchedFluidGrid", "BatchSlotView", "adopt_state"]
 
 #: Per-slot array fields copied by :meth:`BatchedFluidGrid.load_slot`.
 _STATE_FIELDS = ("df", "df_new", "density", "velocity", "velocity_shifted", "force")
+
+
+def adopt_state(
+    fluid: FluidGrid, tau: float, collision_operator: str
+) -> FluidGrid:
+    """``fluid``'s state under (possibly different) lattice parameters.
+
+    Returns ``fluid`` itself when the parameters already match;
+    otherwise a fresh :class:`FluidGrid` with the requested ``tau`` /
+    ``collision_operator`` carrying a copy of every state array.  This
+    is how the batch scheduler re-admits a checkpointed state under
+    damped retry parameters — the same contract as
+    :class:`repro.api.Simulation`'s restore path, where the state comes
+    from the checkpoint but the relaxation comes from the (retried)
+    config.
+    """
+    if fluid.tau == tau and fluid.collision_operator == collision_operator:
+        return fluid
+    adopted = FluidGrid(fluid.shape, tau=tau, collision_operator=collision_operator)
+    for name in _STATE_FIELDS:
+        getattr(adopted, name)[...] = getattr(fluid, name)
+    return adopted
 
 
 class BatchSlotView(FluidGrid):

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.batch.guard import SlotGuard
     from repro.observe.tracer import Tracer
 
 from repro.constants import DT
@@ -74,6 +75,13 @@ class BatchedLBMIBSolver:
     kernel_timer / tracer / fault_hook:
         Same observability/fault surface as the solo solvers; the fault
         hook is called once per batched step with thread id 0.
+    guard:
+        Optional :class:`~repro.batch.guard.SlotGuard`.  When attached,
+        every :meth:`load_slot` binds fresh per-slot health checkers,
+        every :meth:`clear_slot` releases them, and the end of every
+        :meth:`step` runs the guard's inspection — a failing slot is
+        ejected from the shared arrays without perturbing its siblings
+        (see :mod:`repro.batch.guard`).
     """
 
     def __init__(
@@ -87,8 +95,10 @@ class BatchedLBMIBSolver:
         kernel_timer: Callable[[str, float], None] | None = None,
         fault_hook: Callable[[int, int], None] | None = None,
         tracer: "Tracer | None" = None,
+        guard: "SlotGuard | None" = None,
     ) -> None:
         self.grid = grid
+        self.guard = guard
         self.delta = delta if delta is not None else default_delta()
         self.boundaries = list(boundaries)
         validate_boundaries(self.boundaries)
@@ -173,6 +183,7 @@ class BatchedLBMIBSolver:
         slot: int,
         fluid: FluidGrid,
         structure: ImmersedStructure | None = None,
+        job_id: str | None = None,
     ) -> None:
         """Admit a simulation into ``slot`` (initial fill or refill).
 
@@ -180,7 +191,10 @@ class BatchedLBMIBSolver:
         place as the slot advances), resets the slot's step counter and
         marks it active.  The external body force is re-seeded exactly
         as the solo solvers do at construction, so a freshly admitted
-        slot's first step matches its solo run's first step.
+        slot's first step matches its solo run's first step.  With a
+        :class:`~repro.batch.guard.SlotGuard` attached, fresh per-slot
+        health checkers are bound to the newly admitted state
+        (``job_id`` ties repeat offences together across retries).
         """
         self.grid.load_slot(slot, fluid)
         if self._ext is not None:
@@ -188,6 +202,8 @@ class BatchedLBMIBSolver:
         self.structures[slot] = structure
         self.slot_steps[slot] = 0
         self.active[slot] = True
+        if self.guard is not None:
+            self.guard.bind_slot(self, slot, job_id=job_id)
 
     def clear_slot(self, slot: int) -> None:
         """Retire ``slot``: drop its structure, park it at equilibrium.
@@ -200,6 +216,8 @@ class BatchedLBMIBSolver:
         self.active[slot] = False
         self.slot_steps[slot] = 0
         self.grid.reset_slot(slot)
+        if self.guard is not None:
+            self.guard.release_slot(slot)
 
     def slot_finite(self, slot: int) -> bool:
         """Divergence probe for the scheduler (see ``BatchedFluidGrid``)."""
@@ -286,6 +304,8 @@ class BatchedLBMIBSolver:
         for slot in range(self.grid.batch):
             if self.active[slot]:
                 self.slot_steps[slot] += 1
+        if self.guard is not None:
+            self._timed("slot_guard", lambda: self.guard.inspect(self))
 
     def run(self, num_steps: int, observer=None) -> None:
         """Run ``num_steps`` batched time steps."""

@@ -9,7 +9,7 @@ state and solver objects; most users go through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Literal
 
 from repro.constants import DT, tau_from_viscosity
@@ -62,6 +62,15 @@ class StructureConfig:
         if self.normal_axis not in (0, 1, 2):
             raise ConfigurationError(f"normal_axis must be 0/1/2, got {self.normal_axis}")
 
+    def to_dict(self) -> dict:
+        """JSON-safe plain-dict form (see :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StructureConfig":
+        """Rebuild from :meth:`to_dict` output (validation re-runs)."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class BoundaryConfig:
@@ -87,6 +96,22 @@ class BoundaryConfig:
         if self.axis not in (0, 1, 2):
             raise ConfigurationError(f"axis must be 0/1/2 or x/y/z, got {self.axis}")
         return self.axis
+
+    def to_dict(self) -> dict:
+        """JSON-safe plain-dict form (see :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "axis": self.axis,
+            "side": self.side,
+            "wall_velocity": list(self.wall_velocity),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BoundaryConfig":
+        """Rebuild from :meth:`to_dict` output (validation re-runs)."""
+        data = dict(data)
+        data["wall_velocity"] = tuple(data.get("wall_velocity", (0.0, 0.0, 0.0)))
+        return cls(**data)
 
     def build(self):
         """Instantiate the matching :class:`~repro.core.lbm.boundaries.Boundary`."""
@@ -280,3 +305,46 @@ class SimulationConfig:
     def build_boundaries(self) -> list:
         """Instantiate the configured boundary conditions."""
         return [bc.build() for bc in self.boundaries]
+
+    # ------------------------------------------------------------------
+    # serialisation (queue manifests, saved experiments)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe plain-dict form of the complete configuration.
+
+        Round-trips exactly through :meth:`from_dict`; used by the
+        batch scheduler's persisted queue manifest so a killed
+        scheduler process can resubmit every job on resume.
+        """
+        return {
+            "fluid_shape": list(self.fluid_shape),
+            "tau": self.tau,
+            "viscosity": self.viscosity,
+            "structure": self.structure.to_dict(),
+            "boundaries": [bc.to_dict() for bc in self.boundaries],
+            "solver": self.solver,
+            "num_threads": self.num_threads,
+            "cube_size": self.cube_size,
+            "cube_method": self.cube_method,
+            "fiber_method": self.fiber_method,
+            "delta_kind": self.delta_kind,
+            "collision_operator": self.collision_operator,
+            "external_force": (
+                None if self.external_force is None else list(self.external_force)
+            ),
+            "dt": self.dt,
+            "barrier_timeout": self.barrier_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output (validation re-runs)."""
+        data = dict(data)
+        data["fluid_shape"] = tuple(data["fluid_shape"])
+        data["structure"] = StructureConfig.from_dict(data["structure"])
+        data["boundaries"] = tuple(
+            BoundaryConfig.from_dict(bc) for bc in data.get("boundaries", ())
+        )
+        if data.get("external_force") is not None:
+            data["external_force"] = tuple(data["external_force"])
+        return cls(**data)

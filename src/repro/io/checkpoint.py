@@ -31,7 +31,12 @@ from repro.core.ib.fiber import FiberSheet, ImmersedStructure
 from repro.core.lbm.fields import FluidGrid
 from repro.errors import CheckpointError
 
-__all__ = ["save_checkpoint", "load_checkpoint", "payload_checksum"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "payload_checksum",
+    "rotate_checkpoints",
+]
 
 _FORMAT_VERSION = 1
 _CHECKSUM_KEY = "checksum"
@@ -122,6 +127,30 @@ def save_checkpoint(
         raise CheckpointError(f"cannot write checkpoint {final}: {exc}") from exc
 
 
+def rotate_checkpoints(
+    checkpoints: list[tuple[str, int]], keep: int
+) -> list[tuple[str, int]]:
+    """Garbage-collect a ``(path, step)`` checkpoint window down to ``keep``.
+
+    The list is oldest-first; entries beyond the newest ``keep`` are
+    unlinked (a missing file is not an error — a previous rotation or a
+    fault-injection test may already have removed it) and the surviving
+    window is returned.  Both :class:`~repro.resilience.runner.ResilientRunner`
+    and the batch scheduler's per-job checkpoint trail use this so long
+    soak runs have bounded disk usage.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    survivors = list(checkpoints)
+    while len(survivors) > keep:
+        old_path, _old_step = survivors.pop(0)
+        try:
+            os.unlink(old_path)
+        except OSError:
+            pass
+    return survivors
+
+
 def load_checkpoint(
     path: str | os.PathLike,
 ) -> tuple[FluidGrid, ImmersedStructure | None, int]:
@@ -134,7 +163,7 @@ def load_checkpoint(
     """
     try:
         data = np.load(path)
-    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
         raise CheckpointError(
             f"cannot read checkpoint {path}: {exc} "
             "(the file is missing, truncated, or not a checkpoint)"

@@ -24,6 +24,12 @@ important, *testable on one core*:
     with damped parameters on :class:`~repro.errors.StabilityError`,
     and falls back to the sequential solver when a parallel worker
     dies.
+``chaos``
+    :class:`ChaosHarness` / :class:`ChaosReport` — the deterministic
+    chaos harness for the fault-tolerant batch scheduler: a fault-free
+    golden run and a seeded faulted run (slot corruption, checkpoint
+    truncation, scheduler kill + resume) compared bit-for-bit
+    (``make test-chaos``).
 
 The watchdog layer itself (deadlines on
 :meth:`~repro.parallel.barrier.InstrumentedBarrier.wait`,
@@ -33,16 +39,27 @@ The watchdog layer itself (deadlines on
 the typed errors are in :mod:`repro.errors`.
 """
 
+from repro.resilience.chaos import (
+    ChaosHarness,
+    ChaosReport,
+    JobVerdict,
+    standard_plan,
+)
 from repro.resilience.faults import Fault, FaultInjector, FaultPlan
-from repro.resilience.incident import Incident, IncidentLog
+from repro.resilience.incident import Incident, IncidentLog, json_safe
 from repro.resilience.runner import ResilientRunner, RetryPolicy
 
 __all__ = [
+    "ChaosHarness",
+    "ChaosReport",
     "Fault",
     "FaultPlan",
     "FaultInjector",
     "Incident",
     "IncidentLog",
+    "JobVerdict",
     "ResilientRunner",
     "RetryPolicy",
+    "json_safe",
+    "standard_plan",
 ]

@@ -3,9 +3,20 @@
 A resilient system that recovers *silently* is almost as bad as one
 that crashes: operators need to know a rollback happened, how often,
 and why.  :class:`IncidentLog` is an append-only, thread-safe event
-journal kept by :class:`~repro.resilience.runner.ResilientRunner` (and
-fed by :class:`~repro.resilience.faults.FaultInjector`), serialisable
-to JSON for the observability stack.
+journal kept by :class:`~repro.resilience.runner.ResilientRunner` and
+the batch scheduler (and fed by
+:class:`~repro.resilience.faults.FaultInjector`), serialisable to JSON
+for the observability stack.
+
+The log is **crash-safe** when given a ``jsonl_path``: every
+:meth:`~IncidentLog.record` appends one JSON line and flushes it to the
+OS immediately, so a worker killed mid-run leaves a readable journal
+tail on disk (the classic append-only write-ahead-log shape).
+:meth:`IncidentLog.load` reads such a file back, tolerating a torn
+final line from a kill mid-append.  Detail payloads are serialised
+numpy-safely — numpy scalars and small arrays coming out of fault
+hooks and invariant checkers never poison the journal with a
+``TypeError`` at dump time.
 """
 
 from __future__ import annotations
@@ -16,7 +27,29 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Incident", "IncidentLog"]
+__all__ = ["Incident", "IncidentLog", "json_safe"]
+
+
+def json_safe(value):
+    """Recursively coerce ``value`` into JSON-serialisable built-ins.
+
+    Numpy scalars become Python scalars, numpy arrays become (nested)
+    lists, sets/tuples become lists, and anything else unknown falls
+    back to ``str`` — the journal must never raise at record time.
+    """
+    import numpy as np
+
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in value]
+    return str(value)
 
 
 @dataclass(frozen=True)
@@ -32,7 +65,9 @@ class Incident:
         Event type, e.g. ``"fault_injected"``, ``"checkpoint_saved"``,
         ``"checkpoint_corrupt"``, ``"stability_rollback"``,
         ``"worker_failure"``, ``"fallback_sequential"``,
-        ``"run_completed"``.
+        ``"run_completed"`` — plus the batch-scheduler kinds
+        ``"slot_ejected"``, ``"job_retry"``, ``"job_quarantined"``,
+        ``"scheduler_resumed"``.
     step:
         Simulation time step the event refers to (``-1`` if not tied to
         a step).
@@ -50,25 +85,65 @@ class Incident:
     detail: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-safe)."""
+        """Plain-dict form (JSON-safe, numpy values coerced)."""
         return {
             "seq": self.seq,
             "kind": self.kind,
             "step": self.step,
             "wall_time": self.wall_time,
-            "detail": dict(self.detail),
+            "detail": json_safe(self.detail),
         }
 
 
 class IncidentLog:
-    """Append-only, thread-safe journal of resilience events."""
+    """Append-only, thread-safe journal of resilience events.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    jsonl_path:
+        Optional file to mirror every event into as one JSON line,
+        flushed per record — the crash-safe on-disk form.  ``None``
+        keeps the journal in memory only (tests, ad-hoc runs).
+    """
+
+    def __init__(self, jsonl_path: str | os.PathLike | None = None) -> None:
         self._events: list[Incident] = []
         self._lock = threading.Lock()
+        self._jsonl_path: str | None = None
+        self._jsonl = None
+        if jsonl_path is not None:
+            self.attach_jsonl(jsonl_path)
+
+    # ------------------------------------------------------------------
+    # crash-safe JSONL sink
+    # ------------------------------------------------------------------
+    @property
+    def jsonl_path(self) -> str | None:
+        """Path of the attached append-line journal (or ``None``)."""
+        return self._jsonl_path
+
+    def attach_jsonl(self, path: str | os.PathLike) -> None:
+        """Mirror every future event into ``path`` (append, flush-per-record)."""
+        with self._lock:
+            if self._jsonl is not None:
+                self._jsonl.close()
+            self._jsonl_path = os.fspath(path)
+            self._jsonl = open(self._jsonl_path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        """Close the JSONL sink (idempotent; the in-memory journal stays)."""
+        with self._lock:
+            if self._jsonl is not None:
+                self._jsonl.close()
+                self._jsonl = None
 
     def record(self, kind: str, step: int = -1, **detail) -> Incident:
-        """Append one event; safe to call from worker threads."""
+        """Append one event; safe to call from worker threads.
+
+        With a JSONL sink attached the event line is written and
+        flushed before returning, so a process killed right after the
+        triggering fault still leaves this record readable on disk.
+        """
         with self._lock:
             event = Incident(
                 seq=len(self._events),
@@ -78,8 +153,45 @@ class IncidentLog:
                 detail=detail,
             )
             self._events.append(event)
+            if self._jsonl is not None:
+                self._jsonl.write(json.dumps(event.to_dict()) + "\n")
+                self._jsonl.flush()
+                os.fsync(self._jsonl.fileno())
         return event
 
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "IncidentLog":
+        """Rebuild a log from a JSONL journal written by a (dead) run.
+
+        A torn final line — the process was killed mid-append — is
+        skipped, so the readable tail of a crashed worker's journal
+        always loads.
+        """
+        log = cls()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a mid-append kill
+                with log._lock:
+                    log._events.append(
+                        Incident(
+                            seq=len(log._events),
+                            kind=str(data.get("kind", "unknown")),
+                            step=int(data.get("step", -1)),
+                            wall_time=float(data.get("wall_time", 0.0)),
+                            detail=dict(data.get("detail", {})),
+                        )
+                    )
+        return log
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     @property
     def events(self) -> list[Incident]:
         """Snapshot of all events in sequence order."""

@@ -40,6 +40,7 @@ from repro.errors import (
     StabilityError,
     WorkerError,
 )
+from repro.io.checkpoint import rotate_checkpoints
 from repro.resilience.faults import FaultInjector
 from repro.resilience.incident import IncidentLog
 
@@ -150,7 +151,12 @@ class ResilientRunner:
         self.config = config
         self.workdir = os.fspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
-        self.incidents = IncidentLog()
+        # Crash-safe journal: every record is an appended, flushed JSON
+        # line, so a killed worker leaves a readable tail on disk (the
+        # atomic incidents.json snapshot is still written on success).
+        self.incidents = IncidentLog(
+            jsonl_path=os.path.join(self.workdir, "incidents.jsonl")
+        )
         self.fault_injector = fault_injector
         self.invariants = invariants
         self.telemetry = telemetry
@@ -181,12 +187,9 @@ class ResilientRunner:
         self._checkpoints = [(p, s) for p, s in self._checkpoints if s != step]
         self._checkpoints.append((path, step))
         self._record("checkpoint_saved", step=step, path=path)
-        while len(self._checkpoints) > self.policy.keep_checkpoints:
-            old_path, old_step = self._checkpoints.pop(0)
-            try:
-                os.unlink(old_path)
-            except OSError:
-                pass
+        self._checkpoints = rotate_checkpoints(
+            self._checkpoints, self.policy.keep_checkpoints
+        )
 
     def _attach_invariants(self, sim: Simulation) -> Simulation:
         """Attach the invariant suite, rebinding baselines to this state."""

@@ -35,6 +35,8 @@ __all__ = [
     "DIGEST_DECIMALS",
     "default_golden_dir",
     "state_stats",
+    "state_arrays",
+    "fields_digest",
     "state_digest",
     "compute_baseline",
     "write_baselines",
@@ -141,18 +143,29 @@ def state_stats(sim: Simulation) -> dict[str, float]:
     return stats
 
 
-def state_digest(sim: Simulation, decimals: int = DIGEST_DECIMALS) -> str:
-    """SHA-256 over every rounded state array (order-independent keys)."""
-    fluid = sim.fluid
+def state_arrays(fluid, structure=None) -> dict[str, np.ndarray]:
+    """The named state arrays a digest covers, for any gathered state."""
     arrays: dict[str, np.ndarray] = {
         name: getattr(fluid, name)
         for name in ("df", "density", "velocity", "velocity_shifted", "force")
     }
-    structure = sim.structure
     if structure is not None:
         for si, sheet in enumerate(structure.sheets):
             arrays[f"sheet{si}_positions"] = sheet.positions
             arrays[f"sheet{si}_velocity"] = sheet.velocity
+    return arrays
+
+
+def fields_digest(fluid, structure=None, decimals: int = DIGEST_DECIMALS) -> str:
+    """SHA-256 over a gathered ``(fluid, structure)`` state's rounded arrays.
+
+    Works on any :class:`~repro.core.lbm.fields.FluidGrid`-shaped state
+    — in particular the final states carried by the batch scheduler's
+    :class:`~repro.batch.scheduler.BatchResult`, which is how the chaos
+    harness pins a faulted run's survivors to the fault-free golden
+    digests.
+    """
+    arrays = state_arrays(fluid, structure)
     digest = hashlib.sha256()
     for key in sorted(arrays):
         arr = np.round(np.ascontiguousarray(arrays[key], dtype=np.float64), decimals)
@@ -162,6 +175,11 @@ def state_digest(sim: Simulation, decimals: int = DIGEST_DECIMALS) -> str:
         digest.update(str(arr.shape).encode())
         digest.update(arr.tobytes())
     return digest.hexdigest()
+
+
+def state_digest(sim: Simulation, decimals: int = DIGEST_DECIMALS) -> str:
+    """SHA-256 over every rounded state array (order-independent keys)."""
+    return fields_digest(sim.fluid, sim.structure, decimals=decimals)
 
 
 def compute_baseline(name: str, case: VerifyCase, solver: str = "sequential") -> dict:

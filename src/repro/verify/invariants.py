@@ -358,6 +358,25 @@ class InvariantSuite:
             checks.append(FiberArcLength(max_ratio=max_stretch))
         return cls(checks, every=every)
 
+    @classmethod
+    def slot_checkers(
+        cls,
+        config=None,
+        positivity_floor: float = -1e-6,
+        max_stretch: float = 4.0,
+    ) -> list[Invariant]:
+        """Fresh checker instances for guarding one batch slot.
+
+        The batched solver's :class:`~repro.batch.guard.SlotGuard` runs
+        health sentinels per slot, so every slot needs its *own*
+        stateful checker instances (conserved-quantity baselines are
+        per simulation).  This is the same config-gated set as
+        :meth:`default`, built fresh on every call.
+        """
+        return cls.default(
+            config, positivity_floor=positivity_floor, max_stretch=max_stretch
+        ).invariants
+
     # ------------------------------------------------------------------
     # global per-step checking
     # ------------------------------------------------------------------

@@ -123,3 +123,39 @@ class TestSimulationConfig:
         built = config.build_boundaries()
         assert len(built) == 2
         assert all(isinstance(b, BounceBackWall) for b in built)
+
+
+class TestSerialization:
+    def test_round_trip_through_json(self):
+        import json
+
+        config = SimulationConfig(
+            fluid_shape=(12, 8, 8),
+            viscosity=0.1,
+            collision_operator="trt",
+            delta_kind="3point",
+            external_force=(1e-5, 0.0, 0.0),
+            structure=StructureConfig(
+                kind="flat_sheet", num_fibers=4, nodes_per_fiber=5
+            ),
+            boundaries=(
+                BoundaryConfig("bounce_back", "y", "low"),
+                BoundaryConfig(
+                    "moving_wall", "y", "high", wall_velocity=(0.01, 0.0, 0.0)
+                ),
+            ),
+        )
+        data = json.loads(json.dumps(config.to_dict()))
+        restored = SimulationConfig.from_dict(data)
+        assert restored == config
+        assert restored.effective_tau == config.effective_tau
+        assert restored.to_dict() == config.to_dict()
+
+    def test_round_trip_preserves_retry_relevant_fields(self):
+        from dataclasses import replace
+
+        config = SimulationConfig(fluid_shape=(8, 8, 8), tau=0.8)
+        damped = replace(config, tau=1.0, viscosity=None)
+        restored = SimulationConfig.from_dict(damped.to_dict())
+        assert restored.effective_tau == 1.0
+        assert restored.structure == damped.structure
