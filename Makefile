@@ -19,7 +19,12 @@ BENCH_GATE_KEYS ?= '*.step_seconds' '*alloc*_bytes' '*speedup*' '*_per_second'
 BENCH_BATCH_BASELINE ?= benchmarks/baselines/BENCH_batch.json
 BENCH_BATCH_GATE_ARGS ?= --steps 6 --warmup 2 --batch-sizes 1 4 16
 
-.PHONY: install test test-quick test-faults test-chaos test-verify verify-physics bench bench-fused bench-batch bench-gate trace-example examples report clean
+# in-place AA-pattern benchmark gate: the lattice footprint ratio is
+# structural (2.0) and the timing keys follow the fused-gate tolerance.
+BENCH_INPLACE_BASELINE ?= benchmarks/baselines/BENCH_inplace.json
+BENCH_INPLACE_GATE_ARGS ?= --scale 8 --steps 3 --warmup 2
+
+.PHONY: install test test-quick test-faults test-chaos test-verify verify-physics bench bench-fused bench-inplace bench-batch bench-gate trace-example examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -70,6 +75,13 @@ bench:
 bench-fused:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fused_kernels.py $(BENCH_FUSED_ARGS)
 
+# Single-lattice AA-pattern benchmark (variant='inplace' vs fused);
+# writes benchmarks/results/BENCH_inplace.json (whole-step wall time,
+# allocation profile, and the fused/inplace lattice footprint ratio).
+# Override the run size with e.g. BENCH_INPLACE_ARGS="--scale 8".
+bench-inplace:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_inplace.py $(BENCH_INPLACE_ARGS)
+
 # Batched multi-simulation benchmark (solo loop vs vectorized batch,
 # plus the continuous-batching scheduler); writes
 # benchmarks/results/BENCH_batch.json.  Override the run size with e.g.
@@ -93,6 +105,10 @@ bench-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_batch_throughput.py $(BENCH_BATCH_GATE_ARGS)
 	PYTHONPATH=src $(PYTHON) -m repro.observe compare \
 		$(BENCH_BATCH_BASELINE) benchmarks/results/BENCH_batch.json \
+		--tol $(BENCH_GATE_TOL) --keys $(BENCH_GATE_KEYS)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_inplace.py $(BENCH_INPLACE_GATE_ARGS)
+	PYTHONPATH=src $(PYTHON) -m repro.observe compare \
+		$(BENCH_INPLACE_BASELINE) benchmarks/results/BENCH_inplace.json \
 		--tol $(BENCH_GATE_TOL) --keys $(BENCH_GATE_KEYS)
 
 # Chrome-trace demo: traces a small sequential + cube run and writes

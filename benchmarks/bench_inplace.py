@@ -1,0 +1,92 @@
+"""Benchmark: single-lattice AA-pattern solver vs the fused hot path.
+
+Measures the library's ``variant="inplace"`` solver (one lattice, even
+collide-and-swap steps alternating with odd pull-swap streaming steps,
+no ``df_new`` buffer, no copy kernel) against the two-lattice fused
+variant on the Table-I profiling workload, and emits the machine-
+readable record ``benchmarks/results/BENCH_inplace.json``.
+
+Two entry points:
+
+* ``make bench-inplace`` (this file as a script) — full run on the
+  Table-I grid (62 x 32 x 32), prints the table, writes the JSON;
+* ``pytest benchmarks/ --benchmark-only`` — pytest-benchmark timing of
+  one whole in-place step on a smaller grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.api import Simulation
+from repro.experiments.bench_inplace import render_bench_inplace, run_bench_inplace
+from repro.experiments.workloads import scaled_profiling_config
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def write_bench_inplace(result: dict, path: pathlib.Path) -> None:
+    """Persist the benchmark record as pretty-printed JSON."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_whole_step_inplace(benchmark):
+    """Time one full in-place step on a scale-4 grid."""
+    sim = Simulation(scaled_profiling_config(scale=4, solver="inplace"))
+    try:
+        sim.run(2)  # warmup: arena, shift table, stencil cache
+        benchmark(sim.run, 2)  # one even + one odd phase
+    finally:
+        sim.close()
+
+
+def test_bench_inplace_json(emit, results_dir):
+    """Emit BENCH_inplace.json from a reduced run and sanity-check it."""
+    result = run_bench_inplace(scale=4, steps=4, warmup=2)
+    emit("bench_inplace", render_bench_inplace(result))
+    write_bench_inplace(result, results_dir / "BENCH_inplace.json")
+    # The structural claim this benchmark exists for: the single lattice
+    # carries half the distribution-buffer footprint of the fused pair.
+    assert result["lattice_peak_ratio"] >= 1.8
+    fluid_only = result["fluid_only"]["inplace"]
+    assert fluid_only["alloc_peak_bytes"] < fluid_only["scalar_field_bytes"]
+
+
+# ----------------------------------------------------------------------
+# command line (make bench-inplace)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_inplace.py",
+        description="fused-vs-inplace benchmark; writes BENCH_inplace.json",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=2,
+        help="grid divisor of the Table-I workload (2 = the 62x32x32 grid)",
+    )
+    parser.add_argument("--steps", type=int, default=10, help="timed steps")
+    parser.add_argument("--warmup", type=int, default=3, help="warmup steps")
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=RESULTS_DIR / "BENCH_inplace.json",
+        help="JSON output path",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_bench_inplace(scale=args.scale, steps=args.steps, warmup=args.warmup)
+    print(render_bench_inplace(result))
+    write_bench_inplace(result, args.output)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,7 @@ class Simulation:
             config.fluid_shape,
             tau=config.effective_tau,
             collision_operator=config.collision_operator,
+            single_lattice=config.solver == "inplace",
         )
         if initial_fluid is not None:
             if tuple(initial_fluid.shape) != tuple(config.fluid_shape):
@@ -107,8 +108,37 @@ class Simulation:
                     f"restored fluid shape {initial_fluid.shape} does not match "
                     f"configured shape {config.fluid_shape}"
                 )
+            # An inplace-variant checkpoint may carry the raw AA-encoded
+            # lattice (aa_phase 1, streaming deferred mid-cycle).  An
+            # inplace reader adopts it verbatim plus the phase flag; any
+            # other variant decodes to the natural layout first, which
+            # is exactly the sequential post-step state.
+            restored_phase = int(getattr(initial_fluid, "aa_phase", 0))
+            src_df = initial_fluid.df
+            if restored_phase and config.solver != "inplace":
+                from repro.core.lbm.inplace import aa_decode
+
+                src_df = aa_decode(initial_fluid.df)
+                restored_phase = 0
             for name in _FLUID_STATE_FIELDS:
+                if name == "df":
+                    self._fluid.df[...] = src_df
+                    continue
+                if name == "df_new":
+                    if self._fluid.df_new is None:
+                        continue
+                    src_new = getattr(initial_fluid, "df_new", None)
+                    if src_new is None or src_df is not initial_fluid.df:
+                        # Single-lattice writer (or decoded state): seed
+                        # the second buffer with the natural lattice, as
+                        # after a sequential step.
+                        self._fluid.df_new[...] = src_df
+                    else:
+                        self._fluid.df_new[...] = src_new
+                    continue
                 getattr(self._fluid, name)[...] = getattr(initial_fluid, name)
+            if config.solver == "inplace":
+                self._fluid.aa_phase = restored_phase
         self._initial_step = int(initial_step)
         self._cubes = None
         self._distributed = None
@@ -128,6 +158,18 @@ class Simulation:
             from repro.core.fused_solver import FusedLBMIBSolver
 
             self._solver = FusedLBMIBSolver(
+                self._fluid,
+                self._built_structure,
+                delta=self._delta,
+                boundaries=self._boundaries,
+                dt=config.dt,
+                external_force=config.external_force,
+                fault_hook=self._hook_for(self._fluid),
+            )
+        elif config.solver == "inplace":
+            from repro.core.inplace_solver import InplaceLBMIBSolver
+
+            self._solver = InplaceLBMIBSolver(
                 self._fluid,
                 self._built_structure,
                 delta=self._delta,
@@ -367,11 +409,15 @@ class Simulation:
 
         The state is gathered into the global layout first, so a
         checkpoint written by one solver variant restores into any
-        other — the fallback path the resilient runner relies on.
+        other — the fallback path the resilient runner relies on.  The
+        in-place variant saves its raw single lattice plus the
+        ``aa_phase`` flag instead (no ``df_new`` entry); readers decode
+        mid-cycle checkpoints to the natural layout on restore.
         """
         from repro.io.checkpoint import save_checkpoint
 
-        save_checkpoint(path, self.fluid, self.structure, time_step=self.time_step)
+        fluid = self._fluid if self._fluid.single_lattice else self.fluid
+        save_checkpoint(path, fluid, self.structure, time_step=self.time_step)
 
     @classmethod
     def from_checkpoint(
@@ -429,6 +475,12 @@ class Simulation:
             return self._cubes.to_fluid_grid()
         if self._batch is not None:
             return self._batch.view(0)
+        if self._fluid.single_lattice:
+            from repro.core.lbm.inplace import decoded_fluid
+
+            # Live grid at phase 0 (the single lattice is natural); a
+            # decoded two-lattice copy mid AA-cycle.
+            return decoded_fluid(self._fluid)
         return self._fluid
 
     @property

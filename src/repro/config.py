@@ -146,7 +146,9 @@ class SimulationConfig:
     solver:
         ``"sequential"``, ``"openmp"``, ``"cube"`` (the paper's three
         programs), ``"fused"`` (single-core memory-aware fused kernels
-        with a zero-allocation hot path), ``"async_cube"``
+        with a zero-allocation hot path), ``"inplace"`` (single-lattice
+        AA-pattern streaming: the fused kernels without ``df_new``,
+        halving the lattice footprint), ``"async_cube"``
         (task-scheduled, barrier-free), ``"distributed"``
         (message-passing rank slabs), ``"hybrid"`` (distributed
         ranks with cube-centric local layout), or ``"batched"``
@@ -188,6 +190,7 @@ class SimulationConfig:
     solver: Literal[
         "sequential",
         "fused",
+        "inplace",
         "batched",
         "openmp",
         "cube",
@@ -217,6 +220,7 @@ class SimulationConfig:
         if self.solver not in (
             "sequential",
             "fused",
+            "inplace",
             "batched",
             "openmp",
             "cube",

@@ -84,8 +84,10 @@ def update_velocity_fields(fluid: FluidGrid) -> None:
     )
 
 
-def update_velocity_fields_inplace(fluid: FluidGrid, momentum: np.ndarray) -> None:
-    """Allocation-free kernel 7 used by the fused solver.
+def update_velocity_fields_inplace(
+    fluid: FluidGrid, momentum: np.ndarray, df: np.ndarray | None = None
+) -> None:
+    """Allocation-free kernel 7 used by the fused and in-place solvers.
 
     Numerically identical to :func:`update_velocity_fields` (the force
     term is added to the momentum instead of the other way round —
@@ -97,9 +99,16 @@ def update_velocity_fields_inplace(fluid: FluidGrid, momentum: np.ndarray) -> No
     momentum:
         Scratch buffer ``(3, Nx, Ny, Nz)`` receiving ``sum_i e_i f_i``
         (typically ``fluid.arena.vector("momentum")``).
+    df:
+        Distribution buffer to take moments of.  Defaults to
+        ``fluid.df_new`` (the fused solver's post-streaming buffer);
+        the single-lattice in-place solver passes ``fluid.df`` after an
+        odd step, when the freshly streamed state lives there.
     """
-    macroscopic.compute_density(fluid.df_new, out=fluid.density)
-    macroscopic.compute_momentum_density(fluid.df_new, out=momentum)
+    if df is None:
+        df = fluid.df_new
+    macroscopic.compute_density(df, out=fluid.density)
+    macroscopic.compute_momentum_density(df, out=momentum)
     rho = fluid.density
 
     shifted = fluid.velocity_shifted

@@ -105,12 +105,41 @@ class Boundary:
         """
         self.apply(None, df_new)  # type: ignore[arg-type]
 
+    # -- in-place AA-pattern protocol ----------------------------------
+    def apply_aa_even(
+        self, post_faces: dict[int, np.ndarray], df: np.ndarray
+    ) -> None:
+        """Repair an *AA-encoded* lattice after an even in-place step.
+
+        After :func:`repro.core.lbm.inplace.aa_even_collide_swap` the
+        streaming is deferred: the virtual post-streaming value
+        ``f_i(x, t+1)`` lives at storage location
+        ``df[opp(i)](x - e_i)`` (periodic wrap).  A repair that the
+        two-lattice path writes to ``df_new[i]`` on this face must
+        therefore land on the *opposite* face of the axis, tangentially
+        shifted by ``-e_i`` — a pure index permutation, so the repaired
+        virtual state is bit-identical to the sequential one.
+
+        Boundary types that predate the in-place variant fail loudly
+        here instead of silently skipping the repair.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the AA-pattern "
+            "even-phase repair; variant='inplace' cannot use it"
+        )
+
 
 @dataclass
 class PeriodicBoundary(Boundary):
     """Periodic face; streaming already handled it, so ``apply`` is a no-op."""
 
     def apply(self, df_post: np.ndarray, df_new: np.ndarray) -> None:  # noqa: D102
+        return
+
+    def apply_aa_even(
+        self, post_faces: dict[int, np.ndarray], df: np.ndarray
+    ) -> None:
+        """The deferred wrap of the odd step's pull reads is periodic too."""
         return
 
 
@@ -164,6 +193,40 @@ class BounceBackWall(Boundary):
             if moving:
                 target += 6.0 * W[i] * self.wall_density * float(E[i] @ u_w)
 
+    def apply_aa_even(
+        self, post_faces: dict[int, np.ndarray], df: np.ndarray
+    ) -> None:
+        """Bounce back through the AA encoding (even-phase repair).
+
+        The reflected value for incoming direction ``i`` at boundary
+        cell ``x_b`` is the captured post-collision face of ``opp(i)``
+        plus the scalar Ladd correction — same arithmetic as
+        :meth:`apply_fused`.  It is then written where the virtual
+        ``f_i(x_b, t+1)`` is stored: slot ``opp(i)`` on the face layer
+        ``x_axis - e_i`` (wrapping to the opposite face of the axis),
+        with the face rolled by the tangential components of ``-e_i``.
+        Rolls and the layer move are permutations, so the repaired
+        virtual state matches the two-lattice repair bit for bit.
+        """
+        shape = df.shape[1:]
+        n = shape[self.axis]
+        idx = face_index(self.axis, self.side, shape)
+        boundary_layer = 0 if self.side == "low" else n - 1
+        face_axes = tuple(a for a in range(3) if a != self.axis)
+        u_w = np.asarray(self.wall_velocity, dtype=DTYPE)
+        moving = bool(np.any(u_w != 0.0))
+        for i in self.incoming_directions():
+            e = E[i]
+            value = post_faces[int(OPPOSITE[i])].copy()
+            if moving:
+                value += 6.0 * W[i] * self.wall_density * float(E[i] @ u_w)
+            for pos, a in enumerate(face_axes):
+                if e[a]:
+                    value = np.roll(value, -int(e[a]), axis=pos)
+            target = list(idx)
+            target[self.axis] = (boundary_layer - int(e[self.axis])) % n
+            df[(int(OPPOSITE[i]),) + tuple(target)] = value
+
 
 @dataclass
 class OutflowBoundary(Boundary):
@@ -186,6 +249,38 @@ class OutflowBoundary(Boundary):
         interior_idx = tuple(interior)
         for i in self.incoming_directions():
             df_new[(i,) + boundary_idx] = df_new[(i,) + interior_idx]
+
+    def apply_aa_even(
+        self, post_faces: dict[int, np.ndarray], df: np.ndarray
+    ) -> None:
+        """Zero-gradient outflow through the AA encoding.
+
+        Copying the virtual ``f_i`` from the interior layer to the
+        boundary layer shifts *both* storage locations by the same
+        ``-e_i``, so the tangential rolls cancel and the repair is a
+        direct storage layer copy in slot ``opp(i)``: from layer
+        ``interior - e_axis`` to layer ``boundary - e_axis`` (wrapped).
+        Reading the live lattice (not the captured faces) sees repairs
+        already applied by earlier boundaries, exactly like the
+        two-lattice path's reads of ``df_new``.
+        """
+        shape = df.shape[1:]
+        n = shape[self.axis]
+        if n < 2:
+            raise ConfigurationError(
+                "outflow boundary needs at least two layers along its axis"
+            )
+        boundary_layer = 0 if self.side == "low" else n - 1
+        interior_layer = 1 if self.side == "low" else n - 2
+        template = list(face_index(self.axis, self.side, shape))
+        for i in self.incoming_directions():
+            s = int(E[i][self.axis])
+            target = list(template)
+            target[self.axis] = (boundary_layer - s) % n
+            source = list(template)
+            source[self.axis] = (interior_layer - s) % n
+            slot = int(OPPOSITE[i])
+            df[(slot,) + tuple(target)] = df[(slot,) + tuple(source)]
 
 
 def validate_boundaries(boundaries: list[Boundary]) -> None:

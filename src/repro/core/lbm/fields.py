@@ -69,8 +69,19 @@ class FluidGrid:
     #: The default 3/16 makes straight halfway bounce-back walls exact
     #: for parabolic (Poiseuille) profiles.
     trt_magic: float = 3.0 / 16.0
+    #: ``True`` allocates only ``df`` (``df_new`` is ``None``): the
+    #: storage layout of the in-place AA-pattern solver
+    #: (:mod:`repro.core.lbm.inplace`), which streams within a single
+    #: lattice and never needs the second buffer.
+    single_lattice: bool = False
+    #: AA-pattern storage phase: 0 = ``df`` holds the natural
+    #: (post-streaming) layout, 1 = ``df`` holds the AA-encoded layout
+    #: written by an even step (post-collision values in the *opposite*
+    #: direction slot, streaming deferred).  Always 0 for two-lattice
+    #: grids.
+    aa_phase: int = field(default=0, init=False, repr=False)
     df: np.ndarray = field(init=False, repr=False)
-    df_new: np.ndarray = field(init=False, repr=False)
+    df_new: np.ndarray | None = field(init=False, repr=False)
     density: np.ndarray = field(init=False, repr=False)
     velocity: np.ndarray = field(init=False, repr=False)
     velocity_shifted: np.ndarray = field(init=False, repr=False)
@@ -96,7 +107,7 @@ class FluidGrid:
         self.shape = shape
         nx, ny, nz = shape
         self.df = np.empty((Q, nx, ny, nz), dtype=DTYPE)
-        self.df_new = np.empty((Q, nx, ny, nz), dtype=DTYPE)
+        self.df_new = None if self.single_lattice else np.empty((Q, nx, ny, nz), dtype=DTYPE)
         self.density = np.full((nx, ny, nz), RHO0, dtype=DTYPE)
         self.velocity = np.zeros((3, nx, ny, nz), dtype=DTYPE)
         self.velocity_shifted = np.zeros((3, nx, ny, nz), dtype=DTYPE)
@@ -129,7 +140,9 @@ class FluidGrid:
             self.velocity[...] = np.asarray(velocity, dtype=DTYPE)
         self.velocity_shifted[...] = self.velocity
         equilibrium.equilibrium(self.density, self.velocity, out=self.df)
-        self.df_new[...] = self.df
+        self.aa_phase = 0
+        if self.df_new is not None:
+            self.df_new[...] = self.df
 
     # ------------------------------------------------------------------
     # hot-path helpers
@@ -157,6 +170,11 @@ class FluidGrid:
         as the present buffer for free.  ``df_new`` then holds the
         *previous* step's distributions (finite, but stale).
         """
+        if self.df_new is None:
+            raise ConfigurationError(
+                "single-lattice grid has no df_new to swap; the in-place "
+                "solver streams within df and never calls this"
+            )
         self.df, self.df_new = self.df_new, self.df
 
     # ------------------------------------------------------------------
@@ -187,7 +205,7 @@ class FluidGrid:
         """Total bytes held by the field arrays (both buffers included)."""
         return (
             self.df.nbytes
-            + self.df_new.nbytes
+            + (0 if self.df_new is None else self.df_new.nbytes)
             + self.density.nbytes
             + self.velocity.nbytes
             + self.velocity_shifted.nbytes
@@ -211,9 +229,12 @@ class FluidGrid:
             tau=self.tau,
             collision_operator=self.collision_operator,
             trt_magic=self.trt_magic,
+            single_lattice=self.single_lattice,
         )
+        clone.aa_phase = self.aa_phase
         clone.df[...] = self.df
-        clone.df_new[...] = self.df_new
+        if self.df_new is not None:
+            clone.df_new[...] = self.df_new
         clone.density[...] = self.density
         clone.velocity[...] = self.velocity
         clone.velocity_shifted[...] = self.velocity_shifted
@@ -225,7 +246,11 @@ class FluidGrid:
         return (
             self.shape == other.shape
             and np.allclose(self.df, other.df, rtol=rtol, atol=atol)
-            and np.allclose(self.df_new, other.df_new, rtol=rtol, atol=atol)
+            and (
+                self.df_new is None
+                or other.df_new is None
+                or np.allclose(self.df_new, other.df_new, rtol=rtol, atol=atol)
+            )
             and np.allclose(self.density, other.density, rtol=rtol, atol=atol)
             and np.allclose(self.velocity, other.velocity, rtol=rtol, atol=atol)
             and np.allclose(self.velocity_shifted, other.velocity_shifted, rtol=rtol, atol=atol)
@@ -238,6 +263,8 @@ class FluidGrid:
 
         for name in ("df", "df_new", "density", "velocity", "velocity_shifted", "force"):
             arr = getattr(self, name)
+            if arr is None:  # single-lattice grid has no df_new
+                continue
             if not np.isfinite(arr).all():
                 raise StabilityError(
                     f"fluid field '{name}' contains non-finite values; "

@@ -60,6 +60,15 @@ def _fused() -> str:
     return render_bench_fused(run_bench_fused(scale=4, steps=5, warmup=2))
 
 
+def _inplace() -> str:
+    from repro.experiments.bench_inplace import (
+        render_bench_inplace,
+        run_bench_inplace,
+    )
+
+    return render_bench_inplace(run_bench_inplace(scale=4, steps=5, warmup=2))
+
+
 def _batch() -> str:
     from repro.experiments.bench_batch import render_bench_batch, run_bench_batch
 
@@ -75,6 +84,7 @@ ARTIFACTS = {
     "fig5": _fig5,
     "fig8": _fig8,
     "fused": _fused,
+    "inplace": _inplace,
     "batch": _batch,
 }
 

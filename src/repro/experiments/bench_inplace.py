@@ -1,0 +1,136 @@
+"""In-place AA-pattern benchmark: the single-lattice solver vs fused.
+
+Not one of the paper's artifacts — this measures the library's own
+``variant="inplace"`` solver (single-lattice AA-pattern streaming: even
+steps collide in place with an opposite-direction register swap, odd
+steps pull-swap their streaming reads, no ``df_new`` buffer and no copy
+kernel) against the two-lattice fused hot path it derives from, on the
+Table-I profiling workload.  Three measurements:
+
+* whole-step and per-kernel wall time for both variants;
+* tracemalloc allocation behaviour of a steady-state step (fluid-only:
+  the in-place path must match the fused path's zero-array-allocation
+  property);
+* the **lattice memory footprint** — the bytes held by distribution
+  buffers, which is the quantity the AA-pattern exists to halve: the
+  fused variant keeps ``df`` + ``df_new`` (two lattices), the in-place
+  variant keeps one.
+
+``python -m repro.experiments inplace`` prints the table;
+``make bench-inplace`` additionally writes ``BENCH_inplace.json``.
+"""
+
+from __future__ import annotations
+
+from repro.core.lbm.fields import FluidGrid
+from repro.experiments.bench_fused import _measure_variant
+from repro.experiments.workloads import scaled_profiling_config
+
+__all__ = ["run_bench_inplace", "render_bench_inplace"]
+
+
+def _lattice_bytes(solver: str, scale: int) -> int:
+    """Bytes held by the distribution buffers of one variant's grid."""
+    config = scaled_profiling_config(scale=scale, solver=solver)
+    fluid = FluidGrid(
+        config.fluid_shape,
+        tau=config.effective_tau,
+        collision_operator=config.collision_operator,
+        single_lattice=solver == "inplace",
+    )
+    total = fluid.df.nbytes
+    if fluid.df_new is not None:
+        total += fluid.df_new.nbytes
+    return total
+
+
+def run_bench_inplace(scale: int = 2, steps: int = 10, warmup: int = 3) -> dict:
+    """The complete ``BENCH_inplace.json`` record.
+
+    ``scale=2`` is the Table-I profiling grid (62 x 32 x 32); CI smoke
+    runs pass a larger ``scale`` for a tiny grid.
+    """
+    fused = _measure_variant("fused", scale, steps, warmup)
+    inplace = _measure_variant("inplace", scale, steps, warmup)
+    fused_lattice = _lattice_bytes("fused", scale)
+    inplace_lattice = _lattice_bytes("inplace", scale)
+    return {
+        "workload": {
+            "scale": scale,
+            "fluid_shape": fused["fluid_shape"],
+            "steps": steps,
+            "warmup": warmup,
+        },
+        "fused": fused,
+        "inplace": inplace,
+        "whole_step_speedup": fused["step_seconds"] / inplace["step_seconds"],
+        "fused_lattice_bytes": fused_lattice,
+        "inplace_lattice_bytes": inplace_lattice,
+        # The headline: distribution-buffer footprint of the two-lattice
+        # layout over the single lattice.  Structurally 2.0 — gated at
+        # >= 1.8 so any reintroduced shadow buffer fails loudly.
+        "lattice_peak_ratio": fused_lattice / inplace_lattice,
+        # Same grid without the immersed sheet: isolates the fluid hot
+        # path, whose in-place variant must allocate nothing at steady
+        # state (like the fused path it replaces).
+        "fluid_only": {
+            "fused": _measure_variant("fused", scale, steps, warmup, fluid_only=True),
+            "inplace": _measure_variant(
+                "inplace", scale, steps, warmup, fluid_only=True
+            ),
+        },
+    }
+
+
+def render_bench_inplace(result: dict) -> str:
+    """Text table of a :func:`run_bench_inplace` record."""
+    fus, inp = result["fused"], result["inplace"]
+    shape = "x".join(str(n) for n in result["workload"]["fluid_shape"])
+    lines = [
+        "Single-lattice AA-pattern (variant='inplace') vs fused",
+        f"  workload: Table-I profile, grid {shape}, "
+        f"{result['workload']['steps']} timed steps",
+        "",
+        f"  {'variant':<12} {'ms/step':>9} {'alloc peak':>12} {'lattice':>12}",
+    ]
+    for rec, lattice in (
+        (fus, result["fused_lattice_bytes"]),
+        (inp, result["inplace_lattice_bytes"]),
+    ):
+        lines.append(
+            f"  {rec['solver']:<12} {rec['step_seconds'] * 1e3:>9.2f} "
+            f"{rec['alloc_peak_bytes']:>10d} B {lattice:>10d} B"
+        )
+    lines.append(
+        f"  lattice footprint ratio (fused/inplace): "
+        f"{result['lattice_peak_ratio']:.2f}x (two lattices -> one)"
+    )
+    lines.append(
+        f"  whole-step speedup (fused/inplace): "
+        f"{result['whole_step_speedup']:.2f}x"
+    )
+    lines.append("")
+    lines.append(
+        "  fluid-only allocation profile (no markers; isolates the fluid "
+        "hot path):"
+    )
+    for rec in (result["fluid_only"]["fused"], result["fluid_only"]["inplace"]):
+        lines.append(
+            f"  {rec['solver']:<12} {rec['step_seconds'] * 1e3:>9.2f} "
+            f"{rec['alloc_peak_bytes']:>10d} B"
+        )
+    lines.append(
+        f"  (one scalar field = {inp['scalar_field_bytes']} B; an alloc "
+        "peak below that means zero array allocations per step)"
+    )
+    lines.append("")
+    lines.append("  per-kernel ms/step:")
+    names = list(fus["per_kernel_seconds"]) + [
+        n for n in inp["per_kernel_seconds"] if n not in fus["per_kernel_seconds"]
+    ]
+    for name in names:
+        a = fus["per_kernel_seconds"].get(name)
+        b = inp["per_kernel_seconds"].get(name)
+        fmt = lambda v: f"{v * 1e3:8.3f}" if v is not None else "       -"
+        lines.append(f"    {name:<38} fused {fmt(a)}   inplace {fmt(b)}")
+    return "\n".join(lines)

@@ -82,14 +82,18 @@ def save_checkpoint(
         "shape": np.array(fluid.shape),
         "tau": np.array(fluid.tau),
         "collision_operator": np.array(fluid.collision_operator),
+        "aa_phase": np.array(int(getattr(fluid, "aa_phase", 0))),
         "df": fluid.df,
-        "df_new": fluid.df_new,
         "density": fluid.density,
         "velocity": fluid.velocity,
         "velocity_shifted": fluid.velocity_shifted,
         "force": fluid.force,
         "num_sheets": np.array(0 if structure is None else len(structure.sheets)),
     }
+    if fluid.df_new is not None:
+        # Single-lattice (in-place AA) grids have no second buffer; the
+        # entry is simply absent and load_checkpoint reseeds it.
+        payload["df_new"] = fluid.df_new
     if structure is not None:
         for i, s in enumerate(structure.sheets):
             payload[f"sheet{i}_positions"] = s.positions
@@ -196,7 +200,14 @@ def load_checkpoint(
             collision_operator=operator,
         )
         fluid.df[...] = arrays["df"]
-        fluid.df_new[...] = arrays["df_new"]
+        if "df_new" in arrays:
+            fluid.df_new[...] = arrays["df_new"]
+        else:
+            # Single-lattice checkpoint: seed the second buffer from the
+            # (possibly AA-encoded) lattice; consumers that need the
+            # natural layout decode via the aa_phase flag below.
+            fluid.df_new[...] = arrays["df"]
+        fluid.aa_phase = int(arrays["aa_phase"]) if "aa_phase" in arrays else 0
         fluid.density[...] = arrays["density"]
         fluid.velocity[...] = arrays["velocity"]
         fluid.velocity_shifted[...] = arrays["velocity_shifted"]

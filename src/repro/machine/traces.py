@@ -35,6 +35,21 @@ offset field             doubles
 44     force             3
 47     density           1
 ====== ================= =======
+
+The in-place (AA-pattern) solver stores a *single* lattice, shrinking
+the node record to 29 doubles (232 bytes) and dropping the copy kernel
+entirely; :func:`inplace_step_addresses` replays one of its two
+alternating phases:
+
+====== ================= =======
+offset field             doubles
+====== ================= =======
+0      df                19
+19     velocity_shifted  3
+22     velocity          3
+25     force             3
+28     density           1
+====== ================= =======
 """
 
 from __future__ import annotations
@@ -47,8 +62,11 @@ from repro.errors import MachineModelError
 __all__ = [
     "RECORD_DOUBLES",
     "RECORD_BYTES",
+    "INPLACE_RECORD_DOUBLES",
+    "INPLACE_RECORD_BYTES",
     "global_step_addresses",
     "cube_step_addresses",
+    "inplace_step_addresses",
 ]
 
 _D = 8  # bytes per double
@@ -58,12 +76,24 @@ RECORD_DOUBLES = 48
 #: Bytes per node record.
 RECORD_BYTES = RECORD_DOUBLES * _D
 
+#: Doubles per node record in the single-lattice (AA-pattern) layout.
+INPLACE_RECORD_DOUBLES = 29
+#: Bytes per node record in the single-lattice layout.
+INPLACE_RECORD_BYTES = INPLACE_RECORD_DOUBLES * _D
+
 _OFF_DF = 0
 _OFF_DF_NEW = 19
 _OFF_USTAR = 38
 _OFF_U = 41
 _OFF_FORCE = 44
 _OFF_RHO = 47
+
+# Offsets within the 29-double in-place record.
+_IP_OFF_DF = 0
+_IP_OFF_USTAR = 19
+_IP_OFF_U = 22
+_IP_OFF_FORCE = 25
+_IP_OFF_RHO = 28
 
 
 def _interleave(columns: list[np.ndarray]) -> np.ndarray:
@@ -147,6 +177,89 @@ def global_step_addresses(
         nrec = (((xf + ex) % nx) * ny + ((yf + ey) % ny)) * nz + ((zf + ez) % nz)
         neighbor_records.append(nrec)
     return _step_trace(records, neighbor_records)
+
+
+def inplace_step_addresses(
+    shape: tuple[int, int, int],
+    x_start: int = 0,
+    x_stop: int | None = None,
+    phase: int = 0,
+) -> np.ndarray:
+    """One thread's addresses for one step of the in-place AA solver.
+
+    The AA-pattern keeps a single lattice, so the step has no copy
+    kernel and no second distribution buffer; each step is one of two
+    alternating phases of the 29-double record layout:
+
+    * ``phase=0`` (even): collision reads/writes the node's own ``df``
+      slots (the opposite-direction swap stays within the record), then
+      the velocity update *gathers* — direction ``i`` of the virtual
+      post-stream state lives in slot ``opp(i)`` of the neighbour at
+      ``x - e_i``.
+    * ``phase=1`` (odd): collision gathers its inputs from the
+      neighbours at ``x - e_i``, pushes results to slot ``i`` of the
+      neighbours at ``x + e_i``, and the velocity update reads the
+      node's own (now naturally laid out) record.
+    """
+    nx, ny, nz = shape
+    if x_stop is None:
+        x_stop = nx
+    if not 0 <= x_start < x_stop <= nx:
+        raise MachineModelError(f"bad slab [{x_start}, {x_stop}) for Nx={nx}")
+    if phase not in (0, 1):
+        raise MachineModelError(f"AA phase must be 0 or 1, got {phase}")
+
+    x, y, z = np.meshgrid(
+        np.arange(x_start, x_stop), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    xf, yf, zf = (a.reshape(-1).astype(np.int64) for a in (x, y, z))
+    records = (xf * ny + yf) * nz + zf
+
+    def shifted_records(sign: int) -> list[np.ndarray]:
+        out = []
+        for i in range(Q):
+            ex, ey, ez = (sign * int(c) for c in E[i])
+            nrec = (((xf + ex) % nx) * ny + ((yf + ey) % ny)) * nz + ((zf + ez) % nz)
+            out.append(nrec)
+        return out
+
+    base = records * INPLACE_RECORD_BYTES
+    parts: list[np.ndarray] = []
+    if phase == 0:
+        # even collision: read df (19) + u* (3), write df in place (19)
+        cols = [base + (_IP_OFF_DF + i) * _D for i in range(Q)]
+        cols += [base + (_IP_OFF_USTAR + c) * _D for c in range(3)]
+        cols += [base + (_IP_OFF_DF + i) * _D for i in range(Q)]
+        parts.append(_interleave(cols))
+        # even update: gather df from the x - e_i neighbours + force,
+        # write rho/u/u*
+        gather = shifted_records(-1)
+        cols = [
+            gather[i] * INPLACE_RECORD_BYTES + (_IP_OFF_DF + i) * _D for i in range(Q)
+        ]
+        cols += [base + (_IP_OFF_FORCE + c) * _D for c in range(3)]
+        cols += [base + _IP_OFF_RHO * _D]
+        cols += [base + (_IP_OFF_U + c) * _D for c in range(3)]
+        cols += [base + (_IP_OFF_USTAR + c) * _D for c in range(3)]
+        parts.append(_interleave(cols))
+    else:
+        # odd collision: gather df from x - e_i, read u*, push to x + e_i
+        gather = shifted_records(-1)
+        push = shifted_records(+1)
+        cols = []
+        for i in range(Q):
+            cols.append(gather[i] * INPLACE_RECORD_BYTES + (_IP_OFF_DF + i) * _D)
+            cols.append(push[i] * INPLACE_RECORD_BYTES + (_IP_OFF_DF + i) * _D)
+        cols += [base + (_IP_OFF_USTAR + c) * _D for c in range(3)]
+        parts.append(_interleave(cols))
+        # odd update: the lattice is back in natural layout — local reads
+        cols = [base + (_IP_OFF_DF + i) * _D for i in range(Q)]
+        cols += [base + (_IP_OFF_FORCE + c) * _D for c in range(3)]
+        cols += [base + _IP_OFF_RHO * _D]
+        cols += [base + (_IP_OFF_U + c) * _D for c in range(3)]
+        cols += [base + (_IP_OFF_USTAR + c) * _D for c in range(3)]
+        parts.append(_interleave(cols))
+    return np.concatenate(parts)
 
 
 def cube_step_addresses(

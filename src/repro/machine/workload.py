@@ -185,13 +185,27 @@ def step_scalar_seconds(
     return out
 
 
+#: Kernels the single-lattice AA-pattern step does not execute at all:
+#: streaming is fused into collision as in-place register/neighbour
+#: traffic already accounted to the collision kernel, and the buffer
+#: copy has no second buffer to copy.
+_INPLACE_ELIDED_KERNELS = (
+    "stream_fluid_velocity_distribution",
+    "copy_fluid_velocity_distribution",
+)
+
+
 def step_bytes(fluid_nodes: int, fiber_nodes: int, layout: str = "global") -> float:
     """Total bytes moved per step for a problem size and data layout."""
-    if layout not in ("global", "cube"):
-        raise ValueError(f"layout must be 'global' or 'cube', got {layout!r}")
+    if layout not in ("global", "cube", "inplace"):
+        raise ValueError(
+            f"layout must be 'global', 'cube' or 'inplace', got {layout!r}"
+        )
     total = 0.0
-    for work in KERNEL_WORK.values():
+    for name, work in KERNEL_WORK.items():
+        if layout == "inplace" and name in _INPLACE_ELIDED_KERNELS:
+            continue
         nodes = fluid_nodes if work.unit == "fluid" else fiber_nodes
-        per_node = work.bytes_total if layout == "global" else work.cube_bytes_total()
+        per_node = work.bytes_total if layout != "cube" else work.cube_bytes_total()
         total += per_node * nodes
     return total

@@ -27,8 +27,18 @@ from repro.verify.golden import check_baselines, write_baselines
 from repro.verify.oracle import DifferentialOracle, compare_variants
 
 #: Variants checked against the sequential reference: the fused
-#: single-core fast path, its batched form, and every parallel schedule.
-VARIANTS = ("fused", "batched", "openmp", "cube", "async_cube", "distributed", "hybrid")
+#: single-core fast path, its single-lattice in-place (AA-pattern)
+#: form, its batched form, and every parallel schedule.
+VARIANTS = (
+    "fused",
+    "inplace",
+    "batched",
+    "openmp",
+    "cube",
+    "async_cube",
+    "distributed",
+    "hybrid",
+)
 
 
 def _run_golden(regen: bool, golden_dir: str | None) -> int:

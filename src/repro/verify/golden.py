@@ -93,6 +93,7 @@ GOLDEN_CASES: dict[str, VerifyCase] = {
 GOLDEN_VARIANTS: dict[str, str] = {
     "": "sequential",
     "_fused": "fused",
+    "_inplace": "inplace",
     "_batched": "batched",
 }
 

@@ -74,6 +74,8 @@ class FiniteFields(Invariant):
     def check(self, fluid, structure, step: int) -> None:
         for field in _FLUID_FIELDS:
             arr = getattr(fluid, field)
+            if arr is None:  # single-lattice grid carries no df_new
+                continue
             if not np.isfinite(arr).all():
                 bad = int(np.flatnonzero(~np.isfinite(arr).ravel())[0])
                 raise InvariantError(
@@ -291,6 +293,8 @@ def _check_grid_state_finite(fluid, tid: int, step: int) -> None:
     """NaN/Inf sentinel over a flat grid state."""
     for field in _FLUID_FIELDS:
         arr = getattr(fluid, field)
+        if arr is None:  # single-lattice grid carries no df_new
+            continue
         if not np.isfinite(arr).all():
             raise InvariantError(
                 "finite_fields",

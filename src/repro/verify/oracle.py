@@ -90,7 +90,7 @@ def variant_config(config: SimulationConfig, variant: str) -> SimulationConfig:
         threads = min(threads, nx // config.cube_size)
     elif variant == "distributed":
         threads = min(threads, nx)
-    elif variant in ("sequential", "fused", "batched"):
+    elif variant in ("sequential", "fused", "inplace", "batched"):
         threads = 1
     return replace(config, solver=variant, num_threads=max(1, threads))
 

@@ -113,6 +113,20 @@ class TestFig8:
         text = render_fig8(run_fig8())
         assert "Figure 8" in text
         assert "53%" in text
+        assert "In-place s/step (est)" in text
+
+    def test_inplace_estimate_tracks_memory_traffic(self):
+        from repro.machine.workload import step_bytes
+
+        rows = run_fig8()
+        for r in rows:
+            fluid = r.fluid_shape[0] * r.fluid_shape[1] * r.fluid_shape[2]
+            fiber = 104 * 104
+            ratio = step_bytes(fluid, fiber, "inplace") / step_bytes(
+                fluid, fiber, "global"
+            )
+            assert r.inplace_seconds == pytest.approx(r.openmp_seconds * ratio)
+            assert 0.0 < r.inplace_seconds < r.openmp_seconds
 
 
 class TestTables34:

@@ -8,6 +8,7 @@ from repro.machine.cache_sim import (
     CacheHierarchy,
     SetAssociativeCache,
     scaled_cache,
+    working_set_nodes,
 )
 from repro.machine.spec import CacheSpec
 
@@ -145,3 +146,22 @@ class TestScaledCache:
             scaled_cache(spec, 0.0)
         with pytest.raises(MachineModelError):
             scaled_cache(spec, 1.5)
+
+
+class TestWorkingSetNodes:
+    def test_counts_whole_records(self):
+        assert working_set_nodes(1024, 232) == 4
+
+    def test_single_lattice_keeps_more_nodes_resident(self):
+        from repro.machine.traces import INPLACE_RECORD_BYTES, RECORD_BYTES
+
+        cache = 2 * 1024 * 1024
+        two = working_set_nodes(cache, RECORD_BYTES)
+        one = working_set_nodes(cache, INPLACE_RECORD_BYTES)
+        assert one / two == pytest.approx(48 / 29, rel=0.01)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(MachineModelError):
+            working_set_nodes(0, 232)
+        with pytest.raises(MachineModelError):
+            working_set_nodes(1024, 0)

@@ -73,7 +73,63 @@ class TestCubeTrace:
         assert c_span < g_span
 
 
+class TestInplaceTrace:
+    def test_trace_length(self):
+        shape = (4, 4, 4)
+        # per node, either phase: collision 41 + update 29 = 70 — no copy
+        for phase in (0, 1):
+            addrs = traces.inplace_step_addresses(shape, phase=phase)
+            assert addrs.size == 64 * 70
+
+    def test_no_copy_kernel(self):
+        """The AA step is shorter than the two-lattice step by exactly
+        the streaming re-read and the copy kernel."""
+        shape = (4, 4, 4)
+        g = traces.global_step_addresses(shape)
+        a = traces.inplace_step_addresses(shape)
+        # global: 146/node; inplace: 70/node (collision+stream fused into
+        # one 41-access pass, update gathers instead of re-reading df_new,
+        # copy gone entirely)
+        assert a.size == g.size - 64 * 76
+
+    def test_addresses_within_single_lattice(self):
+        shape = (4, 4, 4)
+        for phase in (0, 1):
+            addrs = traces.inplace_step_addresses(shape, phase=phase)
+            assert addrs.min() >= 0
+            assert addrs.max() < 64 * traces.INPLACE_RECORD_BYTES
+
+    def test_even_collision_is_record_local(self):
+        """Phase 0 collision touches only the node's own record."""
+        shape = (4, 4, 4)
+        addrs = traces.inplace_step_addresses(shape, phase=0)
+        collision = addrs[: 64 * 41].reshape(64, 41)
+        records = collision // traces.INPLACE_RECORD_BYTES
+        assert (records == records[:, :1]).all()
+
+    def test_odd_collision_touches_both_neighbor_sides(self):
+        """Phase 1 gathers from x - e and pushes to x + e."""
+        shape = (4, 2, 2)
+        addrs = traces.inplace_step_addresses(shape, 0, 1, phase=1)
+        records = addrs // traces.INPLACE_RECORD_BYTES
+        own = set(range(4))  # records of the x = 0 plane
+        assert set(records.tolist()) - own
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(MachineModelError):
+            traces.inplace_step_addresses((4, 4, 4), phase=2)
+
+    def test_rejects_bad_slab(self):
+        with pytest.raises(MachineModelError):
+            traces.inplace_step_addresses((4, 4, 4), 3, 2)
+
+
 class TestRecordLayout:
     def test_record_size(self):
         assert traces.RECORD_DOUBLES == 48
         assert traces.RECORD_BYTES == 384
+
+    def test_inplace_record_size(self):
+        # one lattice (19) + u*/u/force (9) + rho (1)
+        assert traces.INPLACE_RECORD_DOUBLES == 29
+        assert traces.INPLACE_RECORD_BYTES == 232

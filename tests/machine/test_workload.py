@@ -67,6 +67,18 @@ class TestStepBytes:
         c = workload.step_bytes(10_000, 100, layout="cube")
         assert c < g
 
+    def test_inplace_layout_elides_stream_and_copy(self):
+        """The AA step saves exactly the stream + copy kernel traffic."""
+        fluid, fiber = 10_000, 100
+        g = workload.step_bytes(fluid, fiber, layout="global")
+        a = workload.step_bytes(fluid, fiber, layout="inplace")
+        elided = sum(
+            workload.KERNEL_WORK[name].bytes_total
+            for name in workload._INPLACE_ELIDED_KERNELS
+        )
+        assert a == pytest.approx(g - elided * fluid)
+        assert a < g
+
     def test_rejects_unknown_layout(self):
         with pytest.raises(ValueError):
             workload.step_bytes(100, 10, layout="hexagon")

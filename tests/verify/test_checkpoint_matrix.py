@@ -21,6 +21,7 @@ pytestmark = [pytest.mark.verify, pytest.mark.slow]
 VARIANTS = [
     "sequential",
     "fused",
+    "inplace",
     "batched",
     "openmp",
     "cube",
@@ -88,7 +89,7 @@ def test_restore_is_bit_identical(written_checkpoints, writer, reader):
             )
 
 
-@pytest.mark.parametrize("writer", ["sequential", "cube"])
+@pytest.mark.parametrize("writer", ["sequential", "cube", "inplace"])
 def test_restored_run_continues_identically(written_checkpoints, writer, tmp_path):
     """Stepping after restore matches an uninterrupted run bit-for-bit
     in the restored variant itself (checkpoint is transparent)."""
@@ -107,3 +108,78 @@ def test_restored_run_continues_identically(written_checkpoints, writer, tmp_pat
             np.testing.assert_array_equal(
                 getattr(resumed.fluid, name), reference[name], err_msg=name
             )
+
+
+class TestOddPhaseCheckpoint:
+    """Checkpoints taken mid-AA-cycle (odd step count, ``aa_phase=1``).
+
+    After an odd number of in-place steps, the single lattice is stored
+    in the AA-encoded layout — direction ``i`` lives in slot ``opp(i)``.
+    The checkpoint stores the raw encoded lattice plus the phase flag;
+    the restore path decodes for two-lattice readers and adopts the raw
+    state for in-place readers, so both directions of the matrix keep
+    their bit-exactness through the middle of an AA cycle.
+    """
+
+    @pytest.fixture(scope="class")
+    def odd_checkpoint(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("ckpt_odd")
+        config = _config("inplace")
+        with Simulation(
+            config, initial_fluid=_seeded_initial_fluid(config, 31)
+        ) as sim:
+            sim.run(3)  # odd: the lattice is mid-cycle, aa_phase == 1
+            assert sim._fluid.aa_phase == 1
+            path = root / "inplace_odd.npz"
+            sim.checkpoint(path)
+            return path, _snapshot(sim)
+
+    @pytest.mark.parametrize("reader", VARIANTS)
+    def test_odd_checkpoint_restores_into_every_variant(
+        self, odd_checkpoint, reader
+    ):
+        path, expected = odd_checkpoint
+        with Simulation.from_checkpoint(path, _config(reader)) as restored:
+            assert restored.time_step == expected["time_step"]
+            for name in _FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(restored.fluid, name), expected[name], err_msg=name
+                )
+
+    def test_phase_flag_survives_round_trip(self, odd_checkpoint, tmp_path):
+        """An inplace reader adopts the encoded lattice and phase flag,
+        and re-saving reproduces both."""
+        path, _ = odd_checkpoint
+        config = _config("inplace")
+        with Simulation.from_checkpoint(path, config) as restored:
+            assert restored._fluid.aa_phase == 1
+            resaved = tmp_path / "resaved.npz"
+            restored.checkpoint(resaved)
+        with Simulation.from_checkpoint(resaved, config) as again:
+            assert again._fluid.aa_phase == 1
+
+    def test_two_lattice_reader_restores_to_natural_phase(self, odd_checkpoint):
+        """Non-inplace readers decode on restore: their grid is in the
+        natural layout with the phase flag cleared."""
+        path, _ = odd_checkpoint
+        with Simulation.from_checkpoint(path, _config("sequential")) as restored:
+            assert restored._fluid.aa_phase == 0
+            assert restored._fluid.df_new is not None
+
+    def test_resume_from_mid_cycle_continues_identically(self, odd_checkpoint):
+        """3 checkpointed steps + 2 resumed == 5 straight steps, exactly."""
+        config = _config("inplace")
+        with Simulation(
+            config, initial_fluid=_seeded_initial_fluid(config, 31)
+        ) as straight:
+            straight.run(5)
+            reference = _snapshot(straight)
+
+        path, _ = odd_checkpoint
+        with Simulation.from_checkpoint(path, config) as resumed:
+            resumed.run(2)
+            assert resumed.time_step == reference["time_step"]
+            for name in _FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(resumed.fluid, name), reference[name], err_msg=name
+                )
