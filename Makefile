@@ -24,7 +24,15 @@ BENCH_BATCH_GATE_ARGS ?= --steps 6 --warmup 2 --batch-sizes 1 4 16
 BENCH_INPLACE_BASELINE ?= benchmarks/baselines/BENCH_inplace.json
 BENCH_INPLACE_GATE_ARGS ?= --scale 8 --steps 3 --warmup 2
 
-.PHONY: install test test-quick test-faults test-chaos test-verify verify-physics bench bench-fused bench-inplace bench-batch bench-gate trace-example examples report clean
+# precision-policy benchmark gate: gated at the full Table-I grid
+# (scale 2) rather than a smoke grid — the float32 speedup is a
+# memory-bandwidth effect that a dispatch-dominated tiny grid cannot
+# show, so the checked-in baseline itself carries the >= 1.3x
+# float32-fused acceptance number.
+BENCH_PRECISION_BASELINE ?= benchmarks/baselines/BENCH_precision.json
+BENCH_PRECISION_GATE_ARGS ?= --scale 2 --steps 8 --warmup 2
+
+.PHONY: install test test-quick test-faults test-chaos test-verify verify-physics bench bench-fused bench-inplace bench-batch bench-precision bench-gate trace-example examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -89,6 +97,14 @@ bench-inplace:
 bench-batch:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_batch_throughput.py $(BENCH_BATCH_ARGS)
 
+# Precision-policy benchmark (float32/mixed storage vs float64 on the
+# fused and in-place hot paths); writes
+# benchmarks/results/BENCH_precision.json.  Non-gating smoke — the
+# regression gate lives in bench-gate.  Override the run size with
+# e.g. BENCH_PRECISION_ARGS="--scale 4 --steps 4".
+bench-precision:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_precision.py $(BENCH_PRECISION_ARGS)
+
 # Benchmark-regression gate: re-run the fused and batched benchmarks at
 # each baseline's smoke workload and diff them against the checked-in
 # records.  Exit 1 = a gated key regressed beyond BENCH_GATE_TOL; exit
@@ -109,6 +125,10 @@ bench-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_inplace.py $(BENCH_INPLACE_GATE_ARGS)
 	PYTHONPATH=src $(PYTHON) -m repro.observe compare \
 		$(BENCH_INPLACE_BASELINE) benchmarks/results/BENCH_inplace.json \
+		--tol $(BENCH_GATE_TOL) --keys $(BENCH_GATE_KEYS)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_precision.py $(BENCH_PRECISION_GATE_ARGS)
+	PYTHONPATH=src $(PYTHON) -m repro.observe compare \
+		$(BENCH_PRECISION_BASELINE) benchmarks/results/BENCH_precision.json \
 		--tol $(BENCH_GATE_TOL) --keys $(BENCH_GATE_KEYS)
 
 # Chrome-trace demo: traces a small sequential + cube run and writes

@@ -1,0 +1,108 @@
+"""Benchmark: float32/mixed precision policies vs the float64 baseline.
+
+Measures the array backend's precision policies
+(:mod:`repro.core.backend`) on the fused and in-place hot paths over
+the Table-I profiling workload, and emits the machine-readable record
+``benchmarks/results/BENCH_precision.json``.
+
+Two entry points:
+
+* ``make bench-precision`` (this file as a script) — full run on the
+  Table-I grid (62 x 32 x 32), prints the table, writes the JSON;
+* ``pytest benchmarks/ --benchmark-only`` — pytest-benchmark timing of
+  one whole float32 fused step on a smaller grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from dataclasses import replace
+
+from repro.api import Simulation
+from repro.experiments.bench_precision import (
+    render_bench_precision,
+    run_bench_precision,
+)
+from repro.experiments.workloads import scaled_profiling_config
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def write_bench_precision(result: dict, path: pathlib.Path) -> None:
+    """Persist the benchmark record as pretty-printed JSON."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_whole_step_float32_fused(benchmark):
+    """Time one full float32 fused step on a scale-4 grid."""
+    config = replace(
+        scaled_profiling_config(scale=4, solver="fused"), precision="float32"
+    )
+    sim = Simulation(config)
+    try:
+        sim.run(2)  # warmup: arena, shift table, stencil cache
+        benchmark(sim.step)
+    finally:
+        sim.close()
+
+
+def test_bench_precision_json(emit, results_dir):
+    """Emit BENCH_precision.json from a reduced run and sanity-check it."""
+    result = run_bench_precision(scale=4, steps=4, warmup=2)
+    emit("bench_precision", render_bench_precision(result))
+    write_bench_precision(result, results_dir / "BENCH_precision.json")
+    # Structural claims (grid-size independent): 4-byte storage halves
+    # the lattice footprint, the mixed policy stores like float32.
+    lattice = result["lattice_bytes"]
+    for variant in ("fused", "inplace"):
+        assert lattice["float64"][variant] == 2 * lattice["float32"][variant]
+        assert lattice["mixed"][variant] == lattice["float32"][variant]
+    # The timing speedups are asserted on the full Table-I grid by the
+    # checked-in baseline + `make bench-gate`, not on this smoke grid
+    # (at scale 4 the step is dispatch-dominated, not memory-bound).
+    for variant in ("fused", "inplace"):
+        assert result[f"float32_{variant}_speedup"] > 0
+
+
+# ----------------------------------------------------------------------
+# command line (make bench-precision)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_precision.py",
+        description="precision-policy benchmark; writes BENCH_precision.json",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=2,
+        help="grid divisor of the Table-I workload (2 = the 62x32x32 grid)",
+    )
+    parser.add_argument("--steps", type=int, default=10, help="timed steps")
+    parser.add_argument("--warmup", type=int, default=3, help="warmup steps")
+    parser.add_argument(
+        "--output", type=pathlib.Path,
+        default=RESULTS_DIR / "BENCH_precision.json",
+        help="JSON output path",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_bench_precision(
+        scale=args.scale, steps=args.steps, warmup=args.warmup
+    )
+    print(render_bench_precision(result))
+    write_bench_precision(result, args.output)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,6 +101,7 @@ class Simulation:
             tau=config.effective_tau,
             collision_operator=config.collision_operator,
             single_lattice=config.solver == "inplace",
+            precision=config.precision,
         )
         if initial_fluid is not None:
             if tuple(initial_fluid.shape) != tuple(config.fluid_shape):
@@ -189,6 +190,7 @@ class Simulation:
                 1,
                 tau=config.effective_tau,
                 collision_operator=config.collision_operator,
+                precision=config.precision,
             )
             solver = BatchedLBMIBSolver(
                 self._batch,

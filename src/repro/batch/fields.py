@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.constants import DTYPE, Q, RHO0
+from repro.constants import Q, RHO0
+from repro.core.backend import backend_for
 from repro.core.lbm import equilibrium
 from repro.core.lbm.fields import FluidGrid
 from repro.errors import ConfigurationError
@@ -59,7 +60,12 @@ def adopt_state(
     """
     if fluid.tau == tau and fluid.collision_operator == collision_operator:
         return fluid
-    adopted = FluidGrid(fluid.shape, tau=tau, collision_operator=collision_operator)
+    adopted = FluidGrid(
+        fluid.shape,
+        tau=tau,
+        collision_operator=collision_operator,
+        precision=fluid.precision,
+    )
     for name in _STATE_FIELDS:
         getattr(adopted, name)[...] = getattr(fluid, name)
     return adopted
@@ -113,14 +119,16 @@ class BatchedFluidGrid:
         tau: float = 1.0,
         collision_operator: str = "bgk",
         trt_magic: float = 3.0 / 16.0,
+        precision="float64",
     ) -> None:
-        # Reuse FluidGrid's validation (shape, tau, operator), then
-        # discard its solo storage in favour of the batched arrays.
+        # Reuse FluidGrid's validation (shape, tau, operator, precision),
+        # then discard its solo storage in favour of the batched arrays.
         probe = FluidGrid(
             shape,
             tau=tau,
             collision_operator=collision_operator,
             trt_magic=trt_magic,
+            precision=precision,
         )
         if batch < 1:
             raise ConfigurationError(f"batch size must be positive, got {batch}")
@@ -129,14 +137,16 @@ class BatchedFluidGrid:
         self.tau = probe.tau
         self.collision_operator = probe.collision_operator
         self.trt_magic = probe.trt_magic
+        self.precision = probe.precision
+        backend = backend_for(self.precision)
         nx, ny, nz = self.shape
         b = self.batch
-        self.df = np.empty((b, Q, nx, ny, nz), dtype=DTYPE)
-        self.df_new = np.empty((b, Q, nx, ny, nz), dtype=DTYPE)
-        self.density = np.full((b, nx, ny, nz), RHO0, dtype=DTYPE)
-        self.velocity = np.zeros((b, 3, nx, ny, nz), dtype=DTYPE)
-        self.velocity_shifted = np.zeros((b, 3, nx, ny, nz), dtype=DTYPE)
-        self.force = np.zeros((b, 3, nx, ny, nz), dtype=DTYPE)
+        self.df = backend.empty((b, Q, nx, ny, nz))
+        self.df_new = backend.empty((b, Q, nx, ny, nz))
+        self.density = backend.full((b, nx, ny, nz), RHO0)
+        self.velocity = backend.zeros((b, 3, nx, ny, nz))
+        self.velocity_shifted = backend.zeros((b, 3, nx, ny, nz))
+        self.force = backend.zeros((b, 3, nx, ny, nz))
         self._arena = None
         # All slots start identical: compute slot 0's equilibrium once.
         equilibrium.equilibrium(self.density[0], self.velocity[0], out=self.df[0])
@@ -152,7 +162,7 @@ class BatchedFluidGrid:
         if self._arena is None:
             from repro.core.arena import ScratchArena
 
-            self._arena = ScratchArena(self.shape)
+            self._arena = ScratchArena(self.shape, dtype=self.precision.compute)
         return self._arena
 
     def scratch_scalar(self, name: str) -> np.ndarray:
@@ -205,6 +215,12 @@ class BatchedFluidGrid:
                 f"(tau={fluid.tau}, operator={fluid.collision_operator!r}) do not "
                 f"match batch (tau={self.tau}, operator={self.collision_operator!r})"
             )
+        if fluid.precision.name != self.precision.name:
+            raise ConfigurationError(
+                f"slot fluid precision {fluid.precision.name!r} does not match "
+                f"batch precision {self.precision.name!r}; a silent cast would "
+                "change the slot's arithmetic"
+            )
         for name in _STATE_FIELDS:
             getattr(self, name)[slot][...] = getattr(fluid, name)
 
@@ -232,6 +248,7 @@ class BatchedFluidGrid:
         view.tau = self.tau
         view.collision_operator = self.collision_operator
         view.trt_magic = self.trt_magic
+        view.precision = self.precision
         view._batch = self
         view._slot = slot
         view.density = self.density[slot]

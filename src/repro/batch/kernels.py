@@ -30,8 +30,9 @@ import numpy as np
 
 from repro.constants import DT, Q
 from repro.batch.fields import BatchedFluidGrid
+from repro.core.backend import lattice_constants
 from repro.core.lbm.fused import _COMPONENTS, _TRT_PAIRS, _feq_direction
-from repro.core.lbm.lattice import E_FLOAT, W
+from repro.core.lbm.lattice import W
 from repro.core.lbm.streaming import periodic_shift_table
 
 __all__ = ["batched_collide_stream", "batched_update_velocity_fields"]
@@ -60,7 +61,9 @@ def _moments(grid: BatchedFluidGrid) -> tuple[np.ndarray, np.ndarray, np.ndarray
     """Density and the ``1.5 |u*|^2`` term into batched scratch buffers."""
     u = grid.velocity_shifted
     rho = grid.scratch_scalar("batch_rho")
-    np.sum(grid.df, axis=1, out=rho)
+    # Accumulate at the arena's (compute) dtype — float64 under the
+    # mixed policy, a no-op for the uniform policies.
+    np.sum(grid.df, axis=1, out=rho, dtype=rho.dtype)
     usq15 = grid.scratch_scalar("batch_usq15")
     tmp = grid.scratch_scalar("batch_tmp")
     np.multiply(u[:, 0], u[:, 0], out=usq15)
@@ -183,10 +186,14 @@ def batched_update_velocity_fields(grid: BatchedFluidGrid) -> None:
     """
     b = grid.batch
     df_new = grid.df_new
-    np.sum(df_new, axis=1, out=grid.density)
+    np.sum(df_new, axis=1, out=grid.density, dtype=grid.precision.compute)
     momentum = grid.scratch_vector("batch_momentum")
+    # Lattice vectors at the GEMM's natural dtype: float64 is the
+    # original table (bit-identical), pure float32 gets a float32 GEMM,
+    # and mixed promotes to a float64 reduction as required.
+    e_float, _ = lattice_constants(np.result_type(df_new.dtype, momentum.dtype))
     np.matmul(
-        E_FLOAT.T,
+        e_float.T,
         df_new.reshape(b, Q, -1),
         out=momentum.reshape(b, 3, -1),
     )

@@ -170,6 +170,13 @@ class SimulationConfig:
         viscosity, exact halfway bounce-back walls).
     external_force:
         Optional constant body-force density driving the flow.
+    precision:
+        Array precision policy: ``"float64"`` (default, bit-exact
+        against the golden baselines), ``"float32"`` (single-precision
+        storage and arithmetic, roughly half the memory traffic), or
+        ``"mixed"`` (float32 field storage with float64 accumulation in
+        the collision moments and IB transfer reductions).  See
+        :mod:`repro.core.backend`.
     dt:
         Time step (1 in lattice units).
     barrier_timeout:
@@ -205,6 +212,7 @@ class SimulationConfig:
     delta_kind: Literal["cosine", "3point", "linear"] = "cosine"
     collision_operator: Literal["bgk", "trt"] = "bgk"
     external_force: tuple[float, float, float] | None = None
+    precision: Literal["float64", "float32", "mixed"] = "float64"
     dt: float = DT
     barrier_timeout: float | None = None
 
@@ -246,6 +254,8 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"unknown collision operator {self.collision_operator!r}"
             )
+        if self.precision not in ("float64", "float32", "mixed"):
+            raise ConfigurationError(f"unknown precision {self.precision!r}")
         seen = set()
         for bc in self.boundaries:
             key = (bc.resolved_axis(), bc.side)
@@ -336,6 +346,7 @@ class SimulationConfig:
             "external_force": (
                 None if self.external_force is None else list(self.external_force)
             ),
+            "precision": self.precision,
             "dt": self.dt,
             "barrier_timeout": self.barrier_timeout,
         }
@@ -351,4 +362,7 @@ class SimulationConfig:
         )
         if data.get("external_force") is not None:
             data["external_force"] = tuple(data["external_force"])
+        # Manifests written before the precision policy existed are
+        # float64 by construction.
+        data.setdefault("precision", "float64")
         return cls(**data)

@@ -11,8 +11,9 @@ subsequent step.  After warmup, a steady-state step of the fused solver
 performs zero numpy array allocations — a property pinned by a
 tracemalloc test in ``tests/verify/test_fused.py``.
 
-Buffers are keyed by name; a request whose shape no longer matches the
-stored buffer (e.g. after a grid reshape) transparently reallocates.
+Buffers are keyed by name; a request whose shape or dtype no longer
+matches the stored buffer (e.g. after a grid reshape, or a per-dtype
+pool request) transparently reallocates.
 """
 
 from __future__ import annotations
@@ -33,34 +34,39 @@ class ScratchArena:
         Spatial grid shape ``(Nx, Ny, Nz)``; :meth:`scalar` buffers have
         exactly this shape, :meth:`vector` buffers are ``(3, *shape)``.
     dtype:
-        Element dtype (defaults to the library-wide :data:`DTYPE`).
+        Default element dtype (the library-wide :data:`DTYPE` unless the
+        owning grid's precision policy says otherwise — the grid passes
+        its *compute* dtype, which is the single lever that sets the
+        arithmetic precision of the fused/in-place/batched hot paths).
+        Individual buffers may override it, giving per-dtype pools.
     """
 
     def __init__(self, shape: tuple[int, int, int], dtype=DTYPE) -> None:
         self.shape = tuple(int(n) for n in shape)
-        self.dtype = dtype
+        self.dtype = np.dtype(dtype)
         self._buffers: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
-    def buffer(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+    def buffer(self, name: str, shape: tuple[int, ...], dtype=None) -> np.ndarray:
         """The named scratch buffer, (re)allocated on first use.
 
         Contents are undefined between calls; callers must fully
         overwrite the buffer (use ``out=`` forms) before reading it.
         """
+        want_dtype = self.dtype if dtype is None else np.dtype(dtype)
         buf = self._buffers.get(name)
-        if buf is None or buf.shape != tuple(shape):
-            buf = np.empty(tuple(shape), dtype=self.dtype)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != want_dtype:
+            buf = np.empty(tuple(shape), dtype=want_dtype)
             self._buffers[name] = buf
         return buf
 
-    def scalar(self, name: str) -> np.ndarray:
+    def scalar(self, name: str, dtype=None) -> np.ndarray:
         """Scratch field of shape ``(Nx, Ny, Nz)``."""
-        return self.buffer(name, self.shape)
+        return self.buffer(name, self.shape, dtype=dtype)
 
-    def vector(self, name: str) -> np.ndarray:
+    def vector(self, name: str, dtype=None) -> np.ndarray:
         """Scratch field of shape ``(3, Nx, Ny, Nz)``."""
-        return self.buffer(name, (3,) + self.shape)
+        return self.buffer(name, (3,) + self.shape, dtype=dtype)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,251 @@
+"""Array backend: the single allocation authority for field arrays.
+
+Every field allocation in the solver hot paths goes through an
+:class:`ArrayBackend` — a thin namespace bundling three orthogonal
+knobs that the rest of the code never hardcodes:
+
+* **array module** (``xp``): :mod:`numpy` today.  Anything exposing the
+  small duck-typed surface used here (``empty``/``zeros``/``full``/
+  ``asarray``) can be injected via :func:`set_default_backend` — the
+  cupy extension point called out in the ROADMAP.  No isinstance
+  checks anywhere downstream; kernels derive dtypes from the arrays
+  they receive.
+* **precision policy** (:class:`Precision`): maps a config-level name
+  (``"float64"`` | ``"float32"`` | ``"mixed"``) to a *storage* dtype
+  (what persistent fields — ``df``, ``df_new``, density, velocity,
+  force — are allocated at) and a *compute* dtype (what scratch
+  buffers and reduction accumulators use).  ``mixed`` stores the
+  D3Q19 lattice in float32 (halving the dominant memory traffic) while
+  keeping collision moments and IB spread/interpolate reductions in
+  float64.
+* **layout** (``order``): default C order with per-call override, so a
+  field can be laid out Fortran-ordered without touching call sites.
+
+The float64 policy is bit-identical to the pre-backend code: kernels
+derive dtypes from their operands, and every reduction passes an
+explicit accumulator dtype that degenerates to a no-op at float64.
+The golden SHA-256 baselines therefore pin the float64 path exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Precision",
+    "FLOAT64",
+    "FLOAT32",
+    "MIXED",
+    "PRECISIONS",
+    "resolve_precision",
+    "ArrayBackend",
+    "default_backend",
+    "set_default_backend",
+    "backend_for",
+    "lattice_constants",
+    "state_tolerance",
+    "oracle_tolerance",
+    "invariant_scale",
+    "dtype_bytes",
+]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A named (storage dtype, compute dtype) policy.
+
+    ``storage`` is the dtype persistent field arrays are allocated at;
+    ``compute`` is the dtype of scratch-arena buffers and reduction
+    accumulators.  ``float64``/``float32`` use one dtype for both;
+    ``mixed`` pairs float32 storage with float64 accumulation.
+    """
+
+    name: str
+    storage: np.dtype
+    compute: np.dtype
+
+    @property
+    def storage_itemsize(self) -> int:
+        """Bytes per element of a stored field value (8, 4, 4)."""
+        return int(self.storage.itemsize)
+
+
+FLOAT64 = Precision("float64", np.dtype(np.float64), np.dtype(np.float64))
+FLOAT32 = Precision("float32", np.dtype(np.float32), np.dtype(np.float32))
+MIXED = Precision("mixed", np.dtype(np.float32), np.dtype(np.float64))
+
+#: Config-level names accepted by ``SimulationConfig.precision``.
+PRECISIONS = ("float64", "float32", "mixed")
+
+_BY_NAME = {p.name: p for p in (FLOAT64, FLOAT32, MIXED)}
+
+
+def resolve_precision(precision: "str | Precision | None") -> Precision:
+    """Normalize a policy name (or pass through a policy) to a Precision."""
+    if precision is None:
+        return FLOAT64
+    if isinstance(precision, Precision):
+        return precision
+    try:
+        return _BY_NAME[str(precision)]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown precision {precision!r}; expected one of {PRECISIONS}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """Allocation namespace: array module + precision + default layout.
+
+    ``xp`` is duck-typed — swap in any module with numpy's allocation
+    surface (``empty``/``zeros``/``full``/``asarray``) to retarget
+    every field allocation without touching the solvers.
+    """
+
+    xp: Any = np
+    precision: Precision = FLOAT64
+    order: str = "C"
+
+    def _dtype(self, kind: str) -> np.dtype:
+        if kind == "storage":
+            return self.precision.storage
+        if kind == "compute":
+            return self.precision.compute
+        raise ValueError(f"kind must be 'storage' or 'compute', got {kind!r}")
+
+    def empty(self, shape, kind: str = "storage", order: str | None = None):
+        """Uninitialized array at the policy's storage/compute dtype."""
+        return self.xp.empty(
+            shape, dtype=self._dtype(kind), order=order or self.order
+        )
+
+    def zeros(self, shape, kind: str = "storage", order: str | None = None):
+        """Zero-filled array at the policy's storage/compute dtype."""
+        return self.xp.zeros(
+            shape, dtype=self._dtype(kind), order=order or self.order
+        )
+
+    def full(self, shape, fill, kind: str = "storage", order: str | None = None):
+        """Constant-filled array at the policy's storage/compute dtype."""
+        return self.xp.full(
+            shape, fill, dtype=self._dtype(kind), order=order or self.order
+        )
+
+    def asarray(self, values, kind: str = "storage"):
+        """Convert to an array at the policy's storage/compute dtype."""
+        return self.xp.asarray(values, dtype=self._dtype(kind))
+
+
+_default_backend = ArrayBackend()
+
+
+def default_backend() -> ArrayBackend:
+    """The process-wide backend new grids derive their ``xp`` from."""
+    return _default_backend
+
+
+def set_default_backend(backend: ArrayBackend) -> ArrayBackend:
+    """Install a new default backend; returns the previous one.
+
+    This is the injection extension point: pass an ``ArrayBackend``
+    wrapping a cupy-like module and every subsequently constructed
+    grid allocates through it.
+    """
+    global _default_backend
+    previous = _default_backend
+    _default_backend = backend
+    return previous
+
+
+def backend_for(
+    precision: "str | Precision | None", order: str = "C"
+) -> ArrayBackend:
+    """A backend sharing the default ``xp`` at the requested precision."""
+    return ArrayBackend(
+        xp=_default_backend.xp,
+        precision=resolve_precision(precision),
+        order=order,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-dtype lattice constants.
+#
+# The float64 E/W tables in repro.core.lbm.lattice are the source of
+# truth; pure-float32 kernels need float32 casts so e.g. the momentum
+# GEMM runs without promotion.  Cached per dtype (tiny, immutable).
+_LATTICE_CACHE: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def lattice_constants(dtype) -> tuple[np.ndarray, np.ndarray]:
+    """``(E_FLOAT, W)`` cast to ``dtype`` (cached)."""
+    from repro.core.lbm.lattice import E_FLOAT, W
+
+    key = np.dtype(dtype).str
+    cached = _LATTICE_CACHE.get(key)
+    if cached is None:
+        cached = (
+            np.ascontiguousarray(E_FLOAT, dtype=dtype),
+            np.ascontiguousarray(W, dtype=dtype),
+        )
+        _LATTICE_CACHE[key] = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# Per-precision tolerances.
+#
+# float64 values are the historical (pre-backend) defaults; the float32
+# rows budget for ~2^-24 relative rounding per operation accumulated
+# over the few hundred flops a node sees per step.  ``mixed`` keeps
+# float64 accumulation, so only the storage round-trip (one cast per
+# field per step) contributes — but state comparisons still see
+# float32-quantized fields, hence the shared single-precision rows.
+
+#: precision name -> (rtol, atol) for FluidGrid.state_allclose.
+_STATE_TOL = {
+    "float64": (1e-12, 1e-13),
+    "float32": (1e-5, 1e-6),
+    "mixed": (1e-5, 1e-6),
+}
+
+#: precision name -> (rtol, atol) for the differential oracle.
+_ORACLE_TOL = {
+    "float64": (1e-9, 1e-11),
+    "float32": (1e-4, 1e-6),
+    "mixed": (5e-5, 5e-7),
+}
+
+#: precision name -> multiplier applied to float64 invariant tolerances
+#: (mass-conservation rtol, momentum-consistency atol).
+_INVARIANT_SCALE = {
+    "float64": 1.0,
+    "float32": 1e5,
+    "mixed": 1e4,
+}
+
+
+def state_tolerance(precision: "str | Precision | None") -> tuple[float, float]:
+    """``(rtol, atol)`` for exact-ish state comparison at a precision."""
+    return _STATE_TOL[resolve_precision(precision).name]
+
+
+def oracle_tolerance(precision: "str | Precision | None") -> tuple[float, float]:
+    """``(rtol, atol)`` for cross-variant oracle runs at a precision."""
+    return _ORACLE_TOL[resolve_precision(precision).name]
+
+
+def invariant_scale(precision: "str | Precision | None") -> float:
+    """Multiplier for float64-calibrated invariant tolerances."""
+    return _INVARIANT_SCALE[resolve_precision(precision).name]
+
+
+def dtype_bytes(precision: "str | Precision | None") -> int:
+    """Stored bytes per field element — the machine-model scaling term."""
+    return resolve_precision(precision).storage_itemsize

@@ -43,6 +43,7 @@ def shifted_velocities(
     out_velocity: np.ndarray | None = None,
     out_velocity_shifted: np.ndarray | None = None,
     out_density: np.ndarray | None = None,
+    accum_dtype=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Physical and shifted velocities from distributions plus force.
 
@@ -51,8 +52,11 @@ def shifted_velocities(
         rho        = sum_i f_i
         velocity   = (sum_i e_i f_i + F dt / 2) / rho     (physical)
         velocity*  = (sum_i e_i f_i + tau F dt) / rho     (for collision)
+
+    ``accum_dtype`` pins the density-reduction accumulator (the grid's
+    compute dtype under the mixed policy).
     """
-    density = macroscopic.compute_density(df, out=out_density)
+    density = macroscopic.compute_density(df, out=out_density, dtype=accum_dtype)
     momentum = macroscopic.compute_momentum_density(df)
 
     if out_velocity is None:
@@ -81,6 +85,7 @@ def update_velocity_fields(fluid: FluidGrid) -> None:
         out_velocity=fluid.velocity,
         out_velocity_shifted=fluid.velocity_shifted,
         out_density=fluid.density,
+        accum_dtype=fluid.precision.compute,
     )
 
 
@@ -107,7 +112,7 @@ def update_velocity_fields_inplace(
     """
     if df is None:
         df = fluid.df_new
-    macroscopic.compute_density(df, out=fluid.density)
+    macroscopic.compute_density(df, out=fluid.density, dtype=fluid.precision.compute)
     macroscopic.compute_momentum_density(df, out=momentum)
     rho = fluid.density
 

@@ -44,15 +44,21 @@ def interpolate_values(
     numpy.ndarray
         Interpolated vectors, shape ``(N, 3)``.
     """
-    if positions.size == 0:
-        return np.zeros((0, 3), dtype=source.dtype)
     grid_shape = source.shape[1:]
-    if flat_stencil is None:
+    if flat_stencil is None and positions.size:
         indices, weights = delta.stencil(positions, grid_shape=grid_shape)
         flat_idx, flat_w = flatten_stencil(indices, weights, grid_shape)
-    else:
+    elif flat_stencil is not None:
         flat_idx, flat_w = flat_stencil
-    out = np.empty((positions.shape[0], 3), dtype=source.dtype)
+    else:
+        flat_idx = flat_w = np.zeros((0, 1))  # backend-lint: ok (zero-size sentinel)
+    # The gather reduction runs at the delta-weight dtype (float64 —
+    # fiber state stays double precision regardless of the fluid's
+    # storage policy), so the result dtype follows the weights.
+    out_dtype = np.result_type(source.dtype, flat_w.dtype)
+    if positions.size == 0:
+        return np.zeros((0, 3), dtype=out_dtype)
+    out = np.empty((positions.shape[0], 3), dtype=out_dtype)
     for comp in range(3):
         gathered = source[comp].reshape(-1)[flat_idx]
         out[:, comp] = np.einsum("ns,ns->n", gathered, flat_w)

@@ -61,7 +61,9 @@ def set_scatter_method(method: str) -> None:
     _scatter_override = method
 
 
-def scatter_method(num_grid_nodes: int, num_contributions: int) -> str:
+def scatter_method(
+    num_grid_nodes: int, num_contributions: int, itemsize: int = 8
+) -> str:
     """The scatter implementation used for this problem size.
 
     ``bincount`` pays O(``num_grid_nodes``) per component (a fresh
@@ -71,10 +73,19 @@ def scatter_method(num_grid_nodes: int, num_contributions: int) -> str:
     stencil contributions cover the grid — below that the dense output
     sweep dominates (the kernel-4 regression recorded in
     ``benchmarks/results/bench_fused.txt``).
+
+    ``itemsize`` is the target field's element size in bytes.  The
+    ``add_at`` indexed loop is compute-bound and shrinks with the
+    storage dtype, but ``bincount``'s dense ``minlength`` output is
+    always float64 — 8 bytes per grid node no matter what the target
+    stores — so on float32 fields (4-byte elements) its fixed sweep is
+    relatively twice as expensive and the crossover needs
+    proportionally more contributions before ``bincount`` wins.
     """
     if _scatter_override != "auto":
         return _scatter_override
-    return "bincount" if num_contributions >= num_grid_nodes else "add_at"
+    threshold = num_grid_nodes * (8.0 / float(itemsize))
+    return "bincount" if num_contributions >= threshold else "add_at"
 
 
 def flatten_stencil(
@@ -144,17 +155,29 @@ def scatter_flat(
         flat_w = flat_w * scale
     idx = flat_idx.ravel()
     if method is None:
-        method = scatter_method(num_nodes, idx.size)
-    if method == "add_at" and not target.flags.c_contiguous:
+        method = scatter_method(num_nodes, idx.size, target.dtype.itemsize)
+    # Sub-float64 targets accumulate through a float64 staging field and
+    # cast once at the end: the spread reduction keeps double precision
+    # (the mixed policy's contract) and — because each method then sums
+    # identical float64 contributions in identical order — bincount and
+    # add_at stay bit-identical at every storage dtype, not just f64.
+    accum = (
+        target
+        if target.dtype == np.float64
+        else np.zeros(target.shape, dtype=np.float64)  # backend-lint: ok (f64 reduction staging)
+    )
+    if method == "add_at" and not accum.flags.c_contiguous:
         # add.at needs a flat in-place view of each component.
         method = "bincount"
     for comp in range(3):
         contrib = (values[:, comp : comp + 1] * flat_w).ravel()
         if method == "add_at":
-            np.add.at(target[comp].reshape(-1), idx, contrib)
+            np.add.at(accum[comp].reshape(-1), idx, contrib)
         else:
             binned = np.bincount(idx, weights=contrib, minlength=num_nodes)
-            target[comp] += binned.reshape(grid_shape)
+            accum[comp] += binned.reshape(grid_shape)
+    if accum is not target:
+        target += accum
     return target
 
 

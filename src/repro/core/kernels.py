@@ -119,7 +119,9 @@ def compute_fluid_collision(fluid: FluidGrid) -> None:
     """
     from repro.core.lbm import macroscopic
 
-    density = macroscopic.compute_density(fluid.df)
+    # Accumulate the density moment at the grid's compute dtype (float64
+    # under the mixed policy; a no-op for the uniform policies).
+    density = macroscopic.compute_density(fluid.df, dtype=fluid.precision.compute)
     _collision.collide(
         fluid.df,
         density,

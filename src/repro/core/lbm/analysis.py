@@ -85,7 +85,7 @@ def velocity_gradient(velocity: np.ndarray) -> np.ndarray:
         Shape ``(3, 3, Nx, Ny, Nz)``.
     """
     velocity = np.asarray(velocity, dtype=DTYPE)
-    grad = np.empty((3, 3) + velocity.shape[1:], dtype=DTYPE)
+    grad = np.empty((3, 3) + velocity.shape[1:], dtype=DTYPE)  # backend-lint: ok (float64 diagnostics)
     for a in range(3):
         for b in range(3):
             grad[a, b] = 0.5 * (

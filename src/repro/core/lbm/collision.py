@@ -50,11 +50,17 @@ def guo_source_term(
         ``S_i`` of shape ``(19, *S)`` (per unit time; multiply by ``dt``
         when adding to the distributions).
     """
-    velocity = np.asarray(velocity, dtype=DTYPE)
-    force = np.asarray(force, dtype=DTYPE)
+    velocity = np.asarray(velocity)
+    if velocity.dtype.kind != "f":
+        velocity = velocity.astype(DTYPE)
+    force = np.asarray(force)
+    if force.dtype.kind != "f":
+        force = force.astype(DTYPE)
     spatial = velocity.shape[1:]
     if out is None:
-        out = np.empty((Q,) + spatial, dtype=DTYPE)
+        out = np.empty(
+            (Q,) + spatial, dtype=np.result_type(velocity, force)
+        )
 
     prefactor = (1.0 - 0.5 / tau) * W  # shape (19,)
     eu = np.tensordot(E_FLOAT, velocity, axes=([1], [0]))  # (19, *S)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import DTYPE, Q
-from repro.core.lbm.lattice import E_FLOAT, W
+from repro.core.backend import lattice_constants
 
 __all__ = ["equilibrium", "equilibrium_single"]
 
@@ -39,22 +39,36 @@ def equilibrium(
     numpy.ndarray
         Equilibrium distributions, shape ``(19, *S)``.
     """
-    velocity = np.asarray(velocity, dtype=DTYPE)
+    velocity = np.asarray(velocity)
+    if velocity.dtype.kind != "f":
+        velocity = velocity.astype(DTYPE)
     if velocity.shape[0] != 3:
         raise ValueError(
             f"velocity must have a leading component axis of size 3, got shape {velocity.shape}"
         )
     spatial = velocity.shape[1:]
-    rho = np.broadcast_to(np.asarray(density, dtype=DTYPE), spatial)
+    density = np.asarray(density)
+    if density.dtype.kind != "f":
+        density = density.astype(DTYPE)
+    rho = np.broadcast_to(density, spatial)
     if out is None:
-        out = np.empty((Q,) + spatial, dtype=DTYPE)
+        # Dtype derives from the operands (float64 inputs behave exactly
+        # as before); an explicit ``out`` — e.g. a float32 storage slab
+        # or a float64 arena buffer under the mixed policy — wins.
+        out = np.empty((Q,) + spatial, dtype=np.result_type(velocity, rho))
     elif out.shape != (Q,) + spatial:
         raise ValueError(
             f"out has shape {out.shape}, expected {(Q,) + spatial}"
         )
 
+    # Lattice vectors at the output's width: float64 callers get the
+    # original E_FLOAT/W objects back (bit-identical path), while
+    # float32 storage avoids materialising full-lattice float64
+    # temporaries during initialisation.
+    e, w = lattice_constants(out.dtype)
+
     # eu[i] = e_i . u  for every node, shape (19, *S)
-    eu = np.tensordot(E_FLOAT, velocity, axes=([1], [0]))
+    eu = np.tensordot(e, velocity, axes=([1], [0]))
     u_sq = np.einsum("a...,a...->...", velocity, velocity)
 
     # out = w_i * rho * (1 + 3 eu + 4.5 eu^2 - 1.5 u^2)
@@ -64,7 +78,7 @@ def equilibrium(
     out -= 1.5 * u_sq
     out += 1.0
     out *= rho
-    out *= W.reshape((Q,) + (1,) * len(spatial))
+    out *= w.reshape((Q,) + (1,) * len(spatial))
     return out
 
 

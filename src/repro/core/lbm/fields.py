@@ -19,7 +19,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.constants import DTYPE, Q, RHO0
+from repro.constants import Q, RHO0
+from repro.core.backend import (
+    Precision,
+    backend_for,
+    resolve_precision,
+    state_tolerance,
+)
 from repro.core.lbm import equilibrium
 from repro.errors import ConfigurationError
 
@@ -74,6 +80,13 @@ class FluidGrid:
     #: (:mod:`repro.core.lbm.inplace`), which streams within a single
     #: lattice and never needs the second buffer.
     single_lattice: bool = False
+    #: Precision policy: a name from :data:`repro.core.backend.PRECISIONS`
+    #: (``"float64"`` | ``"float32"`` | ``"mixed"``) or a
+    #: :class:`~repro.core.backend.Precision` instance.  Storage dtype
+    #: governs the field arrays below; compute dtype governs the scratch
+    #: arena (and thereby every hot-path accumulator).  Normalized to a
+    #: ``Precision`` in ``__post_init__``.
+    precision: "str | Precision" = "float64"
     #: AA-pattern storage phase: 0 = ``df`` holds the natural
     #: (post-streaming) layout, 1 = ``df`` holds the AA-encoded layout
     #: written by an even step (post-collision values in the *opposite*
@@ -106,12 +119,15 @@ class FluidGrid:
             )
         self.shape = shape
         nx, ny, nz = shape
-        self.df = np.empty((Q, nx, ny, nz), dtype=DTYPE)
-        self.df_new = None if self.single_lattice else np.empty((Q, nx, ny, nz), dtype=DTYPE)
-        self.density = np.full((nx, ny, nz), RHO0, dtype=DTYPE)
-        self.velocity = np.zeros((3, nx, ny, nz), dtype=DTYPE)
-        self.velocity_shifted = np.zeros((3, nx, ny, nz), dtype=DTYPE)
-        self.force = np.zeros((3, nx, ny, nz), dtype=DTYPE)
+        self.precision = resolve_precision(self.precision)
+        backend = backend_for(self.precision)
+        self._backend = backend
+        self.df = backend.empty((Q, nx, ny, nz))
+        self.df_new = None if self.single_lattice else backend.empty((Q, nx, ny, nz))
+        self.density = backend.full((nx, ny, nz), RHO0)
+        self.velocity = backend.zeros((3, nx, ny, nz))
+        self.velocity_shifted = backend.zeros((3, nx, ny, nz))
+        self.force = backend.zeros((3, nx, ny, nz))
         self._arena = None
         self.initialize_equilibrium()
 
@@ -137,7 +153,7 @@ class FluidGrid:
         if density is not None:
             self.density[...] = density
         if velocity is not None:
-            self.velocity[...] = np.asarray(velocity, dtype=DTYPE)
+            self.velocity[...] = np.asarray(velocity)
         self.velocity_shifted[...] = self.velocity
         equilibrium.equilibrium(self.density, self.velocity, out=self.df)
         self.aa_phase = 0
@@ -158,7 +174,10 @@ class FluidGrid:
         if self._arena is None:
             from repro.core.arena import ScratchArena
 
-            self._arena = ScratchArena(self.shape)
+            # The arena carries the *compute* dtype: under the mixed
+            # policy every moment/equilibrium scratch accumulates in
+            # float64 even though the lattice is stored in float32.
+            self._arena = ScratchArena(self.shape, dtype=self.precision.compute)
         return self._arena
 
     def swap_distributions(self) -> None:
@@ -230,6 +249,7 @@ class FluidGrid:
             collision_operator=self.collision_operator,
             trt_magic=self.trt_magic,
             single_lattice=self.single_lattice,
+            precision=self.precision,
         )
         clone.aa_phase = self.aa_phase
         clone.df[...] = self.df
@@ -241,8 +261,27 @@ class FluidGrid:
         clone.force[...] = self.force
         return clone
 
-    def state_allclose(self, other: "FluidGrid", rtol: float = 1e-12, atol: float = 1e-13) -> bool:
-        """True if every field of ``other`` matches this grid within tolerance."""
+    def state_allclose(
+        self,
+        other: "FluidGrid",
+        rtol: float | None = None,
+        atol: float | None = None,
+    ) -> bool:
+        """True if every field of ``other`` matches this grid within tolerance.
+
+        Defaults resolve per precision policy (float64: ``1e-12/1e-13``,
+        the historical values; single-precision storage relaxes to
+        ``1e-5/1e-6``) — the loosest policy of the two grids wins, so a
+        float32-vs-float64 comparison is judged at float32 resolution.
+        """
+        if rtol is None or atol is None:
+            tols = [state_tolerance(self.precision)]
+            if isinstance(other, FluidGrid):
+                tols.append(state_tolerance(other.precision))
+            default_rtol = max(t[0] for t in tols)
+            default_atol = max(t[1] for t in tols)
+            rtol = default_rtol if rtol is None else rtol
+            atol = default_atol if atol is None else atol
         return (
             self.shape == other.shape
             and np.allclose(self.df, other.df, rtol=rtol, atol=atol)

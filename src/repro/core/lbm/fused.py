@@ -118,7 +118,9 @@ def _moments(fluid: FluidGrid) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     arena = fluid.arena
     u = fluid.velocity_shifted
     rho = arena.scalar("fused_rho")
-    np.sum(fluid.df, axis=0, out=rho)
+    # Accumulate the zeroth moment at the arena's (compute) dtype: under
+    # the mixed policy this sums float32 distributions in float64.
+    np.sum(fluid.df, axis=0, out=rho, dtype=rho.dtype)
     usq15 = arena.scalar("fused_usq15")
     tmp = arena.scalar("fused_tmp")
     np.multiply(u[0], u[0], out=usq15)

@@ -124,6 +124,7 @@ def decoded_fluid(fluid: FluidGrid) -> FluidGrid:
         tau=fluid.tau,
         collision_operator=fluid.collision_operator,
         trt_magic=fluid.trt_magic,
+        precision=fluid.precision,
     )
     aa_decode(fluid.df, out=clone.df)
     clone.df_new[...] = clone.df

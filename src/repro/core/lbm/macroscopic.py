@@ -13,23 +13,36 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.constants import DT, DTYPE
+from repro.constants import DT
+from repro.core.backend import lattice_constants
 from repro.core.lbm.lattice import E_FLOAT
 
 __all__ = ["compute_density", "compute_velocity", "compute_momentum_density"]
 
 
-def compute_density(df: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-    """Zeroth moment ``rho = sum_i f_i``; ``df`` has shape ``(19, *S)``."""
-    return np.sum(df, axis=0, out=out)
+def compute_density(
+    df: np.ndarray, out: np.ndarray | None = None, dtype=None
+) -> np.ndarray:
+    """Zeroth moment ``rho = sum_i f_i``; ``df`` has shape ``(19, *S)``.
+
+    ``dtype`` pins the reduction accumulator (the mixed policy sums
+    float32 distributions in float64); defaulting to the output's dtype
+    is a no-op for the uniform-precision policies.
+    """
+    if dtype is None and out is not None:
+        dtype = out.dtype
+    return np.sum(df, axis=0, out=out, dtype=dtype)
 
 
 def compute_momentum_density(df: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """First moment ``sum_i e_i f_i``; returns shape ``(3, *S)``.
 
-    With ``out`` given (and both arrays C-contiguous) the moment is
-    computed as a direct GEMM into ``out`` — the allocation-free form
-    the fused hot path relies on.
+    With ``out`` given (and both arrays C-contiguous at one dtype) the
+    moment is computed as a direct GEMM into ``out`` — the
+    allocation-free form the fused hot path relies on; the lattice
+    vectors are cached per dtype so a pure-float32 grid runs a
+    float32 GEMM.  Mixed storage/accumulator dtypes fall back to the
+    float64-promoting ``tensordot``.
     """
     if (
         out is not None
@@ -37,8 +50,9 @@ def compute_momentum_density(df: np.ndarray, out: np.ndarray | None = None) -> n
         and out.flags.c_contiguous
         and df.dtype == out.dtype
     ):
+        e_float, _ = lattice_constants(df.dtype)
         q = df.shape[0]
-        np.matmul(E_FLOAT.T, df.reshape(q, -1), out=out.reshape(3, -1))
+        np.matmul(e_float.T, df.reshape(q, -1), out=out.reshape(3, -1))
         return out
     mom = np.tensordot(E_FLOAT.T, df, axes=([1], [0]))
     if out is not None:
@@ -81,7 +95,7 @@ def compute_velocity(
 
     momentum = compute_momentum_density(df)
     if force is not None:
-        momentum += 0.5 * DT * np.asarray(force, dtype=DTYPE)
+        momentum += 0.5 * DT * np.asarray(force)
 
     if out_velocity is None:
         out_velocity = np.empty_like(momentum)

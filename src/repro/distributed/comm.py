@@ -222,6 +222,10 @@ class RankComm:
         :class:`~repro.errors.CommTimeoutError` instead of deadlocking.
         """
         comm = self.comm
+        # The reduction accumulates in float64 regardless of the input's
+        # storage dtype (the backend's mixed-policy contract for global
+        # sums); a sub-f64 float input gets its dtype back at the end.
+        in_dtype = np.asarray(array).dtype
         contribution = np.asarray(array, dtype=np.float64)
         with comm._reduce_lock:
             if comm._reduce_buffer is None:
@@ -241,4 +245,6 @@ class RankComm:
             comm._reduce_result = None
             comm._reduce_count = 0
         self.barrier(timeout)
+        if in_dtype.kind == "f" and in_dtype != np.float64:
+            result = result.astype(in_dtype)
         return result

@@ -75,6 +75,15 @@ def _batch() -> str:
     return render_bench_batch(run_bench_batch(steps=5, warmup=2, batch_sizes=(1, 4)))
 
 
+def _precision() -> str:
+    from repro.experiments.bench_precision import (
+        render_bench_precision,
+        run_bench_precision,
+    )
+
+    return render_bench_precision(run_bench_precision(scale=4, steps=5, warmup=2))
+
+
 #: Artifact name -> renderer.
 ARTIFACTS = {
     "table1": _table1,
@@ -86,6 +95,7 @@ ARTIFACTS = {
     "fused": _fused,
     "inplace": _inplace,
     "batch": _batch,
+    "precision": _precision,
 }
 
 

@@ -39,10 +39,17 @@ __all__ = ["run_bench_fused", "render_bench_fused"]
 
 
 def _measure_variant(
-    solver: str, scale: int, steps: int, warmup: int, fluid_only: bool = False
+    solver: str,
+    scale: int,
+    steps: int,
+    warmup: int,
+    fluid_only: bool = False,
+    precision: str = "float64",
 ) -> dict:
     """Wall time, per-kernel split and allocation profile of one variant."""
     config = scaled_profiling_config(scale=scale, solver=solver)
+    if precision != "float64":
+        config = replace(config, precision=precision)
     if fluid_only:
         config = replace(config, structure=StructureConfig(kind="none"))
     sim = Simulation(config)
@@ -68,10 +75,13 @@ def _measure_variant(
     finally:
         sim.close()
 
+    from repro.core.backend import dtype_bytes
+
     nx, ny, nz = config.fluid_shape
     return {
         "solver": solver,
         "fluid_only": fluid_only,
+        "precision": config.precision,
         "fluid_shape": list(config.fluid_shape),
         "step_seconds": wall / steps,
         "per_kernel_seconds": {
@@ -80,7 +90,7 @@ def _measure_variant(
         },
         "alloc_peak_bytes": int(peak),
         "alloc_retained_bytes": int(retained),
-        "scalar_field_bytes": nx * ny * nz * 8,
+        "scalar_field_bytes": nx * ny * nz * dtype_bytes(config.precision),
     }
 
 
@@ -110,7 +120,10 @@ def _measure_scatter(scale: int, repeats: int) -> dict:
     values = np.random.default_rng(0).standard_normal((positions.shape[0], 3))
     num_nodes = int(np.prod(grid_shape))
 
-    target_a = np.zeros((3,) + grid_shape)
+    from repro.core.backend import backend_for
+
+    backend = backend_for(config.precision)
+    target_a = backend.zeros((3,) + grid_shape)
     target_b = np.zeros_like(target_a)
     scatter_flat(flat_idx, flat_w, values, target_a, method="add_at")
     scatter_flat(flat_idx, flat_w, values, target_b, method="bincount")
@@ -133,7 +146,9 @@ def _measure_scatter(scale: int, repeats: int) -> dict:
         "bincount_seconds": bincount_seconds,
         "speedup": add_at_seconds / bincount_seconds,
         "max_abs_delta": max_delta,
-        "chosen_method": scatter_method(num_nodes, flat_idx.size),
+        "chosen_method": scatter_method(
+            num_nodes, flat_idx.size, target_a.dtype.itemsize
+        ),
     }
 
 

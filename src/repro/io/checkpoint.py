@@ -82,6 +82,7 @@ def save_checkpoint(
         "shape": np.array(fluid.shape),
         "tau": np.array(fluid.tau),
         "collision_operator": np.array(fluid.collision_operator),
+        "precision": np.array(fluid.precision.name),
         "aa_phase": np.array(int(getattr(fluid, "aa_phase", 0))),
         "df": fluid.df,
         "density": fluid.density,
@@ -194,10 +195,19 @@ def load_checkpoint(
             if "collision_operator" in arrays
             else "bgk"
         )
+        if "precision" in arrays:
+            precision = str(arrays["precision"])
+        else:
+            # Pre-policy checkpoints carry no precision entry; infer the
+            # uniform policy matching the stored lattice dtype.
+            precision = (
+                "float32" if arrays["df"].dtype == np.float32 else "float64"
+            )
         fluid = FluidGrid(
             tuple(int(n) for n in arrays["shape"]),
             tau=float(arrays["tau"]),
             collision_operator=operator,
+            precision=precision,
         )
         fluid.df[...] = arrays["df"]
         if "df_new" in arrays:

@@ -27,9 +27,28 @@ __all__ = [
     "CacheStats",
     "SetAssociativeCache",
     "CacheHierarchy",
+    "record_bytes",
     "scaled_cache",
     "working_set_nodes",
 ]
+
+
+def record_bytes(record_values: int, precision: str = "float64") -> int:
+    """Bytes of one node record at a storage precision policy.
+
+    The trace modules size records in *values* (48 per two-lattice
+    node, 29 single-lattice — see :mod:`repro.machine.traces`); under
+    the float32 and mixed policies each stored value is 4 bytes instead
+    of 8, doubling the node count resident in a fixed cache (feed the
+    result to :func:`working_set_nodes`).
+    """
+    from repro.core.backend import dtype_bytes
+
+    if record_values < 1:
+        raise MachineModelError(
+            f"record_values must be positive, got {record_values}"
+        )
+    return record_values * dtype_bytes(precision)
 
 
 def working_set_nodes(cache_bytes: int, record_bytes: int) -> int:

@@ -178,6 +178,55 @@ class PerformanceModel:
         return points
 
     # ------------------------------------------------------------------
+    # precision scaling (float32 Table-II / Figure-8 predictions)
+    # ------------------------------------------------------------------
+    def precision_time_factor(
+        self,
+        fluid_shape: tuple[int, int, int],
+        fiber_shape: tuple[int, int],
+        precision: str = "float64",
+        solver: str = "openmp",
+        layout: str = "global",
+        weak: bool = False,
+    ) -> float:
+        """Relative step time under a storage precision policy.
+
+        A memory-share model: the fitted contention curves split
+        one-core time into a compute share (dtype-independent — the
+        vector units do not run faster on these widths for this code's
+        flop mix) and a memory-stall share, which scales with the bytes
+        actually moved.  :func:`repro.machine.workload.step_bytes`
+        provides the byte ratio, so the fiber kernels' permanent-f64
+        traffic is accounted for.  Returns a factor <= 1 for float32
+        and mixed policies (multiply a float64 prediction by it), and
+        exactly 1.0 for float64.
+        """
+        from repro.core.backend import dtype_bytes
+
+        fluid_nodes = fluid_shape[0] * fluid_shape[1] * fluid_shape[2]
+        fiber_nodes = fiber_shape[0] * fiber_shape[1]
+        base = wl.step_bytes(fluid_nodes, fiber_nodes, layout)
+        scaled = wl.step_bytes(
+            fluid_nodes, fiber_nodes, layout, dtype_bytes=dtype_bytes(precision)
+        )
+        share = self._fit_for(solver, weak).memory_share
+        return (1.0 - share) + share * (scaled / base)
+
+    def precision_speedup(
+        self,
+        fluid_shape: tuple[int, int, int],
+        fiber_shape: tuple[int, int],
+        precision: str = "float32",
+        solver: str = "openmp",
+        layout: str = "global",
+        weak: bool = False,
+    ) -> float:
+        """Modelled speedup of ``precision`` over float64 (>= 1.0)."""
+        return 1.0 / self.precision_time_factor(
+            fluid_shape, fiber_shape, precision, solver=solver, layout=layout, weak=weak
+        )
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def memory_share(self, solver: str = "openmp", weak: bool = False) -> float:

@@ -195,17 +195,33 @@ _INPLACE_ELIDED_KERNELS = (
 )
 
 
-def step_bytes(fluid_nodes: int, fiber_nodes: int, layout: str = "global") -> float:
-    """Total bytes moved per step for a problem size and data layout."""
+def step_bytes(
+    fluid_nodes: int,
+    fiber_nodes: int,
+    layout: str = "global",
+    dtype_bytes: int = _D,
+) -> float:
+    """Total bytes moved per step for a problem size and data layout.
+
+    ``dtype_bytes`` is the fluid storage element size (8 for float64,
+    4 for the float32/mixed policies of :mod:`repro.core.backend`).
+    Only the fluid-unit kernels scale with it — their traffic is pure
+    lattice/field data — while the fiber kernels keep the float64 cost:
+    Lagrangian state stays double precision under every policy, and
+    their fluid-field term (the kernel-4 scatter) is ~1.4% of the step.
+    """
     if layout not in ("global", "cube", "inplace"):
         raise ValueError(
             f"layout must be 'global', 'cube' or 'inplace', got {layout!r}"
         )
+    fluid_scale = float(dtype_bytes) / _D
     total = 0.0
     for name, work in KERNEL_WORK.items():
         if layout == "inplace" and name in _INPLACE_ELIDED_KERNELS:
             continue
         nodes = fluid_nodes if work.unit == "fluid" else fiber_nodes
         per_node = work.bytes_total if layout != "cube" else work.cube_bytes_total()
+        if work.unit == "fluid":
+            per_node *= fluid_scale
         total += per_node * nodes
     return total

@@ -177,7 +177,7 @@ class MomentumConsistency(Invariant):
                     axis=0
                 )
         if self.external_force is not None:
-            impulse += np.asarray(self.external_force, dtype=float) * fluid.num_nodes
+            impulse += np.asarray(self.external_force, dtype=np.float64) * fluid.num_nodes
         return impulse * self.dt * num_steps
 
     def check(self, fluid, structure, step: int) -> None:
@@ -342,19 +342,26 @@ class InvariantSuite:
         Mass conservation is dropped when an outflow boundary is
         configured (mass deliberately leaves); momentum consistency
         needs a fully periodic domain (walls exchange momentum with the
-        boundary).
+        boundary).  The drift tolerances scale with the config's
+        precision policy (:func:`repro.core.backend.invariant_scale`):
+        single-precision storage turns the exactly-conserved sums into
+        sums over float32 roundoff.
         """
+        from repro.core.backend import invariant_scale
+
+        tol_scale = 1.0 if config is None else invariant_scale(config.precision)
         checks: list[Invariant] = [FiniteFields()]
         boundaries = () if config is None else config.boundaries
         has_outflow = any(bc.kind == "outflow" for bc in boundaries)
         fully_periodic = all(bc.kind == "periodic" for bc in boundaries)
         if not has_outflow:
-            checks.append(MassConservation())
+            checks.append(MassConservation(rtol=1e-9 * tol_scale))
         if fully_periodic:
             checks.append(
                 MomentumConsistency(
                     dt=1.0 if config is None else config.dt,
                     external_force=None if config is None else config.external_force,
+                    atol=5e-9 * tol_scale,
                 )
             )
         checks.append(DistributionPositivity(floor=positivity_floor))

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.api import Simulation
 from repro.config import SimulationConfig
+from repro.core.backend import oracle_tolerance
 from repro.core.lbm.fields import FluidGrid
 
 __all__ = ["Divergence", "DifferentialOracle", "variant_config", "compare_variants"]
@@ -101,6 +102,7 @@ def _seeded_initial_fluid(config: SimulationConfig, seed: int | None) -> FluidGr
         config.fluid_shape,
         tau=config.effective_tau,
         collision_operator=config.collision_operator,
+        precision=config.precision,
     )
     if seed is not None:
         rng = np.random.default_rng(seed)
@@ -167,9 +169,12 @@ class DifferentialOracle:
         Solver variants to compare (``variant_a`` defaults to the
         sequential reference).
     rtol / atol:
-        Element tolerance: ``|a - b| <= atol + rtol * |b|``.  The
-        defaults are far tighter than any physical signal and far
-        looser than benign summation-order noise.
+        Element tolerance: ``|a - b| <= atol + rtol * |b|``.  ``None``
+        (the default) resolves per the config's precision policy via
+        :func:`repro.core.backend.oracle_tolerance` — for float64 that
+        is far tighter than any physical signal and far looser than
+        benign summation-order noise; the float32/mixed bounds widen to
+        accommodate single-precision rounding across reordered sums.
     state_seed:
         Seed for the shared perturbed initial condition (``None`` keeps
         the quiescent equilibrium start).
@@ -188,8 +193,8 @@ class DifferentialOracle:
         config: SimulationConfig,
         variant_a: str = "sequential",
         variant_b: str = "cube",
-        rtol: float = 1e-9,
-        atol: float = 1e-11,
+        rtol: float | None = None,
+        atol: float | None = None,
         state_seed: int | None = 0,
         config_b: SimulationConfig | None = None,
         telemetry=None,
@@ -200,8 +205,9 @@ class DifferentialOracle:
             if config_b is None
             else variant_config(config_b, variant_b)
         )
-        self.rtol = rtol
-        self.atol = atol
+        default_rtol, default_atol = oracle_tolerance(config.precision)
+        self.rtol = default_rtol if rtol is None else rtol
+        self.atol = default_atol if atol is None else atol
         self.state_seed = state_seed
         self.telemetry = telemetry
         self._cube_size: int | None = None
@@ -261,8 +267,8 @@ def compare_variants(
     variant_a: str,
     variant_b: str,
     num_steps: int,
-    rtol: float = 1e-9,
-    atol: float = 1e-11,
+    rtol: float | None = None,
+    atol: float | None = None,
     state_seed: int | None = 0,
 ) -> Divergence | None:
     """One-shot form of :class:`DifferentialOracle`."""

@@ -1,0 +1,129 @@
+"""Grep-based lint: field allocations must route through the backend.
+
+Every persistent float field and every hot-path scratch buffer in the
+vectorized solver core is supposed to come from
+:mod:`repro.core.backend` (directly or via ``FluidGrid``/``ScratchArena``)
+so that the precision policy, memory layout and an injected array
+module apply everywhere at once.  A direct ``np.empty(...)`` with a
+hardcoded float dtype — or with no dtype at all, which silently means
+float64 — bypasses all three.
+
+This test walks ``src/repro/core`` and ``src/repro/batch`` and fails on
+any such call outside the sanctioned modules.  Escape hatches, in
+order of preference:
+
+* pass a *derived* dtype (``dtype=out.dtype``, ``np.result_type(...)``,
+  a ``face_dtype`` variable) — the lint only matches hardcoded floats
+  and missing dtypes;
+* integer/bool buffers are always fine (``dtype=np.int64`` etc.);
+* a deliberate float64 allocation gets an inline
+  ``# backend-lint: ok (<reason>)`` marker on the same line;
+* whole modules that are float64 *by design* are allowlisted below.
+
+``src/repro/parallel`` and ``src/repro/distributed`` are out of scope:
+the cube/halo layouts keep float64 working copies of the fluid state by
+design (they model the paper's double-precision C kernels) and exchange
+with the policy-typed ``FluidGrid`` through explicit casts.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Directories whose allocations must go through the backend.
+SCOPES = ("core", "batch")
+
+#: Modules exempt from the lint, relative to ``src/repro``.
+ALLOWED = {
+    # the allocation facade itself and the two field containers built on it
+    "core/backend.py",
+    "core/lbm/fields.py",
+    "batch/fields.py",
+    # scalar float64 reference implementation: the point of the module
+    # is to be dtype-naive and slow
+    "core/reference.py",
+    # Lagrangian structure state is permanently float64 under every
+    # policy (positions/forces of a few thousand fiber nodes)
+    "core/ib/geometry.py",
+    "core/ib/fiber.py",
+    "core/ib/delta.py",
+}
+
+#: An allocation call: np.empty/zeros/ones/full with one level of
+#: nested parens in the arguments (shape tuples like ``(Q,) + spatial``).
+_ALLOC = re.compile(
+    r"np\.(?:empty|zeros|ones|full)\((?:[^()]|\([^()]*\))*\)"
+)
+
+#: Hardcoded double-precision dtypes (``float`` is builtin float64).
+_HARDCODED_FLOAT = re.compile(
+    r"dtype\s*=\s*(?:DTYPE\b|np\.float64\b|np\.double\b|float\b|[\"']float64[\"'])"
+)
+
+_MARKER = "# backend-lint: ok"
+
+
+def _violations():
+    found = []
+    for scope in SCOPES:
+        for path in sorted((SRC / scope).rglob("*.py")):
+            rel = path.relative_to(SRC).as_posix()
+            if rel in ALLOWED:
+                continue
+            text = path.read_text(encoding="utf-8")
+            lines = text.splitlines()
+            for match in _ALLOC.finditer(text):
+                call = match.group(0)
+                if "dtype" in call and not _HARDCODED_FLOAT.search(call):
+                    continue  # derived dtype or int/bool buffer
+                lineno = text.count("\n", 0, match.start()) + 1
+                line = lines[lineno - 1]
+                if _MARKER in line:
+                    continue
+                found.append(f"{rel}:{lineno}: {call.strip()}")
+    return found
+
+
+def test_no_direct_float_field_allocations():
+    violations = _violations()
+    assert not violations, (
+        "direct float/dtype-less allocations outside the array backend "
+        "(route through repro.core.backend, derive the dtype from an "
+        "operand, or add '# backend-lint: ok (<reason>)'):\n  "
+        + "\n  ".join(violations)
+    )
+
+
+def test_lint_catches_hardcoded_and_missing_dtypes():
+    """Self-test: the patterns match what they claim to match."""
+    flagged = [
+        "out = np.empty((19,) + shape, dtype=DTYPE)",
+        "out = np.zeros(shape, dtype=np.float64)",
+        "out = np.ones(shape, dtype=float)",
+        'out = np.full(shape, 1.0, dtype="float64")',
+        "out = np.zeros((nx, ny, nz))",  # missing dtype == float64
+    ]
+    passed = [
+        "out = np.empty(shape, dtype=out.dtype)",
+        "out = np.empty(shape, dtype=np.result_type(a, b))",
+        "out = np.zeros(n, dtype=np.int64)",
+        "mask = np.zeros(shape, dtype=bool)",
+        "buf = np.empty(face_shape, dtype=face_dtype)",
+    ]
+    for snippet in flagged:
+        match = _ALLOC.search(snippet)
+        assert match, snippet
+        call = match.group(0)
+        assert "dtype" not in call or _HARDCODED_FLOAT.search(call), snippet
+    for snippet in passed:
+        match = _ALLOC.search(snippet)
+        assert match, snippet
+        call = match.group(0)
+        assert "dtype" in call and not _HARDCODED_FLOAT.search(call), snippet
+
+
+def test_allowlist_entries_exist():
+    """Stale allowlist entries hide new violations — prune them."""
+    for rel in ALLOWED:
+        assert (SRC / rel).is_file(), f"allowlisted module vanished: {rel}"
