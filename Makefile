@@ -32,7 +32,7 @@ BENCH_INPLACE_GATE_ARGS ?= --scale 8 --steps 3 --warmup 2
 BENCH_PRECISION_BASELINE ?= benchmarks/baselines/BENCH_precision.json
 BENCH_PRECISION_GATE_ARGS ?= --scale 2 --steps 8 --warmup 2
 
-.PHONY: install test test-quick test-faults test-chaos test-verify verify-physics bench bench-fused bench-inplace bench-batch bench-precision bench-gate trace-example examples report clean
+.PHONY: install test test-quick test-faults test-chaos test-service test-verify verify-physics bench bench-fused bench-inplace bench-batch bench-precision bench-gate trace-example examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -60,6 +60,15 @@ test-faults:
 # failure).
 test-chaos:
 	LBMIB_FAULT_TEST_TIMEOUT=180 $(PYTHON) -m pytest -m chaos tests/
+
+# Simulation-service suite: async job API lifecycle, weighted-fair
+# queue properties (seeded random schedules with greedy shrinking),
+# admission control, and the soak smoke.  The slow full soak (220 jobs
+# + kill/resume) and the service chaos scenario run under `make test`
+# / the CI service job.  Each test carries the SIGALRM deadline from
+# tests/conftest.py.
+test-service:
+	LBMIB_FAULT_TEST_TIMEOUT=180 $(PYTHON) -m pytest -m "service and not slow" tests/
 
 # The differential-verification pytest suite only.
 test-verify:
@@ -145,6 +154,7 @@ examples:
 	$(PYTHON) examples/scaling_study.py
 	$(PYTHON) examples/extensions_tour.py
 	$(PYTHON) examples/convergence_study.py
+	$(PYTHON) examples/service_demo.py
 
 # print every reproduced table/figure without pytest
 report:

@@ -27,4 +27,14 @@ Quickstart
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "SimulationService", "TenantSpec"]
+
+
+def __getattr__(name):
+    # Lazy service exports: `from repro import SimulationService` without
+    # paying the asyncio/service import on every library use.
+    if name in ("SimulationService", "TenantSpec"):
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -28,7 +28,22 @@ from repro.core.solver import SequentialLBMIBSolver
 from repro.constants import viscosity_from_tau
 from repro.errors import ConfigurationError
 
-__all__ = ["Simulation", "SimulationConfig", "StructureConfig", "BoundaryConfig"]
+__all__ = [
+    "Simulation",
+    "SimulationConfig",
+    "StructureConfig",
+    "BoundaryConfig",
+    "SimulationService",
+]
+
+
+def __getattr__(name):
+    # Lazy: the asyncio service layer is only imported when asked for.
+    if name == "SimulationService":
+        from repro.service import SimulationService
+
+        return SimulationService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Sentinel: "no initial structure was supplied" (``None`` is a valid
 #: structure meaning a fluid-only run, so it cannot be the default).

@@ -25,11 +25,14 @@ from repro.batch.kernels import (
     batched_update_velocity_fields,
 )
 from repro.batch.scheduler import (
+    TERMINAL_STATUSES,
     BatchJob,
     BatchResult,
     BatchRetryPolicy,
     BatchScheduler,
     FailureInfo,
+    JobRequest,
+    SchedulerTick,
     compatibility_key,
 )
 from repro.batch.solver import BatchedLBMIBSolver
@@ -43,8 +46,11 @@ __all__ = [
     "BatchRetryPolicy",
     "BatchScheduler",
     "FailureInfo",
+    "JobRequest",
+    "SchedulerTick",
     "SlotEjection",
     "SlotGuard",
+    "TERMINAL_STATUSES",
     "adopt_state",
     "batched_collide_stream",
     "batched_update_velocity_fields",

@@ -37,13 +37,35 @@ Fault tolerance (all opt-in, zero overhead when off):
   completes every in-flight job losslessly, falling back past any
   corrupted or truncated checkpoint it finds.
 
+Serving hooks (the :mod:`repro.service` layer builds on these):
+
+* **Cancellation** — :meth:`BatchScheduler.cancel` is a public,
+  thread-safe cancel path.  A queued job is retired immediately with
+  status ``"cancelled"``; a *running* job is parked benignly at the
+  next step boundary by the same slot-parking mechanics the
+  :class:`~repro.batch.guard.SlotGuard` ejection path uses
+  (:meth:`~repro.batch.solver.BatchedLBMIBSolver.clear_slot` writes
+  only the victim's sub-arrays), so sibling slots stay bit-identical.
+* **Cooperative yield point** — an optional ``step_hook`` receives one
+  :class:`SchedulerTick` after every batched sweep (occupancy, per-job
+  progress, the sweep's wall time).  It runs between steps, exactly
+  where cancellation requests are drained, so a long-lived service can
+  observe progress and apply control without touching solver state.
+* **Continuous admission** — an optional ``refill_source`` callable is
+  consulted whenever a slot frees and the scheduler's own queue is
+  empty: ``refill_source(compat_key)`` may return a
+  :class:`JobRequest` compatible with the running group, which is
+  admitted into the freed slot without draining the batch — iteration-
+  level admission across scheduler waves, not just within one.
+
 Telemetry (optional :class:`~repro.observe.Telemetry`): per-group spans
 (``batch.group``), gauges ``batch.occupancy`` / ``batch.capacity``, and
 counters ``batch.steps`` (batched kernel sweeps), ``batch.sim_steps``
 (per-simulation steps advanced), ``batch.sims_completed``,
-``batch.sims_diverged``, ``batch.refills`` — plus the fault-tolerance
-counters ``batch.retries``, ``batch.ejections``, ``batch.quarantined``,
-``batch.jobs_failed``, ``batch.checkpoints`` and ``batch.resumes``.
+``batch.sims_diverged``, ``batch.sims_cancelled``, ``batch.refills`` —
+plus the fault-tolerance counters ``batch.retries``,
+``batch.ejections``, ``batch.quarantined``, ``batch.jobs_failed``,
+``batch.checkpoints`` and ``batch.resumes``.
 """
 
 from __future__ import annotations
@@ -51,6 +73,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, replace
@@ -77,8 +100,14 @@ __all__ = [
     "BatchRetryPolicy",
     "BatchScheduler",
     "FailureInfo",
+    "JobRequest",
+    "SchedulerTick",
+    "TERMINAL_STATUSES",
     "compatibility_key",
 ]
+
+#: Job statuses that end a job's lifecycle (a result exists for each).
+TERMINAL_STATUSES = frozenset({"completed", "failed", "diverged", "cancelled"})
 
 #: Queue-manifest file name inside a scheduler ``workdir``.
 MANIFEST_NAME = "manifest.json"
@@ -245,6 +274,55 @@ class BatchJob:
     start_step: int = 0
 
 
+@dataclass(frozen=True)
+class JobRequest:
+    """One submission a ``refill_source`` may hand the scheduler.
+
+    The continuous-admission form of :meth:`BatchScheduler.submit`'s
+    argument list: when a slot frees mid-group and the scheduler's own
+    queue is dry, it asks its ``refill_source`` for the next request
+    whose config matches the running group's :func:`compatibility_key`.
+    """
+
+    config: SimulationConfig
+    num_steps: int
+    job_id: str | None = None
+    initial_fluid: FluidGrid | None = None
+    initial_structure: ImmersedStructure | None = None
+
+
+@dataclass(frozen=True)
+class SchedulerTick:
+    """One cooperative yield point: the state after one batched sweep.
+
+    Handed to the scheduler's ``step_hook`` after every
+    :meth:`~repro.batch.solver.BatchedLBMIBSolver.step`, *after*
+    ejections, cancellations, completions and refills for that sweep
+    have been applied — so ``jobs`` names exactly the simulations that
+    will advance on the next sweep.
+
+    Attributes
+    ----------
+    group_index:
+        Ordinal of the compatibility group being run.
+    batch_step:
+        The batched solver's global sweep counter.
+    occupancy / capacity:
+        Active slots after refill vs. the batch width.
+    step_seconds:
+        Wall time of the sweep just executed.
+    jobs:
+        ``(job_id, absolute_steps_completed)`` per occupied slot.
+    """
+
+    group_index: int
+    batch_step: int
+    occupancy: int
+    capacity: int
+    step_seconds: float
+    jobs: tuple[tuple[str, int], ...] = ()
+
+
 @dataclass(eq=False)
 class BatchResult:
     """Per-simulation outcome returned by :meth:`BatchScheduler.run`.
@@ -254,8 +332,9 @@ class BatchResult:
     status:
         ``"completed"`` (ran its full ``num_steps``), ``"diverged"``
         (non-finite state detected by the divergence probe; retired
-        early) or ``"failed"`` (ejected by the slot guard with no retry
-        budget left).
+        early), ``"failed"`` (ejected by the slot guard with no retry
+        budget left) or ``"cancelled"`` (retired by
+        :meth:`BatchScheduler.cancel` before finishing).
     steps_completed:
         Absolute time steps actually advanced (including steps from
         earlier attempts / the pre-resume process).
@@ -330,6 +409,15 @@ class BatchScheduler:
         Optional pre-built :class:`~repro.resilience.incident.IncidentLog`;
         by default a crash-safe JSONL journal is created inside
         ``workdir`` (in-memory only without one).
+    step_hook:
+        Optional callable receiving one :class:`SchedulerTick` after
+        every batched sweep — the cooperative yield point a service
+        layer uses for progress streaming and SLO metrics.
+    refill_source:
+        Optional ``refill_source(compat_key) -> JobRequest | None``
+        consulted when a slot frees and the group queue is empty; a
+        returned request must belong to the running compatibility
+        group (continuous admission across submission waves).
     """
 
     def __init__(
@@ -345,6 +433,8 @@ class BatchScheduler:
         keep_checkpoints: int = 2,
         fault_injector=None,
         incident_log: IncidentLog | None = None,
+        step_hook=None,
+        refill_source=None,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError(f"max_batch must be positive, got {max_batch}")
@@ -400,8 +490,21 @@ class BatchScheduler:
             )
         else:
             self._guard = None
+        self.step_hook = step_hook
+        self.refill_source = refill_source
         self._jobs: list[BatchJob] = []
         self._counter = 0
+        #: Cancellation requests awaiting the next yield point, guarded
+        #: by ``_cancel_lock`` (cancel() may be called from any thread).
+        self._cancel_lock = threading.Lock()
+        self._cancel_requests: set[str] = set()
+        #: Lifecycle state per ever-seen job id ("queued" / "running" /
+        #: a terminal status) — the cheap, in-memory poll surface.
+        self._status: dict[str, str] = {}
+        #: True while run() is executing (cancel() switches behaviour).
+        self._running = False
+        #: Compatibility key of the group currently executing.
+        self._group_key: tuple | None = None
         #: Probe-path strike counts per job id (guard keeps its own).
         self._strikes: dict[str, int] = {}
         #: Per-job checkpoint trail (oldest first), mirroring the manifest.
@@ -452,6 +555,7 @@ class BatchScheduler:
         )
         self._jobs.append(job)
         self._counter += 1
+        self._status[job_id] = "queued"
         if self._persist:
             entry = {
                 "job_id": job_id,
@@ -491,6 +595,87 @@ class BatchScheduler:
         for job in self._jobs:
             groups.setdefault(compatibility_key(job.config), []).append(job.job_id)
         return groups
+
+    def job_status(self, job_id: str) -> str | None:
+        """Lifecycle state of a job id (``None`` if never submitted).
+
+        One of ``"queued"``, ``"running"`` or a terminal status from
+        :data:`TERMINAL_STATUSES`.
+        """
+        return self._status.get(job_id)
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation of a queued or running job.
+
+        Thread-safe.  A job still waiting in the submission queue (and
+        not inside an active :meth:`run`) is retired immediately with
+        status ``"cancelled"`` — its result is merged into the next
+        :meth:`run` return.  A job currently running in a batch slot is
+        parked benignly at the next step boundary: the same
+        slot-parking mechanics the guard-ejection path uses, writing
+        only the victim slot's sub-arrays, so every sibling slot's
+        trajectory stays bit-identical.  Returns ``False`` when the job
+        is unknown or already terminal (nothing to cancel).
+        """
+        with self._cancel_lock:
+            status = self._status.get(job_id)
+            if status is None or status in TERMINAL_STATUSES:
+                return False
+            if not self._running:
+                queued = next(
+                    (job for job in self._jobs if job.job_id == job_id), None
+                )
+                if queued is not None:
+                    self._jobs.remove(queued)
+                    self._restored[job_id] = self._cancelled_result(queued)
+                    return True
+            self._cancel_requests.add(job_id)
+        return True
+
+    def _cancel_requested(self, job_id: str) -> bool:
+        """Consume a pending cancellation request for ``job_id``."""
+        with self._cancel_lock:
+            if job_id in self._cancel_requests:
+                self._cancel_requests.discard(job_id)
+                return True
+            return False
+
+    def _cancelled_result(self, job: BatchJob) -> BatchResult:
+        """Terminal ``"cancelled"`` result for a job that never ran
+        (or whose current attempt never started); bookkeeping included."""
+        fluid = job.initial_fluid
+        if fluid is None:
+            fluid = FluidGrid(
+                job.config.fluid_shape,
+                tau=job.config.effective_tau,
+                collision_operator=job.config.collision_operator,
+            )
+        result = BatchResult(
+            job_id=job.job_id,
+            status="cancelled",
+            steps_completed=job.start_step,
+            fluid=fluid,
+            structure=job.initial_structure,
+            slot=-1,
+            attempts=job.attempt,
+        )
+        self._status[job.job_id] = "cancelled"
+        self._record(
+            "job_cancelled", step=job.start_step, job=job.job_id, queued=True
+        )
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("batch.sims_cancelled").inc()
+        if self._persist:
+            entry = self._manifest.get(job.job_id)
+            if entry is not None:
+                entry["status"] = "cancelled"
+                entry["steps_completed"] = job.start_step
+                self._save_manifest()
+        return result
 
     # ------------------------------------------------------------------
     # resume
@@ -549,9 +734,10 @@ class BatchScheduler:
                     slot=-1,
                     attempts=attempt,
                 )
+                scheduler._status[job_id] = "completed"
                 restored += 1
                 continue
-            if status in ("failed", "diverged"):
+            if status in ("failed", "diverged", "cancelled"):
                 failure = (
                     FailureInfo.from_dict(entry["failure"])
                     if entry.get("failure")
@@ -573,12 +759,14 @@ class BatchScheduler:
                     attempts=attempt,
                     failure=failure,
                 )
+                scheduler._status[job_id] = status
                 restored += 1
                 continue
             # pending / running (the process died mid-flight), or a
             # "completed" entry whose final checkpoint no longer loads:
             # re-queue from the newest restorable state.
             entry["status"] = "pending"
+            scheduler._status[job_id] = "queued"
             scheduler._jobs.append(
                 BatchJob(
                     job_id=job_id,
@@ -624,16 +812,34 @@ class BatchScheduler:
         self._restored = {}
         jobs, self._jobs = self._jobs, []
         group_counter = 0
-        while jobs:
-            groups: dict[tuple, list[BatchJob]] = {}
-            for job in jobs:
-                groups.setdefault(compatibility_key(job.config), []).append(job)
-            retries: list[BatchJob] = []
-            for group in groups.values():
-                self._run_group(group_counter, group, results, retries)
-                group_counter += 1
-            jobs = retries
+        self._running = True
+        try:
+            while jobs:
+                groups: dict[tuple, list[BatchJob]] = {}
+                for job in jobs:
+                    groups.setdefault(compatibility_key(job.config), []).append(
+                        job
+                    )
+                retries: list[BatchJob] = []
+                for group in groups.values():
+                    self._run_group(group_counter, group, results, retries)
+                    group_counter += 1
+                jobs = retries
+        finally:
+            self._running = False
+            self._group_key = None
+            # Requests targeting jobs that reached a terminal state (or
+            # were never admitted) are stale; drop them so they cannot
+            # cancel a future job reusing the id.
+            with self._cancel_lock:
+                self._cancel_requests -= set(results)
         return results
+
+    @property
+    def has_pending(self) -> bool:
+        """True when a :meth:`run` would do work (queued jobs or
+        results restored by :meth:`resume` awaiting collection)."""
+        return bool(self._jobs) or bool(self._restored)
 
     # ------------------------------------------------------------------
     @property
@@ -655,6 +861,7 @@ class BatchScheduler:
     ) -> None:
         start = time.perf_counter()
         config = jobs[0].config
+        self._group_key = compatibility_key(config)
         batch = min(self.max_batch, len(jobs))
         grid = BatchedFluidGrid(
             config.fluid_shape,
@@ -697,10 +904,15 @@ class BatchScheduler:
 
             solver.fault_hook = fault_hook
         for slot in range(batch):
-            self._admit(solver, slots, slot, queue.popleft())
+            job = self._next_job(queue, results)
+            if job is None:
+                break
+            self._admit(solver, slots, slot, job)
 
         while any(job is not None for job in slots):
+            sweep_start = time.perf_counter()
             solver.step()
+            sweep_seconds = time.perf_counter() - sweep_start
             if metrics is not None:
                 metrics.counter("batch.steps").inc()
                 metrics.counter("batch.sim_steps").inc(solver.occupancy)
@@ -727,6 +939,24 @@ class BatchScheduler:
                         chain=_error_chain(ejection.error),
                         ejected=True,
                     )
+            # Cooperative cancellation drain: requested slots are
+            # retired at the step boundary by the same benign slot
+            # parking the guard-ejection path uses (only the victim's
+            # sub-arrays are written; siblings stay bit-identical).
+            for slot, job in enumerate(slots):
+                if job is None or slot in handled:
+                    continue
+                if self._cancel_requested(job.job_id):
+                    handled.add(slot)
+                    self._retire(
+                        solver,
+                        slots,
+                        slot,
+                        results,
+                        "cancelled",
+                        steps=job.start_step + solver.slot_steps[slot],
+                    )
+                    self._refill(solver, slots, slot, queue, results)
             probe = (
                 self.check_finite_every
                 and solver.time_step % self.check_finite_every == 0
@@ -767,7 +997,7 @@ class BatchScheduler:
                     self._retire(
                         solver, slots, slot, results, "completed", steps=step_abs
                     )
-                    self._refill(solver, slots, slot, queue)
+                    self._refill(solver, slots, slot, queue, results)
                 elif (
                     self._persist
                     and self.checkpoint_every
@@ -779,6 +1009,21 @@ class BatchScheduler:
                     )
             if metrics is not None:
                 metrics.gauge("batch.occupancy").set(solver.occupancy)
+            if self.step_hook is not None:
+                self.step_hook(
+                    SchedulerTick(
+                        group_index=group_index,
+                        batch_step=solver.time_step,
+                        occupancy=solver.occupancy,
+                        capacity=batch,
+                        step_seconds=sweep_seconds,
+                        jobs=tuple(
+                            (job.job_id, job.start_step + solver.slot_steps[s])
+                            for s, job in enumerate(slots)
+                            if job is not None
+                        ),
+                    )
+                )
 
         if self.telemetry is not None:
             elapsed = time.perf_counter() - start
@@ -836,6 +1081,7 @@ class BatchScheduler:
                 start_step=start,
             )
             retries.append(retry)
+            self._status[job.job_id] = "queued"
             self._record(
                 "job_retry",
                 step=failing_step,
@@ -856,7 +1102,7 @@ class BatchScheduler:
             slots[slot] = None
             if solver.active[slot]:  # guard ejections already parked the slot
                 solver.clear_slot(slot)
-            self._refill(solver, slots, slot, queue)
+            self._refill(solver, slots, slot, queue, results)
             return
         failure = FailureInfo(
             job_id=job.job_id,
@@ -881,7 +1127,7 @@ class BatchScheduler:
             state=state,
             failure=failure,
         )
-        self._refill(solver, slots, slot, queue)
+        self._refill(solver, slots, slot, queue, results)
 
     def _restart_state(
         self, job: BatchJob
@@ -1030,6 +1276,7 @@ class BatchScheduler:
             structure = config.build_structure()
         solver.load_slot(slot, fluid, structure, job_id=job.job_id)
         slots[slot] = job
+        self._status[job.job_id] = "running"
         if self._persist:
             entry = self._manifest.get(job.job_id)
             if entry is not None:
@@ -1069,12 +1316,14 @@ class BatchScheduler:
         slots[slot] = None
         if solver.active[slot]:  # guard ejections already parked the slot
             solver.clear_slot(slot)
+        self._status[job.job_id] = status
         metrics = self._metrics()
         if metrics is not None:
             metrics.counter(
-                "batch.sims_completed"
-                if status == "completed"
-                else "batch.sims_diverged"
+                {
+                    "completed": "batch.sims_completed",
+                    "cancelled": "batch.sims_cancelled",
+                }.get(status, "batch.sims_diverged")
             ).inc()
             if failure is not None:
                 metrics.counter("batch.jobs_failed").inc()
@@ -1084,6 +1333,17 @@ class BatchScheduler:
                 self._guard.forgive(job.job_id)
             self._record(
                 "job_completed", step=steps, job=job.job_id, attempt=job.attempt
+            )
+        elif status == "cancelled":
+            self._strikes.pop(job.job_id, None)
+            if self._guard is not None:
+                self._guard.forgive(job.job_id)
+            self._record(
+                "job_cancelled",
+                step=steps,
+                job=job.job_id,
+                attempt=job.attempt,
+                queued=False,
             )
         else:
             self._record(
@@ -1107,16 +1367,61 @@ class BatchScheduler:
                 entry["failure"] = None if failure is None else failure.to_dict()
                 self._save_manifest()
 
+    def _next_job(
+        self, queue: deque, results: dict[str, BatchResult]
+    ) -> BatchJob | None:
+        """Next admissible job for the running group.
+
+        Pops the group queue first (entries with a pending cancellation
+        are retired as ``"cancelled"`` instead of admitted), then asks
+        the ``refill_source`` — continuous admission — until it returns
+        an admissible request or runs dry.
+        """
+        while queue:
+            job = queue.popleft()
+            if self._cancel_requested(job.job_id):
+                results[job.job_id] = self._cancelled_result(job)
+                continue
+            return job
+        if self.refill_source is None or self._group_key is None:
+            return None
+        while True:
+            request = self.refill_source(self._group_key)
+            if request is None:
+                return None
+            job_id = self.submit(
+                request.config,
+                request.num_steps,
+                job_id=request.job_id,
+                initial_fluid=request.initial_fluid,
+                initial_structure=request.initial_structure,
+            )
+            job = next(j for j in self._jobs if j.job_id == job_id)
+            if compatibility_key(job.config) != self._group_key:
+                # Leave it queued for the next wave rather than corrupt
+                # the running batch with incompatible physics.
+                raise ConfigurationError(
+                    f"refill_source returned job {job_id!r} incompatible "
+                    "with the running compatibility group"
+                )
+            self._jobs.remove(job)
+            if self._cancel_requested(job_id):
+                results[job_id] = self._cancelled_result(job)
+                continue
+            return job
+
     def _refill(
         self,
         solver: BatchedLBMIBSolver,
         slots: list[BatchJob | None],
         slot: int,
         queue: deque,
+        results: dict[str, BatchResult],
     ) -> None:
-        if not queue:
+        job = self._next_job(queue, results)
+        if job is None:
             return
-        self._admit(solver, slots, slot, queue.popleft())
+        self._admit(solver, slots, slot, job)
         metrics = self._metrics()
         if metrics is not None:
             metrics.counter("batch.refills").inc()

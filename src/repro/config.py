@@ -270,6 +270,28 @@ class SimulationConfig:
             return tau_from_viscosity(self.viscosity)
         return self.tau
 
+    def estimated_state_bytes(self) -> int:
+        """First-order resident-state estimate for admission control.
+
+        Uses the :mod:`repro.machine` bytes-per-node model: 48 stored
+        values per two-lattice fluid node (29 for the single-lattice
+        in-place variant) at the configured precision, plus the
+        structure's node arrays (position, force, velocity — 12 doubles
+        per IB node; structure state stays float64 under every policy).
+        A deliberate lower bound on a real process footprint — used to
+        *compare* jobs against a budget, not to size hardware.
+        """
+        from repro.machine.cache_sim import record_bytes
+
+        nx, ny, nz = self.fluid_shape
+        values = 29 if self.solver == "inplace" else 48
+        fluid = nx * ny * nz * record_bytes(values, self.precision)
+        sc = self.structure
+        if sc.kind == "none":
+            return fluid
+        fibers = sc.num_fibers * (sc.num_sheets if sc.kind == "parallel_sheets" else 1)
+        return fluid + fibers * sc.nodes_per_fiber * 12 * 8
+
     def build_delta(self):
         """Instantiate the configured delta kernel."""
         from repro.core.ib import delta as d

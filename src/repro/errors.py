@@ -168,6 +168,73 @@ class InvariantError(LBMIBError, RuntimeError):
         return " ".join(parts)
 
 
+class ServiceError(LBMIBError, RuntimeError):
+    """Base class for simulation-service failures (see :mod:`repro.service`)."""
+
+
+class AdmissionError(ServiceError):
+    """The service rejected a job at submission time.
+
+    ``retryable`` distinguishes transient pressure (queue full, memory
+    budget exhausted — resubmit after ``retry_after_seconds``) from
+    permanent rejection (a single job larger than the whole budget, an
+    unknown tenant).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_seconds: float | None = None,
+        retryable: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+        self.retryable = retryable
+
+
+class QueueFullError(AdmissionError):
+    """A tenant's queue hit its depth cap; retry after the hint."""
+
+    def __init__(self, tenant: str, depth: int, retry_after_seconds: float) -> None:
+        super().__init__(
+            f"tenant {tenant!r} queue full ({depth} pending); "
+            f"retry after {retry_after_seconds:g}s",
+            retry_after_seconds=retry_after_seconds,
+            retryable=True,
+        )
+        self.tenant = tenant
+        self.depth = depth
+
+
+class MemoryBudgetError(AdmissionError):
+    """Admitting the job would exceed the service memory budget."""
+
+    def __init__(
+        self,
+        requested_bytes: int,
+        available_bytes: int,
+        budget_bytes: int,
+        retry_after_seconds: float | None = None,
+    ) -> None:
+        retryable = requested_bytes <= budget_bytes
+        message = (
+            f"job needs {requested_bytes} bytes but only {available_bytes} of "
+            f"the {budget_bytes}-byte budget is free"
+        )
+        if not retryable:
+            message = (
+                f"job needs {requested_bytes} bytes, more than the whole "
+                f"{budget_bytes}-byte budget; it can never be admitted"
+            )
+            retry_after_seconds = None
+        super().__init__(
+            message, retry_after_seconds=retry_after_seconds, retryable=retryable
+        )
+        self.requested_bytes = requested_bytes
+        self.available_bytes = available_bytes
+        self.budget_bytes = budget_bytes
+
+
 class FaultInjectedError(LBMIBError, RuntimeError):
     """Base class for failures raised deliberately by the fault injector."""
 

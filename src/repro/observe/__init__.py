@@ -43,7 +43,7 @@ from repro.observe.gate import (
     flatten_numeric,
     load_bench,
 )
-from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observe.metrics import Counter, Gauge, Histogram, MetricsRegistry, Quantiles
 from repro.observe.tracer import (
     Span,
     Tracer,
@@ -63,6 +63,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Quantiles",
     "GateError",
     "GateReport",
     "KeyVerdict",

@@ -1,4 +1,4 @@
-"""Metrics registry: counters, gauges, and histograms with JSON export.
+"""Metrics registry: counters, gauges, histograms and quantile sketches.
 
 One :class:`MetricsRegistry` per telemetry session; solvers, the
 resilient runner, and the verification layer record into it through
@@ -6,6 +6,14 @@ dotted metric names (``resilience.rollbacks``, ``verify.invariant_checks``,
 ``parallel.barrier_wait_seconds``...).  A snapshot is a plain JSON
 document that round-trips through :meth:`MetricsRegistry.from_snapshot`,
 so benchmark artifacts and incident reports can embed it directly.
+
+:class:`Quantiles` serves the SLO questions a plain min/sum/max
+:class:`Histogram` cannot answer — tail latency (p99 step time, p90
+queue latency) for the simulation service.  It keeps a *deterministic*
+bounded reservoir: a systematic sample of every ``stride``-th
+observation, with the stride doubled (and the buffer decimated) each
+time the buffer fills, so the memory is O(capacity), the result is
+reproducible run-to-run, and quantile error shrinks with capacity.
 
 All instruments are thread-safe (one registry-wide lock; every
 recording site is orders of magnitude colder than the solver kernels).
@@ -18,7 +26,7 @@ import math
 import os
 import threading
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Quantiles"]
 
 
 class Counter:
@@ -89,6 +97,55 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
 
+class Quantiles:
+    """Deterministic bounded-reservoir quantile sketch (p50/p90/p99...).
+
+    Retains every ``stride``-th observation; when the buffer reaches
+    ``capacity`` it is decimated (every other retained sample dropped)
+    and the stride doubled.  Memory stays O(capacity), the retained set
+    is a pure function of the observation sequence — no randomness — so
+    snapshots and tests are reproducible, and quantiles are computed by
+    nearest-rank over the sorted retained samples.
+    """
+
+    __slots__ = ("name", "count", "stride", "capacity", "samples", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock, capacity: int = 2048) -> None:
+        if capacity < 2:
+            raise ValueError(f"quantile capacity must be >= 2, got {capacity}")
+        self.name = name
+        self.count = 0
+        self.stride = 1
+        self.capacity = int(capacity)
+        self.samples: list[float] = []
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the sketch."""
+        value = float(value)
+        with self._lock:
+            if self.count % self.stride == 0:
+                self.samples.append(value)
+                if len(self.samples) >= self.capacity:
+                    self.samples = self.samples[::2]
+                    self.stride *= 2
+            self.count += 1
+
+    def quantile(self, q: float) -> float | None:
+        """Nearest-rank quantile over the retained samples (None when empty)."""
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float | None:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, int(math.ceil(q * len(ordered))) - 1)
+        return ordered[max(rank, 0)]
+
+
 class MetricsRegistry:
     """Get-or-create store of named instruments.
 
@@ -103,6 +160,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._quantiles: dict[str, Quantiles] = {}
 
     # ------------------------------------------------------------------
     # get-or-create
@@ -131,6 +189,16 @@ class MetricsRegistry:
                 inst = self._histograms[name] = Histogram(name, self._lock)
             return inst
 
+    def quantiles(self, name: str, capacity: int = 2048) -> Quantiles:
+        """The quantile sketch called ``name``, created on first use."""
+        with self._lock:
+            inst = self._quantiles.get(name)
+            if inst is None:
+                inst = self._quantiles[name] = Quantiles(
+                    name, self._lock, capacity=capacity
+                )
+            return inst
+
     # ------------------------------------------------------------------
     # snapshot / round-trip
     # ------------------------------------------------------------------
@@ -149,6 +217,18 @@ class MetricsRegistry:
                         "mean": h.mean,
                     }
                     for n, h in sorted(self._histograms.items())
+                },
+                "quantiles": {
+                    n: {
+                        "count": q.count,
+                        "stride": q.stride,
+                        "capacity": q.capacity,
+                        "samples": list(q.samples),
+                        "p50": q._quantile_locked(0.50),
+                        "p90": q._quantile_locked(0.90),
+                        "p99": q._quantile_locked(0.99),
+                    }
+                    for n, q in sorted(self._quantiles.items())
                 },
             }
 
@@ -178,6 +258,11 @@ class MetricsRegistry:
                 hist.total = float(rec["sum"])
                 hist.min = float(rec["min"])
                 hist.max = float(rec["max"])
+        for name, rec in snapshot.get("quantiles", {}).items():
+            sketch = registry.quantiles(name, capacity=int(rec.get("capacity", 2048)))
+            sketch.count = int(rec["count"])
+            sketch.stride = int(rec["stride"])
+            sketch.samples = [float(v) for v in rec["samples"]]
         return registry
 
     def save(self, path: str | os.PathLike) -> None:

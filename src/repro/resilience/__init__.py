@@ -43,6 +43,7 @@ from repro.resilience.chaos import (
     ChaosHarness,
     ChaosReport,
     JobVerdict,
+    service_plan,
     standard_plan,
 )
 from repro.resilience.faults import Fault, FaultInjector, FaultPlan
@@ -61,5 +62,6 @@ __all__ = [
     "ResilientRunner",
     "RetryPolicy",
     "json_safe",
+    "service_plan",
     "standard_plan",
 ]

@@ -52,6 +52,7 @@ __all__ = [
     "ChaosHarness",
     "ChaosReport",
     "JobVerdict",
+    "service_plan",
     "standard_plan",
 ]
 
@@ -78,6 +79,22 @@ def standard_plan(
             ),
             Fault(kind="kill_worker", step=late, tid=0),
         ],
+        seed=seed,
+    )
+
+
+def service_plan(num_steps: int, seed: int = 20150715) -> FaultPlan:
+    """The service kill/restart chaos plan: scheduler death only.
+
+    The :class:`~repro.service.SimulationService` restart scenario needs
+    a plan without state corruption — the invariant under test is that a
+    *process kill* mid-batch loses no accepted job and perturbs no
+    trajectory, so the single fault is one ``kill_worker`` at roughly
+    half the run.  Deterministic given ``(num_steps, seed)``; the fired
+    set rides across resumes, so the kill fires exactly once.
+    """
+    return FaultPlan.of(
+        [Fault(kind="kill_worker", step=max(1, num_steps // 2), tid=0)],
         seed=seed,
     )
 

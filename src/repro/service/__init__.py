@@ -1,0 +1,47 @@
+"""Simulation-as-a-service: the async job API over continuous batching.
+
+The ROADMAP's north star made concrete: a long-lived
+:class:`SimulationService` that accepts simulation jobs from multiple
+tenants, serves them through the continuous-batching
+:class:`~repro.batch.scheduler.BatchScheduler` in weighted-fair order,
+applies backpressure and memory-budget admission control, streams
+progress, and survives hard kills by journaling every accepted job
+before admission (see DESIGN.md §17).
+
+Quick start::
+
+    import asyncio
+    from repro.config import SimulationConfig
+    from repro.service import SimulationService, TenantSpec
+
+    async def main():
+        async with SimulationService(
+            "out/service",
+            tenants=[TenantSpec("batch", weight=1),
+                     TenantSpec("interactive", weight=3)],
+        ) as svc:
+            job = svc.submit(SimulationConfig(fluid_shape=(8, 8, 8)),
+                             num_steps=20, tenant="interactive")
+            result = await svc.result(job)
+            assert result.ok
+
+    asyncio.run(main())
+"""
+
+from repro.service.admission import MemoryBudget
+from repro.service.jobs import JobRecord, JobSnapshot
+from repro.service.journal import ServiceJournal
+from repro.service.queues import PendingJob, TenantSpec, WeightedFairQueues
+from repro.service.service import DEFAULT_MEMORY_BUDGET, SimulationService
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET",
+    "JobRecord",
+    "JobSnapshot",
+    "MemoryBudget",
+    "PendingJob",
+    "ServiceJournal",
+    "SimulationService",
+    "TenantSpec",
+    "WeightedFairQueues",
+]

@@ -1,0 +1,78 @@
+"""Admission control by a resident-memory budget.
+
+The service sizes every job with
+:meth:`~repro.config.SimulationConfig.estimated_state_bytes` — the
+:mod:`repro.machine` bytes-per-node model (48 stored values per
+two-lattice fluid node at the configured precision, 29 for the
+in-place variant, plus the structure's node arrays) — and admits it
+only while the sum over queued + in-flight jobs fits the budget.
+
+Rejections are typed by recoverability: a job that would fit an empty
+budget is *retryable* (resubmit after ``retry_after_seconds``, once
+running jobs retire and release their reservations); a job larger than
+the whole budget is permanent (:class:`MemoryBudgetError` with
+``retryable=False``), because waiting can never help.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ConfigurationError, MemoryBudgetError
+
+__all__ = ["MemoryBudget"]
+
+
+class MemoryBudget:
+    """Thread-safe byte-reservation ledger for admission control."""
+
+    def __init__(self, budget_bytes: int, retry_after_seconds: float = 1.0) -> None:
+        if budget_bytes < 1:
+            raise ConfigurationError(
+                f"budget_bytes must be positive, got {budget_bytes}"
+            )
+        if retry_after_seconds <= 0:
+            raise ConfigurationError("retry_after_seconds must be positive")
+        self.budget_bytes = int(budget_bytes)
+        self.retry_after_seconds = retry_after_seconds
+        self._lock = threading.Lock()
+        self._reserved: dict[str, int] = {}
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Bytes currently reserved across admitted jobs."""
+        with self._lock:
+            return sum(self._reserved.values())
+
+    @property
+    def available_bytes(self) -> int:
+        """Budget headroom right now."""
+        return self.budget_bytes - self.reserved_bytes
+
+    def reserve(self, job_id: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` for ``job_id`` or raise :class:`MemoryBudgetError`."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ConfigurationError(f"reservation must be >= 0, got {nbytes}")
+        with self._lock:
+            if job_id in self._reserved:
+                raise ConfigurationError(f"job {job_id!r} already holds a reservation")
+            used = sum(self._reserved.values())
+            if used + nbytes > self.budget_bytes:
+                raise MemoryBudgetError(
+                    requested_bytes=nbytes,
+                    available_bytes=self.budget_bytes - used,
+                    budget_bytes=self.budget_bytes,
+                    retry_after_seconds=self.retry_after_seconds,
+                )
+            self._reserved[job_id] = nbytes
+
+    def release(self, job_id: str) -> int:
+        """Release a job's reservation; returns the freed bytes (0 if none)."""
+        with self._lock:
+            return self._reserved.pop(job_id, 0)
+
+    def holds(self, job_id: str) -> bool:
+        """True while ``job_id`` has an active reservation."""
+        with self._lock:
+            return job_id in self._reserved

@@ -1,0 +1,80 @@
+"""Service-side job records: the poll/stream surface of one submission.
+
+A :class:`JobRecord` is the service's authoritative view of one job's
+lifecycle — queued → running → terminal — updated from two threads
+(the asyncio submission side and the scheduler's executor thread), so
+every mutation happens under the service's state lock and readers get
+plain snapshot copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.batch.scheduler import TERMINAL_STATUSES, BatchResult
+from repro.config import SimulationConfig
+
+__all__ = ["JobRecord", "JobSnapshot"]
+
+
+@dataclass(frozen=True)
+class JobSnapshot:
+    """Immutable poll result: one job's state at a point in time."""
+
+    job_id: str
+    tenant: str
+    status: str
+    steps_completed: int
+    num_steps: int
+    queue_seconds: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can no longer change state."""
+        return self.status in TERMINAL_STATUSES
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the step budget completed (0..1)."""
+        if self.num_steps <= 0:
+            return 0.0
+        return min(1.0, self.steps_completed / self.num_steps)
+
+
+@dataclass
+class JobRecord:
+    """Mutable service-side state for one submitted job."""
+
+    job_id: str
+    tenant: str
+    config: SimulationConfig
+    num_steps: int
+    state_bytes: int
+    state_seed: int | None = None
+    status: str = "queued"
+    steps_completed: int = 0
+    submitted_at: float = 0.0
+    dispatched_at: float | None = None
+    finished_at: float | None = None
+    result: BatchResult | None = None
+    #: Per-subscriber asyncio queues fed from the scheduler tick hook.
+    subscribers: list = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job reached a status in :data:`TERMINAL_STATUSES`."""
+        return self.status in TERMINAL_STATUSES
+
+    def snapshot(self) -> JobSnapshot:
+        """Immutable copy for :meth:`SimulationService.poll`."""
+        queue_seconds = None
+        if self.dispatched_at is not None:
+            queue_seconds = self.dispatched_at - self.submitted_at
+        return JobSnapshot(
+            job_id=self.job_id,
+            tenant=self.tenant,
+            status=self.status,
+            steps_completed=self.steps_completed,
+            num_steps=self.num_steps,
+            queue_seconds=queue_seconds,
+        )

@@ -1,0 +1,130 @@
+"""Crash-safe service journal: accepted jobs survive a hard kill.
+
+The service's durability rule is *journal before admit*: a job is
+appended to the journal (fsync'd JSONL via
+:class:`~repro.resilience.incident.IncidentLog`) before it enters the
+fair queues, so a kill at any instant leaves every accepted job either
+
+* in the scheduler's own manifest (it was dispatched — the
+  :meth:`~repro.batch.scheduler.BatchScheduler.resume` machinery owns
+  its recovery), or
+* in this journal only (accepted but never dispatched — the service
+  re-enqueues it from the journaled config + state seed on
+  :meth:`~repro.service.service.SimulationService.resume`).
+
+Raw initial-state arrays are deliberately not journaled; submissions
+carry an optional ``state_seed`` and the journal stores the seed, so
+recovery rebuilds bit-identical initial fluids through
+:func:`repro.verify.oracle.seeded_initial_fluid`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.resilience.incident import IncidentLog
+
+__all__ = ["ServiceJournal", "JournalReplay", "SERVICE_JOURNAL_NAME"]
+
+#: Journal file name inside the service workdir.
+SERVICE_JOURNAL_NAME = "service.jsonl"
+
+
+@dataclass
+class JournalReplay:
+    """The journal folded into per-job outcomes (newest event wins)."""
+
+    #: job_id -> acceptance record (tenant/config/num_steps/state_seed...).
+    accepted: dict[str, dict] = field(default_factory=dict)
+    #: Jobs handed to the batch scheduler (its manifest owns recovery).
+    dispatched: set[str] = field(default_factory=set)
+    #: Jobs cancelled at the service layer.
+    cancelled: set[str] = field(default_factory=set)
+    #: job_id -> terminal status observed before the kill.
+    terminal: dict[str, str] = field(default_factory=dict)
+
+    def undispatched(self) -> list[dict]:
+        """Acceptance records never handed to the scheduler, in order."""
+        return [
+            record
+            for job_id, record in self.accepted.items()
+            if job_id not in self.dispatched
+            and job_id not in self.cancelled
+            and job_id not in self.terminal
+        ]
+
+
+class ServiceJournal:
+    """Append-only job-lifecycle journal over an :class:`IncidentLog`."""
+
+    def __init__(self, workdir: str | os.PathLike) -> None:
+        self.workdir = os.fspath(workdir)
+        os.makedirs(self.workdir, exist_ok=True)
+        self.path = os.path.join(self.workdir, SERVICE_JOURNAL_NAME)
+        self._log = IncidentLog(jsonl_path=self.path)
+
+    # ------------------------------------------------------------------
+    # append side
+    # ------------------------------------------------------------------
+    def job_accepted(
+        self,
+        job_id: str,
+        tenant: str,
+        config_dict: dict,
+        num_steps: int,
+        state_seed: int | None,
+        state_bytes: int,
+    ) -> None:
+        """Durably record an accepted job *before* it is enqueued."""
+        self._log.record(
+            "job_accepted",
+            job=job_id,
+            tenant=tenant,
+            config=config_dict,
+            num_steps=int(num_steps),
+            state_seed=state_seed,
+            state_bytes=int(state_bytes),
+        )
+
+    def job_dispatched(self, job_id: str) -> None:
+        """The job entered the batch scheduler (its manifest now owns it)."""
+        self._log.record("job_dispatched", job=job_id)
+
+    def job_terminal(self, job_id: str, status: str, steps: int) -> None:
+        """The job reached a terminal status."""
+        self._log.record("job_terminal", job=job_id, status=status, steps=int(steps))
+
+    def job_cancelled(self, job_id: str, queued: bool) -> None:
+        """A cancellation was accepted (``queued`` = before dispatch)."""
+        self._log.record("job_cancelled", job=job_id, queued=bool(queued))
+
+    def service_resumed(self, requeued: int, restored: int) -> None:
+        """A restart rebuilt the service from this journal."""
+        self._log.record("service_resumed", requeued=requeued, restored=restored)
+
+    def close(self) -> None:
+        """Release the underlying journal file handle."""
+        self._log.close()
+
+    # ------------------------------------------------------------------
+    # replay side
+    # ------------------------------------------------------------------
+    @classmethod
+    def replay(cls, workdir: str | os.PathLike) -> JournalReplay:
+        """Fold a (possibly torn-tailed) journal into per-job outcomes."""
+        path = os.path.join(os.fspath(workdir), SERVICE_JOURNAL_NAME)
+        outcome = JournalReplay()
+        if not os.path.exists(path):
+            return outcome
+        for event in IncidentLog.load(path).events:
+            job_id = event.detail.get("job")
+            if event.kind == "job_accepted":
+                outcome.accepted[job_id] = dict(event.detail)
+            elif event.kind == "job_dispatched":
+                outcome.dispatched.add(job_id)
+            elif event.kind == "job_cancelled":
+                outcome.cancelled.add(job_id)
+            elif event.kind == "job_terminal":
+                outcome.terminal[job_id] = str(event.detail.get("status"))
+        return outcome

@@ -1,0 +1,188 @@
+"""Multi-tenant weighted-fair job queues with bounded depth.
+
+Start-time fair queuing (SFQ): every tenant carries a virtual time that
+advances by ``1 / weight`` per served job, and the scheduler always
+serves the tenant with the smallest virtual time among those with work.
+Over any busy interval each tenant therefore receives service in
+proportion to its weight, and no backlogged tenant starves — the
+classic packet-scheduling result, applied to simulation jobs.
+
+Two details matter for a job service:
+
+* **vtime catch-up** — a tenant that idles does not bank credit.  When
+  a job arrives at an empty tenant queue its virtual time is raised to
+  the current global floor, so a returning tenant competes from *now*
+  rather than replaying its idle period as a monopolizing burst.
+* **bounded depth** — each tenant's queue has a depth cap; a push past
+  it raises :class:`~repro.errors.QueueFullError` carrying a
+  retry-after hint (backpressure is an admission-time signal, never a
+  silent drop).
+
+All operations are thread-safe: the asyncio submission side and the
+scheduler's executor thread (pulling through ``refill_source``) share
+one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.batch.scheduler import JobRequest, compatibility_key
+from repro.errors import ConfigurationError, QueueFullError
+
+__all__ = ["TenantSpec", "PendingJob", "WeightedFairQueues"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's share and backpressure limits.
+
+    ``weight`` is the fair-share proportion (a weight-3 tenant gets
+    3x the service of a weight-1 tenant over any contended interval);
+    ``max_depth`` is the pending-job cap; ``retry_after_seconds`` is
+    the hint returned with a queue-full rejection.
+    """
+
+    name: str
+    weight: float = 1.0
+    max_depth: int = 64
+    retry_after_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r} weight must be positive, got {self.weight}"
+            )
+        if self.max_depth < 1:
+            raise ConfigurationError(
+                f"tenant {self.name!r} max_depth must be >= 1, got {self.max_depth}"
+            )
+        if self.retry_after_seconds <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r} retry_after_seconds must be positive"
+            )
+
+
+@dataclass
+class PendingJob:
+    """One queued job: the scheduler request plus service bookkeeping."""
+
+    job_id: str
+    tenant: str
+    request: JobRequest
+    state_bytes: int
+    state_seed: int | None = None
+    enqueued_at: float = 0.0
+    compat_key: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.compat_key:
+            self.compat_key = compatibility_key(self.request.config)
+
+
+class _TenantQueue:
+    __slots__ = ("spec", "jobs", "vtime")
+
+    def __init__(self, spec: TenantSpec) -> None:
+        self.spec = spec
+        self.jobs: list[PendingJob] = []
+        self.vtime = 0.0
+
+
+class WeightedFairQueues:
+    """Per-tenant FIFO queues drained in weighted-fair order."""
+
+    def __init__(self, tenants: "list[TenantSpec] | tuple[TenantSpec, ...]") -> None:
+        if not tenants:
+            raise ConfigurationError("at least one tenant is required")
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantQueue] = {}
+        for spec in tenants:
+            if spec.name in self._tenants:
+                raise ConfigurationError(f"duplicate tenant {spec.name!r}")
+            self._tenants[spec.name] = _TenantQueue(spec)
+
+    # ------------------------------------------------------------------
+    def tenant(self, name: str) -> TenantSpec:
+        """The spec for ``name`` (KeyError for unknown tenants)."""
+        return self._tenants[name].spec
+
+    @property
+    def tenant_names(self) -> list[str]:
+        """Registered tenants in registration order."""
+        return list(self._tenants)
+
+    def depth(self, tenant: str | None = None) -> int:
+        """Pending jobs for one tenant, or across all tenants."""
+        with self._lock:
+            if tenant is not None:
+                return len(self._tenants[tenant].jobs)
+            return sum(len(q.jobs) for q in self._tenants.values())
+
+    # ------------------------------------------------------------------
+    def push(self, job: PendingJob) -> None:
+        """Enqueue; raises :class:`QueueFullError` at the depth cap."""
+        with self._lock:
+            queue = self._tenants.get(job.tenant)
+            if queue is None:
+                raise ConfigurationError(f"unknown tenant {job.tenant!r}")
+            if len(queue.jobs) >= queue.spec.max_depth:
+                raise QueueFullError(
+                    job.tenant, len(queue.jobs), queue.spec.retry_after_seconds
+                )
+            if not queue.jobs:
+                # vtime catch-up: an idle tenant rejoins at the current
+                # service floor instead of replaying its idle period.
+                busy = [q.vtime for q in self._tenants.values() if q.jobs]
+                if busy:
+                    queue.vtime = max(queue.vtime, min(busy))
+            queue.jobs.append(job)
+
+    def pop_next(self, compat_key: tuple | None = None) -> PendingJob | None:
+        """Serve the next job in weighted-fair order.
+
+        With ``compat_key`` only jobs of that compatibility group are
+        eligible (the scheduler refills a running batch); each tenant
+        still offers its *head-of-line* eligible job, preserving FIFO
+        within a tenant per group.  Returns ``None`` when nothing is
+        eligible.
+        """
+        with self._lock:
+            best: _TenantQueue | None = None
+            best_index = -1
+            for queue in self._tenants.values():
+                for index, job in enumerate(queue.jobs):
+                    if compat_key is None or job.compat_key == compat_key:
+                        if best is None or queue.vtime < best.vtime:
+                            best, best_index = queue, index
+                        break
+            if best is None:
+                return None
+            job = best.jobs.pop(best_index)
+            best.vtime += 1.0 / best.spec.weight
+            return job
+
+    def remove(self, job_id: str) -> PendingJob | None:
+        """Drop a queued job by id (cancel-while-queued); None if absent."""
+        with self._lock:
+            for queue in self._tenants.values():
+                for index, job in enumerate(queue.jobs):
+                    if job.job_id == job_id:
+                        return queue.jobs.pop(index)
+        return None
+
+    def snapshot(self) -> dict:
+        """Queue depths and virtual times (for metrics/debugging)."""
+        with self._lock:
+            return {
+                name: {
+                    "depth": len(q.jobs),
+                    "vtime": q.vtime,
+                    "weight": q.spec.weight,
+                    "jobs": [job.job_id for job in q.jobs],
+                }
+                for name, q in self._tenants.items()
+            }

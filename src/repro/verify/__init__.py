@@ -43,6 +43,7 @@ from repro.verify.oracle import (
     DifferentialOracle,
     Divergence,
     compare_variants,
+    seeded_initial_fluid,
     variant_config,
 )
 
@@ -58,6 +59,7 @@ __all__ = [
     "DifferentialOracle",
     "Divergence",
     "compare_variants",
+    "seeded_initial_fluid",
     "variant_config",
     "VerifyCase",
     "random_case",

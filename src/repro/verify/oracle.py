@@ -23,7 +23,13 @@ from repro.config import SimulationConfig
 from repro.core.backend import oracle_tolerance
 from repro.core.lbm.fields import FluidGrid
 
-__all__ = ["Divergence", "DifferentialOracle", "variant_config", "compare_variants"]
+__all__ = [
+    "Divergence",
+    "DifferentialOracle",
+    "variant_config",
+    "compare_variants",
+    "seeded_initial_fluid",
+]
 
 #: Gathered fluid fields diffed after every step, in check order.
 _FLUID_FIELDS = ("df", "density", "velocity", "velocity_shifted", "force")
@@ -96,7 +102,7 @@ def variant_config(config: SimulationConfig, variant: str) -> SimulationConfig:
     return replace(config, solver=variant, num_threads=max(1, threads))
 
 
-def _seeded_initial_fluid(config: SimulationConfig, seed: int | None) -> FluidGrid:
+def seeded_initial_fluid(config: SimulationConfig, seed: int | None) -> FluidGrid:
     """A deterministic, physically sane initial fluid for ``config``."""
     fluid = FluidGrid(
         config.fluid_shape,
@@ -111,6 +117,10 @@ def _seeded_initial_fluid(config: SimulationConfig, seed: int | None) -> FluidGr
             velocity=0.01 * rng.standard_normal((3,) + fluid.shape),
         )
     return fluid
+
+
+#: Backwards-compatible private alias (pre-service name).
+_seeded_initial_fluid = seeded_initial_fluid
 
 
 def _first_field_divergence(
@@ -217,7 +227,7 @@ class DifferentialOracle:
                 break
 
     def _build_pair(self) -> tuple[Simulation, Simulation]:
-        fluid = _seeded_initial_fluid(self.config_a, self.state_seed)
+        fluid = seeded_initial_fluid(self.config_a, self.state_seed)
         structure = self.config_a.build_structure()
         sims = []
         for cfg in (self.config_a, self.config_b):

@@ -22,10 +22,11 @@ FAULT_TEST_TIMEOUT = float(os.environ.get("LBMIB_FAULT_TEST_TIMEOUT", "120"))
 
 @pytest.fixture(autouse=True)
 def _fault_test_deadline(request):
-    """Arm a SIGALRM watchdog around every ``faults``/``chaos`` test."""
+    """Arm a SIGALRM watchdog around every ``faults``/``chaos``/``service`` test."""
     if (
         request.node.get_closest_marker("faults") is None
         and request.node.get_closest_marker("chaos") is None
+        and request.node.get_closest_marker("service") is None
     ):
         yield
         return

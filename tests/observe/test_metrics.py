@@ -47,6 +47,47 @@ class TestInstruments:
         assert registry.histogram("h") is registry.histogram("h")
 
 
+class TestQuantiles:
+    def test_small_stream_keeps_every_sample(self):
+        registry = MetricsRegistry()
+        sketch = registry.quantiles("service.step_seconds")
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            sketch.observe(v)
+        assert sketch.count == 5
+        assert sketch.stride == 1
+        assert sketch.quantile(0.0) == 1.0
+        assert sketch.quantile(0.5) == 3.0
+        assert sketch.quantile(1.0) == 5.0
+
+    def test_empty_sketch_returns_none(self):
+        assert MetricsRegistry().quantiles("q").quantile(0.99) is None
+
+    def test_invalid_quantile_rejected(self):
+        sketch = MetricsRegistry().quantiles("q")
+        sketch.observe(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+    def test_decimation_is_deterministic_and_bounded(self):
+        registry = MetricsRegistry()
+        a = registry.quantiles("a", capacity=64)
+        b = registry.quantiles("b", capacity=64)
+        for i in range(10_000):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert a.count == 10_000
+        assert len(a.samples) < 64
+        assert a.stride > 1
+        # Same stream, same retained set: no randomness anywhere.
+        assert a.samples == b.samples
+        # The tail quantile tracks the true p99 within the stride error.
+        assert a.quantile(0.99) == pytest.approx(9900.0, rel=0.02)
+
+    def test_get_or_create_returns_same_sketch(self):
+        registry = MetricsRegistry()
+        assert registry.quantiles("q") is registry.quantiles("q")
+
+
 class TestThreadSafety:
     def test_concurrent_increments_are_exact(self):
         registry = MetricsRegistry()
@@ -79,6 +120,10 @@ class TestSnapshotRoundTrip:
         for v in (0.001, 0.25, 0.01, 0.02):
             hist.observe(v)
         registry.histogram("empty.histogram")
+        sketch = registry.quantiles("service.step_seconds", capacity=16)
+        for v in range(40):
+            sketch.observe(float(v) / 10.0)
+        registry.quantiles("empty.quantiles")
         return registry
 
     def test_snapshot_is_json_serializable(self):

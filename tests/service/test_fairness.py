@@ -1,0 +1,322 @@
+"""Property-based weighted-fairness tests for the service queues.
+
+Seeded random submission schedules across 2-4 tenants, asserting the
+two SFQ guarantees on :class:`repro.service.queues.WeightedFairQueues`:
+
+* **weighted share bound** — over any prefix of a fully-backlogged
+  drain, each tenant's serve count stays within a small constant of
+  its weighted share ``K * w_i / W``;
+* **no starvation** — a backlogged tenant is served at least every
+  ``ceil(W / w_i) + n`` pops.
+
+Failing schedules greedily shrink to a minimal reproduction via the
+same pattern as :func:`repro.verify.generate.shrink_case`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+import numpy as np
+import pytest
+
+from repro.batch.scheduler import JobRequest
+from repro.config import SimulationConfig
+from repro.service.queues import PendingJob, TenantSpec, WeightedFairQueues
+
+pytestmark = pytest.mark.service
+
+#: Seeded schedules checked by the property tests (ISSUE floor: >= 20).
+NUM_SCHEDULES = 24
+
+_CFG = SimulationConfig(fluid_shape=(8, 8, 8), solver="batched")
+_REQ = JobRequest(config=_CFG, num_steps=1)
+
+#: Allowed deviation from the exact weighted share while backlogged.
+SHARE_SLACK = 2.0
+
+
+# ----------------------------------------------------------------------
+# schedule cases: generation + greedy shrinking
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScheduleCase:
+    """One random submission schedule: pure data, shrinkable."""
+
+    weights: tuple[float, ...] = (1.0, 3.0)
+    jobs_per_tenant: tuple[int, ...] = (8, 8)
+    #: Interleave pattern seed for the dynamic-arrival test.
+    seed: int = 0
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.weights)
+
+    def specs(self) -> list[TenantSpec]:
+        return [
+            TenantSpec(f"t{i}", weight=w, max_depth=10_000)
+            for i, w in enumerate(self.weights)
+        ]
+
+    def describe(self) -> str:
+        return (
+            f"weights={self.weights} jobs={self.jobs_per_tenant} "
+            f"seed={self.seed}"
+        )
+
+
+def random_schedule(rng: np.random.Generator) -> ScheduleCase:
+    """Draw one schedule: 2-4 tenants, varied weights and backlog sizes."""
+    n = int(rng.integers(2, 5))
+    return ScheduleCase(
+        weights=tuple(float(rng.choice([1, 2, 3, 5])) for _ in range(n)),
+        jobs_per_tenant=tuple(int(rng.integers(4, 24)) for _ in range(n)),
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+def generate_schedules(seed: int, count: int) -> list[ScheduleCase]:
+    rng = np.random.default_rng(seed)
+    return [random_schedule(rng) for _ in range(count)]
+
+
+def _simplifications(case: ScheduleCase) -> Iterator[ScheduleCase]:
+    """Candidate one-step simplifications, most aggressive first."""
+    if case.num_tenants > 2:
+        yield replace(
+            case,
+            weights=case.weights[:2],
+            jobs_per_tenant=case.jobs_per_tenant[:2],
+        )
+    if any(j > 4 for j in case.jobs_per_tenant):
+        yield replace(
+            case, jobs_per_tenant=tuple(min(j, 4) for j in case.jobs_per_tenant)
+        )
+    if any(w != 1.0 for w in case.weights):
+        yield replace(case, weights=tuple(1.0 for _ in case.weights))
+    if case.seed != 0:
+        yield replace(case, seed=0)
+
+
+def shrink_schedule(
+    case: ScheduleCase,
+    still_fails: Callable[[ScheduleCase], bool],
+    max_attempts: int = 64,
+) -> ScheduleCase:
+    """Greedy shrink: keep any simplification that still fails."""
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _simplifications(case):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            try:
+                reproduced = still_fails(candidate)
+            except Exception:
+                reproduced = False
+            if reproduced:
+                case = candidate
+                improved = True
+                break
+    return case
+
+
+def _check_and_shrink(case: ScheduleCase, violation: Callable[[ScheduleCase], str | None]):
+    """Assert no violation; on failure shrink first, then report both."""
+    message = violation(case)
+    if message is None:
+        return
+    minimal = shrink_schedule(case, lambda c: violation(c) is not None)
+    pytest.fail(
+        f"fairness violation: {message}\n"
+        f"  original: {case.describe()}\n"
+        f"  shrunk:   {minimal.describe()} -> {violation(minimal)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# the properties
+# ----------------------------------------------------------------------
+def _fill(queues: WeightedFairQueues, case: ScheduleCase) -> int:
+    total = 0
+    for i, count in enumerate(case.jobs_per_tenant):
+        for j in range(count):
+            queues.push(
+                PendingJob(
+                    job_id=f"t{i}-{j}",
+                    tenant=f"t{i}",
+                    request=_REQ,
+                    state_bytes=0,
+                )
+            )
+            total += 1
+    return total
+
+
+def _share_violation(case: ScheduleCase) -> str | None:
+    """Weighted-share bound over every fully-backlogged prefix."""
+    queues = WeightedFairQueues(case.specs())
+    total = _fill(queues, case)
+    weight_sum = sum(case.weights)
+    served = [0] * case.num_tenants
+    remaining = list(case.jobs_per_tenant)
+    for k in range(1, total + 1):
+        job = queues.pop_next()
+        assert job is not None
+        tenant = int(job.tenant[1:])
+        served[tenant] += 1
+        remaining[tenant] -= 1
+        if min(remaining) <= 0:
+            break  # some tenant drained: shares only bind while backlogged
+        for i in range(case.num_tenants):
+            expected = k * case.weights[i] / weight_sum
+            if abs(served[i] - expected) > SHARE_SLACK:
+                return (
+                    f"after {k} pops tenant t{i} (w={case.weights[i]}) was "
+                    f"served {served[i]}x, expected {expected:.2f} +/- "
+                    f"{SHARE_SLACK}"
+                )
+    return None
+
+
+def _starvation_violation(case: ScheduleCase) -> str | None:
+    """No backlogged tenant waits more than ``ceil(W/w) + n`` pops."""
+    queues = WeightedFairQueues(case.specs())
+    total = _fill(queues, case)
+    weight_sum = sum(case.weights)
+    last_served = [0] * case.num_tenants
+    remaining = list(case.jobs_per_tenant)
+    for k in range(1, total + 1):
+        job = queues.pop_next()
+        assert job is not None
+        tenant = int(job.tenant[1:])
+        remaining[tenant] -= 1
+        last_served[tenant] = k
+        for i in range(case.num_tenants):
+            if remaining[i] <= 0:
+                last_served[i] = k  # drained tenants cannot starve
+                continue
+            bound = math.ceil(weight_sum / case.weights[i]) + case.num_tenants
+            if k - last_served[i] > bound:
+                return (
+                    f"tenant t{i} (w={case.weights[i]}) waited "
+                    f"{k - last_served[i]} pops (> {bound}) while backlogged"
+                )
+    return None
+
+
+def _dynamic_violation(case: ScheduleCase) -> str | None:
+    """Random arrival interleave: exactly-once service, FIFO per tenant.
+
+    Also exercises the vtime catch-up: tenants arrive and drain at
+    random times, and an idle period must never bank credit that lets
+    the returning tenant monopolize the queue (checked through the
+    same starvation bound over the backlogged intervals).
+    """
+    rng = np.random.default_rng(case.seed)
+    queues = WeightedFairQueues(case.specs())
+    pending = [
+        (i, j) for i, count in enumerate(case.jobs_per_tenant) for j in range(count)
+    ]
+    rng.shuffle(pending)
+    served: list[str] = []
+    submitted: set[str] = set()
+    while pending or queues.depth() > 0:
+        if pending and (queues.depth() == 0 or rng.random() < 0.5):
+            i, j = pending.pop()
+            job_id = f"t{i}-{j}"
+            queues.push(
+                PendingJob(job_id=job_id, tenant=f"t{i}", request=_REQ, state_bytes=0)
+            )
+            submitted.add(job_id)
+        else:
+            job = queues.pop_next()
+            if job is None:
+                continue
+            served.append(job.job_id)
+    if len(served) != len(submitted) or set(served) != submitted:
+        return f"served {len(served)} of {len(submitted)} submitted jobs"
+    # FIFO within each tenant: pushed ascending per tenant id after the
+    # shuffle?  No — arrival order is the shuffle order, so check serve
+    # order matches each tenant's own arrival order.
+    arrival: dict[str, list[str]] = {}
+    rng2 = np.random.default_rng(case.seed)
+    pending2 = [
+        (i, j) for i, count in enumerate(case.jobs_per_tenant) for j in range(count)
+    ]
+    rng2.shuffle(pending2)
+    order = [f"t{i}-{j}" for i, j in reversed(pending2)]
+    for job_id in order:
+        arrival.setdefault(job_id.split("-")[0], []).append(job_id)
+    for tenant, expect in arrival.items():
+        got = [job_id for job_id in served if job_id.startswith(tenant + "-")]
+        if got != expect:
+            return f"tenant {tenant} served out of arrival order"
+    return None
+
+
+@pytest.mark.parametrize(
+    "case",
+    generate_schedules(seed=20150715, count=NUM_SCHEDULES),
+    ids=lambda c: c.describe(),
+)
+class TestWeightedFairness:
+    def test_weighted_share_bound(self, case):
+        _check_and_shrink(case, _share_violation)
+
+    def test_no_starvation(self, case):
+        _check_and_shrink(case, _starvation_violation)
+
+    def test_dynamic_arrivals_exactly_once_fifo(self, case):
+        _check_and_shrink(case, _dynamic_violation)
+
+
+# ----------------------------------------------------------------------
+# fairness through the real service
+# ----------------------------------------------------------------------
+def test_service_dispatches_in_weighted_fair_order(tmp_path):
+    """End to end: a weight-3 tenant gets ~3x the early dispatch slots.
+
+    ``max_batch=1`` serializes dispatch, so the scheduler's admission
+    order is exactly the fair queues' pop order; the journal's
+    ``job_dispatched`` sequence is then the observable serve order.
+    """
+    from repro.resilience.incident import IncidentLog
+    from repro.service import SimulationService, TenantSpec
+
+    config = SimulationConfig(fluid_shape=(8, 8, 8), solver="batched")
+
+    async def main():
+        service = SimulationService(
+            tmp_path,
+            tenants=[TenantSpec("lo", weight=1), TenantSpec("hi", weight=3)],
+            max_batch=1,
+        )
+        ids = []
+        for i in range(4):
+            ids.append(service.submit(config, 2, tenant="lo", state_seed=i))
+            ids.append(service.submit(config, 2, tenant="hi", state_seed=10 + i))
+        async with service:
+            for job_id in ids:
+                result = await service.result(job_id)
+                assert result.status == "completed"
+        return service
+
+    service = asyncio.run(main())
+    dispatched = [
+        event.detail["job"]
+        for event in IncidentLog.load(service._journal.path).events
+        if event.kind == "job_dispatched"
+    ]
+    assert len(dispatched) == 8
+    tenants = [
+        service._records[job_id].tenant for job_id in dispatched
+    ]
+    # Among the first four serves, the weight-3 tenant gets three.
+    assert tenants[:4].count("hi") == 3
+    assert tenants[:4].count("lo") == 1

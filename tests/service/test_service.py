@@ -1,0 +1,240 @@
+"""Service lifecycle tests: submit/poll/stream/result, metrics, recovery.
+
+The bit-identity acceptance bar rides along: a job completed through
+the service (batched, continuously refilled, possibly killed and
+resumed) must produce exactly the final state of the same config's
+solo sequential run — digest equality and ``max_abs_delta == 0.0``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api import Simulation
+from repro.config import SimulationConfig, StructureConfig
+from repro.observe import Telemetry
+from repro.resilience import FaultInjector, service_plan
+from repro.service import SimulationService, TenantSpec
+from repro.verify.golden import fields_digest, state_arrays
+from repro.verify.oracle import seeded_initial_fluid
+
+pytestmark = pytest.mark.service
+
+CFG = SimulationConfig(fluid_shape=(8, 8, 8), solver="batched")
+IB_CFG = SimulationConfig(
+    fluid_shape=(8, 8, 8),
+    solver="batched",
+    structure=StructureConfig(kind="flat_sheet", num_fibers=4, nodes_per_fiber=4),
+)
+
+
+def _solo_digest(config: SimulationConfig, seed: int, steps: int) -> str:
+    sim = Simulation(config, initial_fluid=seeded_initial_fluid(config, seed))
+    sim.run(steps)
+    return fields_digest(sim.fluid, sim.structure)
+
+
+def _max_abs_delta(result, config: SimulationConfig, seed: int, steps: int) -> float:
+    sim = Simulation(config, initial_fluid=seeded_initial_fluid(config, seed))
+    sim.run(steps)
+    ours = state_arrays(result.fluid, result.structure)
+    theirs = state_arrays(sim.fluid, sim.structure)
+    assert sorted(ours) == sorted(theirs)
+    return max(
+        float(np.max(np.abs(ours[key] - theirs[key]), initial=0.0)) for key in ours
+    )
+
+
+class TestLifecycle:
+    def test_submit_poll_result_roundtrip(self, tmp_path):
+        async def main():
+            async with SimulationService(tmp_path, max_batch=4) as service:
+                job_id = service.submit(CFG, 4, state_seed=7)
+                assert service.poll(job_id).status in ("queued", "running")
+                result = await service.result(job_id)
+                assert result.ok
+                snapshot = service.poll(job_id)
+                assert snapshot.status == "completed"
+                assert snapshot.terminal
+                assert snapshot.steps_completed == 4
+                assert snapshot.progress == 1.0
+
+        asyncio.run(main())
+
+    def test_results_bit_identical_to_solo_runs(self, tmp_path):
+        async def main():
+            async with SimulationService(tmp_path, max_batch=3) as service:
+                ids = {
+                    service.submit(IB_CFG, 4, state_seed=seed): seed
+                    for seed in range(5)
+                }
+                return {
+                    seed: await service.result(job_id)
+                    for job_id, seed in ids.items()
+                }
+
+        results = asyncio.run(main())
+        for seed, result in results.items():
+            assert result.ok
+            assert fields_digest(result.fluid, result.structure) == _solo_digest(
+                IB_CFG, seed, 4
+            )
+            assert _max_abs_delta(result, IB_CFG, seed, 4) == 0.0
+
+    def test_stream_yields_progress_then_result(self, tmp_path):
+        async def main():
+            async with SimulationService(tmp_path) as service:
+                job_id = service.submit(CFG, 5, state_seed=1)
+                events = []
+                async for event in service.stream(job_id):
+                    events.append(event)
+                return job_id, events
+
+        job_id, events = asyncio.run(main())
+        assert events[-1]["type"] == "result"
+        assert events[-1]["result"].ok
+        progress = [e for e in events if e["type"] == "progress"]
+        assert progress, "expected at least one progress event"
+        steps = [e["steps_completed"] for e in progress]
+        assert steps == sorted(steps)
+        assert all(e["job_id"] == job_id for e in events)
+
+    def test_stream_on_finished_job_yields_result_immediately(self, tmp_path):
+        async def main():
+            async with SimulationService(tmp_path) as service:
+                job_id = service.submit(CFG, 2, state_seed=0)
+                await service.result(job_id)
+                events = [event async for event in service.stream(job_id)]
+                assert len(events) == 1
+                assert events[0]["type"] == "result"
+
+        asyncio.run(main())
+
+    def test_mixed_compatibility_groups_all_complete(self, tmp_path):
+        other = SimulationConfig(fluid_shape=(6, 6, 6), solver="batched")
+
+        async def main():
+            async with SimulationService(tmp_path, max_batch=4) as service:
+                a = [service.submit(CFG, 3, state_seed=i) for i in range(3)]
+                b = [service.submit(other, 3, state_seed=i) for i in range(3)]
+                for job_id in a + b:
+                    assert (await service.result(job_id)).ok
+
+        asyncio.run(main())
+
+
+class TestSLOMetrics:
+    def test_metrics_populated_through_observe(self, tmp_path):
+        telemetry = Telemetry()
+
+        async def main():
+            async with SimulationService(
+                tmp_path, max_batch=2, telemetry=telemetry
+            ) as service:
+                ids = [service.submit(CFG, 3, state_seed=i) for i in range(3)]
+                for job_id in ids:
+                    assert (await service.result(job_id)).ok
+
+        asyncio.run(main())
+        snap = telemetry.metrics.snapshot()
+        assert snap["counters"]["service.accepted"] == 3
+        assert snap["counters"]["service.completed"] == 3
+        latency = snap["histograms"]["service.queue_latency_seconds"]
+        assert latency["count"] == 3
+        assert latency["min"] >= 0.0
+        steps = snap["quantiles"]["service.step_seconds"]
+        assert steps["count"] >= 9  # 3 jobs x 3 steps, batched
+        assert steps["p99"] is not None and steps["p99"] > 0.0
+        assert steps["p50"] <= steps["p99"]
+        assert "service.slot_occupancy" in snap["gauges"]
+        assert snap["gauges"]["service.slot_capacity"] >= 1.0
+        # The drive loop is spanned through the tracer.
+        assert any(s.name == "service.drive" for s in telemetry.tracer.spans)
+
+    def test_rejections_counted(self, tmp_path):
+        telemetry = Telemetry()
+        service = SimulationService(
+            tmp_path,
+            telemetry=telemetry,
+            tenants=[TenantSpec("t", max_depth=1)],
+        )
+        service.submit(CFG, 2, tenant="t")
+        from repro.errors import QueueFullError
+
+        with pytest.raises(QueueFullError):
+            service.submit(CFG, 2, tenant="t")
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["service.accepted"] == 1
+        assert counters["service.rejected"] == 1
+
+
+class TestRecovery:
+    def test_in_process_kill_resume_is_transparent(self, tmp_path):
+        telemetry = Telemetry()
+        injector = FaultInjector(service_plan(num_steps=8))
+
+        async def main():
+            async with SimulationService(
+                tmp_path,
+                max_batch=3,
+                telemetry=telemetry,
+                fault_injector=injector,
+                checkpoint_every=2,
+                resume_on_kill=True,
+            ) as service:
+                ids = {
+                    service.submit(CFG, 8, state_seed=seed): seed
+                    for seed in range(4)
+                }
+                return {
+                    seed: await service.result(job_id)
+                    for job_id, seed in ids.items()
+                }
+
+        results = asyncio.run(main())
+        for seed, result in results.items():
+            assert result.ok
+            assert fields_digest(result.fluid, result.structure) == _solo_digest(
+                CFG, seed, 8
+            )
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["service.kills_survived"] == 1
+
+    def test_cross_instance_resume_recovers_undispatched_jobs(self, tmp_path):
+        """Jobs journaled but never dispatched survive a service death."""
+        service = SimulationService(tmp_path)
+        ids = [service.submit(CFG, 3, state_seed=seed) for seed in range(3)]
+        # The service dies without ever starting its drive loop; the
+        # journal alone must reconstruct the accepted jobs.
+        service._journal.close()
+
+        async def main():
+            revived = SimulationService.resume(tmp_path)
+            assert sorted(r.job_id for r in revived.jobs()) == sorted(ids)
+            async with revived:
+                return [await revived.result(job_id) for job_id in ids]
+
+        results = asyncio.run(main())
+        for seed, result in zip(range(3), results):
+            assert result.ok
+            assert fields_digest(result.fluid, result.structure) == _solo_digest(
+                CFG, seed, 3
+            )
+
+    def test_resume_preserves_terminal_statuses(self, tmp_path):
+        async def main():
+            async with SimulationService(tmp_path) as service:
+                done = service.submit(CFG, 2, state_seed=0)
+                gone = service.submit(CFG, 2, state_seed=1)
+                service.cancel(gone)
+                await service.result(done)
+                await service.result(gone)
+            return done, gone
+
+        done, gone = asyncio.run(main())
+        revived = SimulationService.resume(tmp_path)
+        assert revived.poll(done).status == "completed"
+        assert revived.poll(gone).status == "cancelled"

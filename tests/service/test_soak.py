@@ -1,0 +1,150 @@
+"""Stress/soak: hundreds of jobs, random cancels, a mid-run kill/resume.
+
+The full soak (``slow``-marked) pushes 200+ short jobs through the
+service across multiple tenants with seeded random cancellations and
+one hard kill mid-batch, then asserts the service invariant:
+
+* every accepted job reaches a terminal state — never lost, never stuck;
+* every *completed* job's final state is bit-identical
+  (``max_abs_delta == 0.0``, digest equality) to the same config's solo
+  sequential run.
+
+A quick smoke variant runs the same machinery at ~1/10 scale for the
+default test pass.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api import Simulation
+from repro.batch.scheduler import TERMINAL_STATUSES
+from repro.config import SimulationConfig
+from repro.observe import Telemetry
+from repro.resilience import FaultInjector, service_plan
+from repro.service import SimulationService, TenantSpec
+from repro.verify.golden import fields_digest, state_arrays
+from repro.verify.oracle import seeded_initial_fluid
+
+pytestmark = pytest.mark.service
+
+CFG = SimulationConfig(fluid_shape=(8, 8, 8), solver="batched")
+TENANTS = [
+    TenantSpec("alpha", weight=1, max_depth=1000),
+    TenantSpec("beta", weight=2, max_depth=1000),
+    TenantSpec("gamma", weight=3, max_depth=1000),
+]
+
+
+def _solo_state(seed: int, steps: int):
+    sim = Simulation(CFG, initial_fluid=seeded_initial_fluid(CFG, seed))
+    sim.run(steps)
+    return sim.fluid, sim.structure
+
+
+def _run_soak(
+    tmp_path,
+    num_jobs: int,
+    kill_at_step: int | None,
+    cancel_fraction: float,
+    seed: int,
+) -> None:
+    rng = np.random.default_rng(seed)
+    telemetry = Telemetry()
+    injector = None
+    if kill_at_step is not None:
+        injector = FaultInjector(
+            service_plan(num_steps=2 * kill_at_step, seed=seed)
+        )
+
+    async def main():
+        async with SimulationService(
+            tmp_path,
+            tenants=TENANTS,
+            max_batch=6,
+            telemetry=telemetry,
+            fault_injector=injector,
+            checkpoint_every=2,
+            resume_on_kill=True,
+            memory_budget_bytes=1 << 32,
+        ) as service:
+            plan = []  # (job_id, seed, steps, cancel_requested)
+            for index in range(num_jobs):
+                job_seed = int(rng.integers(0, 2**31))
+                steps = int(rng.integers(2, 6))
+                tenant = str(rng.choice(["alpha", "beta", "gamma"]))
+                job_id = service.submit(
+                    CFG, steps, tenant=tenant, state_seed=job_seed
+                )
+                cancel = bool(rng.random() < cancel_fraction)
+                plan.append((job_id, job_seed, steps, cancel))
+                if cancel:
+                    service.cancel(job_id)
+                if index % 16 == 7:
+                    await asyncio.sleep(0)  # interleave with the drive loop
+            results = {}
+            for job_id, *_ in plan:
+                results[job_id] = await service.result(job_id)
+            return plan, results
+
+    plan, results = asyncio.run(main())
+
+    # Invariant 1: every accepted job is terminal.
+    assert len(results) == num_jobs
+    for job_id, result in results.items():
+        assert result is not None, f"{job_id} lost"
+        assert result.status in TERMINAL_STATUSES
+
+    # Invariant 2: completed results are bit-identical to solo runs.
+    completed = cancelled = 0
+    for job_id, job_seed, steps, cancel in plan:
+        result = results[job_id]
+        if result.status == "cancelled":
+            cancelled += 1
+            continue
+        assert result.ok, f"{job_id}: unexpected status {result.status}"
+        completed += 1
+        assert result.steps_completed == steps
+        fluid, structure = _solo_state(job_seed, steps)
+        assert fields_digest(result.fluid, result.structure) == fields_digest(
+            fluid, structure
+        )
+        ours = state_arrays(result.fluid, result.structure)
+        theirs = state_arrays(fluid, structure)
+        max_abs_delta = max(
+            float(np.max(np.abs(ours[key] - theirs[key]), initial=0.0))
+            for key in ours
+        )
+        assert max_abs_delta == 0.0
+    assert completed > 0
+
+    snap = telemetry.metrics.snapshot()
+    assert snap["counters"]["service.accepted"] == num_jobs
+    assert snap["counters"]["service.completed"] == completed
+    assert snap["quantiles"]["service.step_seconds"]["count"] > 0
+    if kill_at_step is not None:
+        assert snap["counters"].get("service.kills_survived", 0) >= 1
+
+
+def test_soak_smoke(tmp_path):
+    """Quick variant: 24 jobs, a kill, ~15% cancels."""
+    _run_soak(
+        tmp_path, num_jobs=24, kill_at_step=2, cancel_fraction=0.15, seed=11
+    )
+
+
+@pytest.mark.slow
+def test_soak_full(tmp_path):
+    """Full soak: 220 jobs, a kill mid-batch, ~10% random cancels."""
+    _run_soak(
+        tmp_path, num_jobs=220, kill_at_step=3, cancel_fraction=0.10, seed=20150715
+    )
+
+
+@pytest.mark.slow
+def test_soak_no_faults_all_complete(tmp_path):
+    """Control soak: no kill, no cancels — every job completes."""
+    _run_soak(tmp_path, num_jobs=64, kill_at_step=None, cancel_fraction=0.0, seed=3)
