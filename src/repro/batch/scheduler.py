@@ -1398,12 +1398,17 @@ class BatchScheduler:
             )
             job = next(j for j in self._jobs if j.job_id == job_id)
             if compatibility_key(job.config) != self._group_key:
-                # Leave it queued for the next wave rather than corrupt
-                # the running batch with incompatible physics.
-                raise ConfigurationError(
-                    f"refill_source returned job {job_id!r} incompatible "
-                    "with the running compatibility group"
+                # A mismatched refill must not corrupt the running batch
+                # with incompatible physics — and aborting mid-batch
+                # would lose the wave's sibling results.  Leave the job
+                # in self._jobs: it runs as its own group in a later
+                # wave (the submit above already persisted it).
+                self._record(
+                    "refill_incompatible",
+                    job=job_id,
+                    group=repr(self._group_key),
                 )
+                continue
             self._jobs.remove(job)
             if self._cancel_requested(job_id):
                 results[job_id] = self._cancelled_result(job)

@@ -41,8 +41,8 @@ class JournalReplay:
     dispatched: set[str] = field(default_factory=set)
     #: Jobs cancelled at the service layer.
     cancelled: set[str] = field(default_factory=set)
-    #: job_id -> terminal status observed before the kill.
-    terminal: dict[str, str] = field(default_factory=dict)
+    #: job_id -> ``{"status", "steps"}`` observed before the kill.
+    terminal: dict[str, dict] = field(default_factory=dict)
 
     def undispatched(self) -> list[dict]:
         """Acceptance records never handed to the scheduler, in order."""
@@ -126,5 +126,8 @@ class ServiceJournal:
             elif event.kind == "job_cancelled":
                 outcome.cancelled.add(job_id)
             elif event.kind == "job_terminal":
-                outcome.terminal[job_id] = str(event.detail.get("status"))
+                outcome.terminal[job_id] = {
+                    "status": str(event.detail.get("status")),
+                    "steps": int(event.detail.get("steps", 0)),
+                }
         return outcome

@@ -84,12 +84,14 @@ class PendingJob:
 
 
 class _TenantQueue:
-    __slots__ = ("spec", "jobs", "vtime")
+    __slots__ = ("spec", "jobs", "vtime", "reserved")
 
     def __init__(self, spec: TenantSpec) -> None:
         self.spec = spec
         self.jobs: list[PendingJob] = []
         self.vtime = 0.0
+        #: Slots held by in-flight reservations (counted toward the cap).
+        self.reserved = 0
 
 
 class WeightedFairQueues:
@@ -123,15 +125,50 @@ class WeightedFairQueues:
             return sum(len(q.jobs) for q in self._tenants.values())
 
     # ------------------------------------------------------------------
-    def push(self, job: PendingJob) -> None:
-        """Enqueue; raises :class:`QueueFullError` at the depth cap."""
+    def reserve_slot(self, tenant: str) -> None:
+        """Atomically claim one queue slot ahead of a :meth:`push`.
+
+        Raises :class:`QueueFullError` at the depth cap.  The service
+        reserves *before* journaling an acceptance so a job can never be
+        durably recorded as accepted and then rejected at the cap;
+        the reservation is consumed by ``push(job, reserved=True)`` or
+        returned with :meth:`release_slot` when admission fails later.
+        """
+        with self._lock:
+            queue = self._tenants.get(tenant)
+            if queue is None:
+                raise ConfigurationError(f"unknown tenant {tenant!r}")
+            depth = len(queue.jobs) + queue.reserved
+            if depth >= queue.spec.max_depth:
+                raise QueueFullError(
+                    tenant, depth, queue.spec.retry_after_seconds
+                )
+            queue.reserved += 1
+
+    def release_slot(self, tenant: str) -> None:
+        """Return an unused reservation taken by :meth:`reserve_slot`."""
+        with self._lock:
+            queue = self._tenants.get(tenant)
+            if queue is not None and queue.reserved > 0:
+                queue.reserved -= 1
+
+    def push(self, job: PendingJob, reserved: bool = False) -> None:
+        """Enqueue; raises :class:`QueueFullError` at the depth cap.
+
+        With ``reserved=True`` the push consumes a slot claimed earlier
+        by :meth:`reserve_slot` and cannot hit the cap.
+        """
         with self._lock:
             queue = self._tenants.get(job.tenant)
             if queue is None:
                 raise ConfigurationError(f"unknown tenant {job.tenant!r}")
-            if len(queue.jobs) >= queue.spec.max_depth:
+            if reserved and queue.reserved > 0:
+                queue.reserved -= 1
+            elif len(queue.jobs) + queue.reserved >= queue.spec.max_depth:
                 raise QueueFullError(
-                    job.tenant, len(queue.jobs), queue.spec.retry_after_seconds
+                    job.tenant,
+                    len(queue.jobs) + queue.reserved,
+                    queue.spec.retry_after_seconds,
                 )
             if not queue.jobs:
                 # vtime catch-up: an idle tenant rejoins at the current

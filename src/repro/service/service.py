@@ -35,6 +35,7 @@ import time
 import threading
 
 from repro.batch.scheduler import (
+    TERMINAL_STATUSES,
     BatchResult,
     BatchScheduler,
     JobRequest,
@@ -188,11 +189,20 @@ class SimulationService:
         try:
             self._budget.reserve(job_id, state_bytes)
             try:
+                # Claim the queue slot *before* the journal write: a job
+                # must never be durably recorded as accepted and then
+                # rejected at the depth cap (resume would resurrect it).
+                self._queues.reserve_slot(tenant)
+            except Exception:
+                self._budget.release(job_id)
+                raise
+            try:
                 self._enqueue(
                     job_id, tenant, config, num_steps, state_seed, state_bytes,
-                    journal=True,
+                    journal=True, reserved=True,
                 )
             except Exception:
+                self._queues.release_slot(tenant)
                 self._budget.release(job_id)
                 raise
         except AdmissionError:
@@ -214,6 +224,7 @@ class SimulationService:
         state_seed: int | None,
         state_bytes: int,
         journal: bool,
+        reserved: bool = False,
     ) -> None:
         """Journal (optionally) and enqueue one accepted job."""
         record = JobRecord(
@@ -241,10 +252,12 @@ class SimulationService:
         if journal:
             # Durability rule: journal *before* the job becomes visible
             # anywhere — a kill after this line never loses the job.
+            # The queue slot was reserved before this write, so the
+            # push below cannot be rejected at the depth cap.
             self._journal.job_accepted(
                 job_id, tenant, config.to_dict(), num_steps, state_seed, state_bytes
             )
-        self._queues.push(pending)
+        self._queues.push(pending, reserved=reserved)
         with self._state_lock:
             self._records[job_id] = record
 
@@ -305,7 +318,10 @@ class SimulationService:
         finished = None
         with self._state_lock:
             record = self._records[job_id]
-            if record.terminal:
+            # A record restored terminal by resume() may still await its
+            # BatchResult from the scheduler's next run — subscribe and
+            # let _finish deliver it rather than yielding result=None.
+            if record.terminal and record.result is not None:
                 finished = {
                     "type": "result",
                     "job_id": job_id,
@@ -365,6 +381,19 @@ class SimulationService:
         # Already dispatched: delegate to the scheduler's thread-safe
         # cancel; the terminal result flows back through _absorb.
         accepted = self._scheduler.cancel(job_id)
+        if not accepted:
+            # Handoff race: _refill_source (executor thread) may have
+            # popped the job from the queues while the scheduler has not
+            # registered its submit yet.  Retry briefly while the record
+            # is still live instead of refusing to cancel a live job.
+            deadline = time.monotonic() + 0.25
+            while not accepted and time.monotonic() < deadline:
+                with self._state_lock:
+                    live = self._records.get(job_id)
+                    if live is None or live.terminal:
+                        return False
+                time.sleep(0.002)
+                accepted = self._scheduler.cancel(job_id)
         if accepted:
             self._journal.job_cancelled(job_id, queued=False)
             if metrics is not None:
@@ -661,6 +690,15 @@ class SimulationService:
             )
             scheduler_status = service._scheduler.job_status(job_id)
             if scheduler_status is not None:
+                if (
+                    job_id in replay.cancelled
+                    and scheduler_status not in TERMINAL_STATUSES
+                ):
+                    # The dead service acknowledged this cancellation but
+                    # the scheduler never persisted it — re-issue it so
+                    # the job cannot run to completion after resume.
+                    service._scheduler.cancel(job_id)
+                    scheduler_status = service._scheduler.job_status(job_id)
                 # The scheduler owns it: terminal results surface on the
                 # next run(); in-flight jobs are already requeued there.
                 record.dispatched_at = record.submitted_at
@@ -679,16 +717,25 @@ class SimulationService:
                     service._records[job_id] = record
                 continue
             if job_id in replay.cancelled or job_id in replay.terminal:
-                record.status = replay.terminal.get(job_id, "cancelled")
-                record.result = BatchResult(
-                    job_id=job_id,
-                    status=record.status,
-                    steps_completed=0,
-                    fluid=FluidGrid(
+                terminal = replay.terminal.get(job_id)
+                record.status = (
+                    str(terminal["status"]) if terminal else "cancelled"
+                )
+                record.steps_completed = int(terminal["steps"]) if terminal else 0
+                # Rebuild the same fluid the pre-kill result carried: the
+                # seeded initial state when the job had a state seed.
+                fluid = cls._initial_fluid(config, state_seed)
+                if fluid is None:
+                    fluid = FluidGrid(
                         config.fluid_shape,
                         tau=config.effective_tau,
                         collision_operator=config.collision_operator,
-                    ),
+                    )
+                record.result = BatchResult(
+                    job_id=job_id,
+                    status=record.status,
+                    steps_completed=record.steps_completed,
+                    fluid=fluid,
                     structure=None,
                 )
                 restored += 1

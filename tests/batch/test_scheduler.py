@@ -117,6 +117,29 @@ class TestContinuousRefill:
         # Slots are reused: 5 jobs cannot have 5 distinct slots out of 2.
         assert {results[f"job{i}"].slot for i in range(5)} == {0, 1}
 
+    def test_incompatible_refill_deferred_to_next_wave(self):
+        """A refill_source handing back a compat-mismatched request must
+        not abort the in-flight run (losing sibling results); the job is
+        parked in the queue and runs as its own group in a later run."""
+        from repro.batch import JobRequest
+
+        mismatched = [
+            JobRequest(config=_config(tau=0.9), num_steps=2, job_id="late")
+        ]
+        scheduler = BatchScheduler(max_batch=2)
+        scheduler.refill_source = (
+            lambda key: mismatched.pop() if mismatched else None
+        )
+        scheduler.submit(_config(), num_steps=2, job_id="first")
+        results = scheduler.run()
+        assert results["first"].status == "completed"
+        assert "late" not in results
+        assert scheduler.job_status("late") == "queued"
+        assert scheduler.has_pending
+        second = scheduler.run()
+        assert second["late"].status == "completed"
+        assert second["late"].steps_completed == 2
+
     def test_early_termination_refills_before_long_jobs_finish(self):
         """A short job retires mid-run and its slot is refilled while
         the long neighbour is still stepping."""

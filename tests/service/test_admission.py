@@ -114,6 +114,29 @@ class TestQueueDepthCap:
         assert queues.pop_next().job_id == "a"
         queues.push(_pending("b"))  # retry-after honored: now admitted
 
+    def test_reserved_slot_counts_toward_cap(self):
+        queues = WeightedFairQueues([TenantSpec("t", max_depth=2)])
+        queues.reserve_slot("t")
+        queues.push(_pending("a"))
+        # One real job + one reservation fill the depth-2 cap.
+        with pytest.raises(QueueFullError) as err:
+            queues.reserve_slot("t")
+        assert err.value.depth == 2
+        with pytest.raises(QueueFullError):
+            queues.push(_pending("b"))
+        # A reserved push consumes the claimed slot instead of the cap.
+        queues.push(_pending("c"), reserved=True)
+        assert queues.depth("t") == 2
+
+    def test_released_slot_restores_capacity(self):
+        queues = WeightedFairQueues([TenantSpec("t", max_depth=1)])
+        queues.reserve_slot("t")
+        with pytest.raises(QueueFullError):
+            queues.push(_pending("a"))
+        queues.release_slot("t")
+        queues.push(_pending("a"))
+        assert queues.depth("t") == 1
+
 
 # ----------------------------------------------------------------------
 # service-level admission
@@ -148,6 +171,29 @@ class TestServiceAdmission:
         assert err.value.retry_after_seconds == 0.5
         # The rejected submission reserved no budget.
         assert service._budget.reserved_bytes == 2 * CFG.estimated_state_bytes()
+
+    def test_queue_full_rejection_is_not_journaled(self, tmp_path):
+        """Regression: a queue-full rejection must not leave a durable
+        job_accepted record — resume() would resurrect and execute a job
+        the client was told to retry (phantom/duplicate execution)."""
+        from repro.service.journal import ServiceJournal
+
+        service = SimulationService(
+            tmp_path, tenants=[TenantSpec("t", max_depth=1)]
+        )
+        kept = service.submit(CFG, 2, tenant="t", state_seed=0)
+        with pytest.raises(QueueFullError):
+            service.submit(CFG, 2, tenant="t", state_seed=1)
+        replay = ServiceJournal.replay(tmp_path)
+        assert list(replay.accepted) == [kept]
+        # The failed reservation was returned: draining the queue makes
+        # room for the retry, exactly as the retry-after hint promises.
+        assert service._queues.pop_next().job_id == kept
+        retried = service.submit(CFG, 2, tenant="t", state_seed=1)
+        service._journal.close()
+        revived = SimulationService.resume(tmp_path)
+        assert sorted(r.job_id for r in revived.jobs()) == sorted([kept, retried])
+        revived._journal.close()
 
     def test_unknown_tenant_rejected(self, tmp_path):
         service = SimulationService(tmp_path, tenants=[TenantSpec("a")])

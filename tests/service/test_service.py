@@ -238,3 +238,100 @@ class TestRecovery:
         revived = SimulationService.resume(tmp_path)
         assert revived.poll(done).status == "completed"
         assert revived.poll(gone).status == "cancelled"
+
+    def test_resume_reissues_unpersisted_cancel(self, tmp_path):
+        """Regression: a kill after cancel() journals the acknowledgement
+        but before the scheduler persists "cancelled" must not let the
+        job run to completion after resume."""
+        service = SimulationService(tmp_path)
+        job_id = service.submit(CFG, 4, state_seed=0)
+        # Hand the job to the scheduler without running it, then journal
+        # the cancel acknowledgement without the scheduler seeing it —
+        # exactly the state an ill-timed kill inside cancel() leaves.
+        service._dispatch(service._queues.pop_next())
+        service._journal.job_cancelled(job_id, queued=False)
+        service._journal.close()
+
+        async def main():
+            revived = SimulationService.resume(tmp_path)
+            async with revived:
+                return await revived.result(job_id)
+
+        result = asyncio.run(main())
+        assert result.status == "cancelled"
+
+    def test_restored_terminal_results_preserve_steps_and_seeded_state(
+        self, tmp_path
+    ):
+        """Regression: resume() fabricating a terminal result from the
+        journal alone must keep the journaled step count and rebuild the
+        seeded initial fluid — not a rest state with steps=0 — and
+        stream() must never yield ``result=None``."""
+        import shutil
+
+        async def main():
+            async with SimulationService(tmp_path) as service:
+                job_id = service.submit(CFG, 3, state_seed=5)
+                await service.result(job_id)
+            return job_id
+
+        job_id = asyncio.run(main())
+        # The batch scheduler's manifest is lost; only the service
+        # journal survives to reconstruct the terminal record.
+        shutil.rmtree(tmp_path / "batch")
+        revived = SimulationService.resume(tmp_path)
+        snapshot = revived.poll(job_id)
+        assert snapshot.status == "completed"
+        assert snapshot.steps_completed == 3
+
+        async def stream_one():
+            async with revived:
+                events = []
+                async for event in revived.stream(job_id):
+                    events.append(event)
+                return events, await revived.result(job_id)
+
+        events, result = asyncio.run(stream_one())
+        assert events[-1]["type"] == "result"
+        assert events[-1]["result"] is not None
+        assert result is not None
+        assert result.steps_completed == 3
+        seeded = seeded_initial_fluid(CFG, 5)
+        assert np.array_equal(result.fluid.df, seeded.df)
+
+    def test_cancel_wins_refill_handoff_race(self, tmp_path):
+        """Regression: cancel() arriving between _refill_source's pop
+        and the scheduler registering the submit must cancel the live
+        job, not return False."""
+        import threading
+        import time
+
+        service = SimulationService(tmp_path)
+        job_id = service.submit(CFG, 4, state_seed=0)
+        pending = service._queues.pop_next()  # the refill pop
+        assert pending.job_id == job_id
+        # Refills only happen inside scheduler.run(); mimic that window
+        # so cancel() takes the deferred-request path, as it would live.
+        service._scheduler._running = True
+
+        def late_submit():
+            time.sleep(0.05)
+            service._scheduler.submit(
+                pending.request.config,
+                pending.request.num_steps,
+                job_id=pending.job_id,
+                initial_fluid=pending.request.initial_fluid,
+            )
+
+        thread = threading.Thread(target=late_submit)
+        thread.start()
+        try:
+            assert service.cancel(job_id)
+        finally:
+            thread.join()
+            service._scheduler._running = False
+        # The deferred request retires the job before it runs a step.
+        results = service._scheduler.run()
+        assert results[job_id].status == "cancelled"
+        assert results[job_id].steps_completed == 0
+        service._journal.close()
