@@ -32,7 +32,7 @@ BENCH_INPLACE_GATE_ARGS ?= --scale 8 --steps 3 --warmup 2
 BENCH_PRECISION_BASELINE ?= benchmarks/baselines/BENCH_precision.json
 BENCH_PRECISION_GATE_ARGS ?= --scale 2 --steps 8 --warmup 2
 
-.PHONY: install test test-quick test-faults test-chaos test-service test-verify verify-physics bench bench-fused bench-inplace bench-batch bench-precision bench-gate trace-example examples report clean
+.PHONY: install test test-quick test-faults test-chaos test-service test-verify verify-physics bench bench-fused bench-inplace bench-batch bench-precision bench-tune bench-gate trace-example examples report clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -113,6 +113,15 @@ bench-batch:
 # e.g. BENCH_PRECISION_ARGS="--scale 4 --steps 4".
 bench-precision:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_precision.py $(BENCH_PRECISION_ARGS)
+
+# Workload-adaptive autotuner benchmark (model-guided ranking, measured
+# top-N probe, decision cache) against an exhaustive candidate sweep;
+# writes benchmarks/results/BENCH_tune.json and asserts the acceptance
+# ratios (auto within 5% of the best hand-picked candidate, >= 1.3x
+# better than the worst) on the full Table-I grid.  Override the run
+# size with e.g. BENCH_TUNE_ARGS="--scale 4 --steps 2 --no-check".
+bench-tune:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_tune.py $(BENCH_TUNE_ARGS)
 
 # Benchmark-regression gate: re-run the fused and batched benchmarks at
 # each baseline's smoke workload and diff them against the checked-in

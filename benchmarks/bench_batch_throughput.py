@@ -85,6 +85,10 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=pathlib.Path, default=RESULTS_DIR / "BENCH_batch.json",
         help="JSON output path",
     )
+    parser.add_argument(
+        "--autotune", action="store_true",
+        help="also run the autotuner on this workload and print its pick",
+    )
     args = parser.parse_args(argv)
 
     result = run_bench_batch(
@@ -97,6 +101,16 @@ def main(argv: list[str] | None = None) -> int:
     print(render_bench_batch(result))
     write_bench_batch(result, args.output)
     print(f"\nwrote {args.output}")
+    if args.autotune:
+        from repro.experiments.bench_tune import autotune_addendum
+
+        print()
+        print(
+            autotune_addendum(
+                fluid_shape=tuple(args.shape),
+                batch_size=max(args.batch_sizes),
+            )
+        )
     return 0
 
 

@@ -79,12 +79,21 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=pathlib.Path, default=RESULTS_DIR / "BENCH_inplace.json",
         help="JSON output path",
     )
+    parser.add_argument(
+        "--autotune", action="store_true",
+        help="also run the autotuner on this workload and print its pick",
+    )
     args = parser.parse_args(argv)
 
     result = run_bench_inplace(scale=args.scale, steps=args.steps, warmup=args.warmup)
     print(render_bench_inplace(result))
     write_bench_inplace(result, args.output)
     print(f"\nwrote {args.output}")
+    if args.autotune:
+        from repro.experiments.bench_tune import autotune_addendum
+
+        print()
+        print(autotune_addendum(scale=args.scale))
     return 0
 
 

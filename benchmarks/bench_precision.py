@@ -93,6 +93,10 @@ def main(argv: list[str] | None = None) -> int:
         default=RESULTS_DIR / "BENCH_precision.json",
         help="JSON output path",
     )
+    parser.add_argument(
+        "--autotune", action="store_true",
+        help="also run the autotuner on this workload and print its pick",
+    )
     args = parser.parse_args(argv)
 
     result = run_bench_precision(
@@ -101,6 +105,11 @@ def main(argv: list[str] | None = None) -> int:
     print(render_bench_precision(result))
     write_bench_precision(result, args.output)
     print(f"\nwrote {args.output}")
+    if args.autotune:
+        from repro.experiments.bench_tune import autotune_addendum
+
+        print()
+        print(autotune_addendum(scale=args.scale, precision="float32"))
     return 0
 
 

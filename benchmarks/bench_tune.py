@@ -1,0 +1,138 @@
+"""Benchmark: workload-adaptive autotuner vs hand-picked configurations.
+
+Exhaustively measures the tuning candidate space (variant x precision x
+scatter x batch width) for the Table-I profiling workload, runs the
+:class:`~repro.tuning.autotuner.Autotuner`'s model-guided top-N probe
+against it, and emits ``benchmarks/results/BENCH_tune.json`` recording
+``auto_vs_best``, ``worst_vs_auto`` and per-candidate prediction error.
+
+Two entry points:
+
+* ``make bench-tune`` (this file as a script) — full run on the Table-I
+  grid (62 x 32 x 32); asserts the acceptance ratios (auto within 5% of
+  the best hand-picked candidate, >= 1.3x better than the worst);
+* ``pytest benchmarks/bench_tune.py`` — reduced smoke run that checks
+  the record's structure and that every prediction error is finite (the
+  timing ratios are meaningless on a dispatch-dominated smoke grid).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+from repro.experiments.bench_tune import render_bench_tune, run_bench_tune
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def write_bench_tune(result: dict, path: pathlib.Path) -> None:
+    """Persist the benchmark record as pretty-printed JSON."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (CI smoke)
+# ----------------------------------------------------------------------
+def test_bench_tune_json(emit, results_dir, tmp_path):
+    """Emit BENCH_tune.json from a reduced run and sanity-check it."""
+    result = run_bench_tune(
+        scale=4,
+        steps=2,
+        warmup=1,
+        repeats=2,
+        budget_seconds=5.0,
+        cache_path=str(tmp_path / "tuned.json"),
+    )
+    emit("bench_tune", render_bench_tune(result))
+    write_bench_tune(result, results_dir / "BENCH_tune.json")
+    # Structural claims only — the smoke grid is dispatch-dominated, so
+    # the acceptance ratios are asserted by the full-grid script run.
+    summary = result["prediction_error_summary"]
+    assert summary["finite"]
+    assert math.isfinite(summary["median_abs"])
+    assert math.isfinite(summary["max_abs"])
+    labels = {row["label"] for row in result["candidates"]}
+    assert result["auto"]["label"] in labels or result["candidates"]
+    assert sum(row["auto"] for row in result["candidates"]) <= 1
+    assert result["auto_vs_best"] >= 1.0
+    assert result["worst_vs_auto"] >= 1.0
+    # The decision must be replayable from the persisted cache.
+    assert result["decision"]["candidate"]["variant"]
+    assert math.isfinite(result["model_scale"]) and result["model_scale"] > 0
+
+
+# ----------------------------------------------------------------------
+# command line (make bench-tune)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_tune.py",
+        description="autotuner benchmark; writes BENCH_tune.json",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=2,
+        help="grid divisor of the Table-I workload (2 = the 62x32x32 grid)",
+    )
+    parser.add_argument("--steps", type=int, default=5, help="timed steps")
+    parser.add_argument("--warmup", type=int, default=2, help="warmup steps")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="interleaved timing rounds"
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None,
+        help="probe wall-second budget for the autotuner stage",
+    )
+    parser.add_argument(
+        "--cache", type=pathlib.Path,
+        default=RESULTS_DIR / "tuned_decisions.json",
+        help="decision-cache path used by the autotuner run",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path,
+        default=RESULTS_DIR / "BENCH_tune.json",
+        help="JSON output path",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="skip the acceptance-ratio assertions (reduced grids)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_bench_tune(
+        scale=args.scale,
+        steps=args.steps,
+        warmup=args.warmup,
+        repeats=args.repeats,
+        budget_seconds=args.budget,
+        cache_path=str(args.cache),
+    )
+    print(render_bench_tune(result))
+    write_bench_tune(result, args.output)
+    print(f"\nwrote {args.output}")
+
+    if not args.no_check and args.scale <= 2:
+        failures = []
+        if result["auto_vs_best"] > 1.05:
+            failures.append(
+                f"auto_vs_best {result['auto_vs_best']:.3f} > 1.05"
+            )
+        if result["worst_vs_auto"] < 1.3:
+            failures.append(
+                f"worst_vs_auto {result['worst_vs_auto']:.3f} < 1.3"
+            )
+        if failures:
+            print("ACCEPTANCE FAILED: " + "; ".join(failures))
+            return 1
+        print("acceptance ok: auto_vs_best <= 1.05, worst_vs_auto >= 1.3")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -842,6 +842,49 @@ class BatchScheduler:
         return bool(self._jobs) or bool(self._restored)
 
     # ------------------------------------------------------------------
+    # online tuning
+    # ------------------------------------------------------------------
+    def apply_tuning(
+        self,
+        max_batch: int | None = None,
+        scatter_method: str | None = None,
+    ) -> dict:
+        """Apply re-tuned knobs to a (possibly running) scheduler.
+
+        Thread-safe, and deliberately restricted to the two knobs that
+        cannot change any job's trajectory:
+
+        * ``max_batch`` — results are composition-independent (pinned
+          by the scheduler suite), so resizing is benign.  The value is
+          read at the start of each group (``_run_group``), so a change
+          lands at the next compatible batch wave, never mid-wave.
+        * ``scatter_method`` — both kernel-4 implementations are
+          bit-identical (they accumulate contributions in the same
+          order), so switching takes effect immediately, even for
+          in-flight slots.
+
+        Returns the knobs actually applied; journals ``tuning_applied``.
+        Invalid values raise :class:`~repro.errors.ConfigurationError`
+        without applying anything.
+        """
+        if max_batch is not None and max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be positive, got {max_batch}"
+            )
+        applied: dict = {}
+        if scatter_method is not None:
+            from repro.core.ib.spreading import set_scatter_method
+
+            set_scatter_method(scatter_method)  # validates the name
+            applied["scatter_method"] = scatter_method
+        if max_batch is not None:
+            self.max_batch = int(max_batch)
+            applied["max_batch"] = self.max_batch
+        if applied:
+            self._record("tuning_applied", **applied)
+        return applied
+
+    # ------------------------------------------------------------------
     @property
     def _persist(self) -> bool:
         return self.workdir is not None

@@ -34,6 +34,7 @@ import numpy as np
 from repro.constants import DTYPE
 from repro.core.ib.delta import DeltaKernel
 from repro.core.ib.fiber import FiberSheet
+from repro.errors import ConfigurationError
 
 __all__ = [
     "flatten_stencil",
@@ -47,15 +48,34 @@ __all__ = [
 
 _SCATTER_METHODS = ("auto", "bincount", "add_at")
 
+
+def _env_scatter_override() -> str:
+    """``LBMIB_SCATTER`` validated at read time.
+
+    An unknown value used to fall through :func:`scatter_flat`'s
+    dispatch into the ``bincount`` branch silently — a typo like
+    ``LBMIB_SCATTER=addat`` would *appear* to work while benchmarking
+    the wrong implementation.  Failing loudly at import, naming the
+    allowed methods, turns that into a one-line fix.
+    """
+    value = os.environ.get("LBMIB_SCATTER", "auto")
+    if value not in _SCATTER_METHODS:
+        raise ConfigurationError(
+            f"LBMIB_SCATTER={value!r} is not a scatter method; allowed "
+            f"values: {', '.join(_SCATTER_METHODS)}"
+        )
+    return value
+
+
 #: Forced scatter implementation; ``"auto"`` selects by problem size.
-_scatter_override = os.environ.get("LBMIB_SCATTER", "auto")
+_scatter_override = _env_scatter_override()
 
 
 def set_scatter_method(method: str) -> None:
     """Force the scatter implementation (``"auto"`` restores selection)."""
     global _scatter_override
     if method not in _SCATTER_METHODS:
-        raise ValueError(
+        raise ConfigurationError(
             f"scatter method must be one of {_SCATTER_METHODS}, got {method!r}"
         )
     _scatter_override = method

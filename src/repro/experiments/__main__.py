@@ -84,6 +84,14 @@ def _precision() -> str:
     return render_bench_precision(run_bench_precision(scale=4, steps=5, warmup=2))
 
 
+def _tune() -> str:
+    from repro.experiments.bench_tune import render_bench_tune, run_bench_tune
+
+    return render_bench_tune(
+        run_bench_tune(scale=4, steps=2, warmup=1, repeats=2, budget_seconds=5.0)
+    )
+
+
 #: Artifact name -> renderer.
 ARTIFACTS = {
     "table1": _table1,
@@ -96,6 +104,7 @@ ARTIFACTS = {
     "inplace": _inplace,
     "batch": _batch,
     "precision": _precision,
+    "tune": _tune,
 }
 
 

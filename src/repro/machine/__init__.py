@@ -14,6 +14,7 @@ This package stands in for the paper's physical 32-/64-core AMD hosts
 * ``perf_model`` — the execution-time model behind Figures 5 and 8.
 """
 
+from repro.machine.fingerprint import fingerprint_components, machine_fingerprint
 from repro.machine.perf_model import PerformanceModel, ScalingPoint, StepBreakdown
 from repro.machine.spec import CacheSpec, MachineSpec, abu_dhabi, thog
 
@@ -25,4 +26,6 @@ __all__ = [
     "MachineSpec",
     "abu_dhabi",
     "thog",
+    "fingerprint_components",
+    "machine_fingerprint",
 ]

@@ -1,0 +1,45 @@
+"""Host fingerprint for cached tuning decisions.
+
+A tuned configuration is a statement about *this* machine: the best
+variant/precision/scatter choice flips with cache geometry, core count
+and the BLAS/NumPy build (Fu & Song, arXiv:2208.05429, show the best
+lattice traversal flipping with cache shape; Beny & Latt,
+arXiv:1904.02108, show the scatter strategy flipping with node
+density).  The decision cache therefore keys every entry by a stable
+digest of the attributes that change those answers; restoring a cache
+on different hardware silently re-tunes instead of serving a stale
+decision.
+
+The fingerprint is deliberately *coarse*: it hashes identity (ISA,
+core count, interpreter and NumPy builds), not load or frequency —
+transient conditions are the probe stage's job, not a cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+
+__all__ = ["fingerprint_components", "machine_fingerprint"]
+
+
+def fingerprint_components() -> dict[str, str]:
+    """The raw identity attributes folded into the fingerprint."""
+    import numpy
+
+    return {
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or "unknown",
+        "cpu_count": str(os.cpu_count() or 0),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+    }
+
+
+def machine_fingerprint() -> str:
+    """Short stable digest identifying this host for tuning caches."""
+    parts = fingerprint_components()
+    blob = "|".join(f"{k}={parts[k]}" for k in sorted(parts))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -35,6 +35,7 @@ instrumentation site (gated at < 5% on the fused step benchmark).
 
 from __future__ import annotations
 
+from repro.observe.drift import DriftDetector
 from repro.observe.gate import (
     GateError,
     GateReport,
@@ -64,6 +65,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Quantiles",
+    "DriftDetector",
     "GateError",
     "GateReport",
     "KeyVerdict",

@@ -1,0 +1,138 @@
+"""Sliding-window drift detection over a scalar telemetry signal.
+
+The online re-tuning loop needs a small, deterministic answer to one
+question: *has the step time moved away from what the tuner measured?*
+:class:`DriftDetector` keeps a bounded window of recent samples,
+summarises it with the nearest-rank median (robust to the occasional
+stall the autotuner's min-of-R discipline also defends against), and
+confirms drift only after ``patience`` consecutive windows exceed the
+baseline by ``threshold`` — a single slow sweep never triggers.
+
+After a confirmed drift the caller re-tunes and calls
+:meth:`DriftDetector.rebaseline`, which adopts the new expectation and
+opens a ``cooldown`` period during which no further drift can be
+confirmed — re-tuning is expensive and oscillation would be worse than
+the drift.
+
+The detector is deliberately signal-agnostic (plain floats in, bool
+out) so it lives in :mod:`repro.observe` next to the other sketches;
+:mod:`repro.tuning.online` binds it to scheduler ticks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DriftDetector"]
+
+
+def _nearest_rank_median(values: list[float]) -> float:
+    """Deterministic nearest-rank median (no interpolation)."""
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]
+
+
+class DriftDetector:
+    """Confirmed-drift watchdog over a stream of scalar samples.
+
+    Parameters
+    ----------
+    expected:
+        Baseline value the stream is judged against.  ``None`` makes
+        the detector self-baselining: the first full window's median
+        becomes the expectation (no calibrated absolute model needed).
+    threshold:
+        Drift ratio: a window median above ``expected * threshold``
+        counts one strike.
+    window:
+        Samples per sliding window; judgment starts once it fills.
+    patience:
+        Consecutive striking samples required to confirm drift.
+    cooldown:
+        Samples after a :meth:`rebaseline` during which drift cannot
+        be confirmed (strikes do not even accumulate).
+    """
+
+    def __init__(
+        self,
+        expected: float | None = None,
+        threshold: float = 1.5,
+        window: int = 8,
+        patience: int = 3,
+        cooldown: int = 32,
+    ) -> None:
+        if expected is not None and expected <= 0:
+            raise ConfigurationError(
+                f"expected baseline must be positive, got {expected}"
+            )
+        if threshold <= 1.0:
+            raise ConfigurationError(
+                f"drift threshold must exceed 1.0, got {threshold}"
+            )
+        if window < 1 or patience < 1 or cooldown < 0:
+            raise ConfigurationError(
+                f"window ({window}) and patience ({patience}) must be "
+                f"positive, cooldown ({cooldown}) non-negative"
+            )
+        self.expected = expected
+        self.threshold = threshold
+        self.window = window
+        self.patience = patience
+        self.cooldown = cooldown
+        self.strikes = 0
+        self._samples: deque[float] = deque(maxlen=window)
+        self._seen = 0
+        self._quiet_until = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def median(self) -> float | None:
+        """Current window median (``None`` until the window fills)."""
+        if len(self._samples) < self.window:
+            return None
+        return _nearest_rank_median(list(self._samples))
+
+    def observe(self, value: float) -> bool:
+        """Feed one sample; ``True`` when drift is confirmed.
+
+        A confirmation does not reset the detector — call
+        :meth:`rebaseline` once the corrective action lands, otherwise
+        the very next sample confirms again.
+        """
+        self._seen += 1
+        self._samples.append(float(value))
+        median = self.median
+        if median is None:
+            return False
+        if self.expected is None:
+            # Self-baselining: the first full window defines normal.
+            self.expected = median
+            return False
+        if self._seen < self._quiet_until:
+            self.strikes = 0
+            return False
+        if median > self.expected * self.threshold:
+            self.strikes += 1
+        else:
+            self.strikes = 0
+        return self.strikes >= self.patience
+
+    def rebaseline(self, expected: float | None = None) -> None:
+        """Adopt a new expectation and open the cooldown window.
+
+        ``expected=None`` adopts the current window median (the
+        post-retune reality), falling back to keeping the old baseline
+        when the window has not refilled.
+        """
+        if expected is None:
+            expected = self.median if self.median is not None else self.expected
+        if expected is not None and expected <= 0:
+            raise ConfigurationError(
+                f"expected baseline must be positive, got {expected}"
+            )
+        self.expected = expected
+        self.strikes = 0
+        self._samples.clear()
+        self._quiet_until = self._seen + self.cooldown

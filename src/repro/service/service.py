@@ -83,6 +83,13 @@ class SimulationService:
         restart path the chaos suite exercises).
     telemetry / fault_injector / retry_policy / guard:
         Forwarded to the scheduler.
+    retuner:
+        Optional :class:`~repro.tuning.online.OnlineRetuner`: the
+        service feeds it every scheduler tick (after its own SLO
+        bookkeeping) and keeps it bound to the live scheduler across
+        rebuilds/resumes, so step-time drift beyond the tuned
+        expectation triggers a journaled online re-tune whose knobs
+        land through :meth:`BatchScheduler.apply_tuning`.
     """
 
     def __init__(
@@ -97,6 +104,7 @@ class SimulationService:
         fault_injector=None,
         retry_policy=None,
         guard: bool = False,
+        retuner=None,
     ) -> None:
         self.workdir = os.fspath(workdir)
         os.makedirs(self.workdir, exist_ok=True)
@@ -107,6 +115,7 @@ class SimulationService:
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
         self.guard = guard
+        self.retuner = retuner
         self._queues = WeightedFairQueues(tenants or [TenantSpec("default")])
         self._budget = MemoryBudget(memory_budget_bytes)
         self._journal = ServiceJournal(self.workdir)
@@ -142,7 +151,14 @@ class SimulationService:
         )
 
     def _build_scheduler(self) -> BatchScheduler:
-        return BatchScheduler(workdir=self.batch_workdir, **self._batch_kwargs())
+        scheduler = BatchScheduler(
+            workdir=self.batch_workdir, **self._batch_kwargs()
+        )
+        if self.retuner is not None:
+            # Re-bound on every rebuild (resume_on_kill constructs fresh
+            # schedulers) so re-tuned knobs always reach the live one.
+            self.retuner.bind(scheduler)
+        return scheduler
 
     def _metrics(self):
         return self.telemetry.metrics if self.telemetry is not None else None
@@ -595,6 +611,11 @@ class SimulationService:
             metrics.quantiles("service.step_seconds").observe(tick.step_seconds)
             metrics.gauge("service.slot_occupancy").set(tick.occupancy)
             metrics.gauge("service.slot_capacity").set(tick.capacity)
+        if self.retuner is not None:
+            # Online re-tuning: the drift watchdog sees the same tick
+            # stream the SLO quantiles do; a confirmed drift applies
+            # bit-identity-safe knobs via the scheduler's apply_tuning.
+            self.retuner.observe(tick)
         if events and self._loop is not None:
             for subscribers, payload in events:
                 for queue in subscribers:

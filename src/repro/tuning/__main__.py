@@ -1,0 +1,147 @@
+"""Command-line autotuner report: ``python -m repro.tuning``.
+
+Prints the predicted ranking, probe timings and cached decision for a
+workload, mirroring the ``python -m repro.experiments`` pattern::
+
+    python -m repro.tuning                          # Table-I grid
+    python -m repro.tuning --shape 62x32x32 --variant-set fused,inplace
+    python -m repro.tuning --precision float32 --batch-size 4
+    python -m repro.tuning --cache ~/.lbmib-tuning.json --force
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ConfigurationError
+
+__all__ = ["main"]
+
+
+def _parse_shape(text: str) -> tuple[int, int, int]:
+    parts = text.lower().split("x")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"shape must be NXxNYxNZ (e.g. 62x32x32), got {text!r}"
+        )
+    try:
+        shape = tuple(int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"non-integer shape {text!r}") from None
+    if any(n < 1 for n in shape):
+        raise argparse.ArgumentTypeError(f"shape must be positive, got {text!r}")
+    return shape
+
+
+def _parse_variants(text: str) -> tuple[str, ...]:
+    return tuple(v.strip() for v in text.split(",") if v.strip())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tuning", description=__doc__
+    )
+    parser.add_argument(
+        "--shape", type=_parse_shape, default=(62, 32, 32),
+        help="fluid grid NXxNYxNZ (default: the Table-I profiling grid)",
+    )
+    parser.add_argument(
+        "--fibers", type=int, default=26,
+        help="fiber sheet edge (NxN nodes; 0 = no immersed structure)",
+    )
+    parser.add_argument(
+        "--variant-set", type=_parse_variants, default=None, metavar="A,B,...",
+        help="restrict the variant axis (default: all oracle-safe variants)",
+    )
+    parser.add_argument(
+        "--precision", default="float64",
+        choices=("float64", "float32", "mixed"),
+        help="requested precision contract (gates the precision axis)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=1,
+        help="concurrent compatible simulations the workload serves",
+    )
+    parser.add_argument("--steps", type=int, default=3, help="timed steps per probe round")
+    parser.add_argument("--repeats", type=int, default=3, help="interleaved probe rounds")
+    parser.add_argument("--top-n", type=int, default=3, help="predictions to probe")
+    parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the probe rounds",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="decision-cache JSON path (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="re-probe even when the cache holds a decision",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.config import SimulationConfig, StructureConfig
+    from repro.tuning.autotuner import Autotuner
+    from repro.tuning.cache import DecisionCache
+
+    structure = (
+        StructureConfig(kind="none")
+        if args.fibers == 0
+        else StructureConfig(
+            kind="flat_sheet", num_fibers=args.fibers, nodes_per_fiber=args.fibers
+        )
+    )
+    try:
+        config = SimulationConfig(
+            fluid_shape=args.shape, structure=structure, precision=args.precision
+        )
+        cache = DecisionCache(path=args.cache)
+        tuner = Autotuner(
+            cache=cache,
+            probe_top_n=args.top_n,
+            probe_steps=args.steps,
+            probe_repeats=args.repeats,
+            budget_seconds=args.budget,
+        )
+        report = tuner.tune(
+            config,
+            batch_size=args.batch_size,
+            variants=args.variant_set,
+            force=args.force,
+        )
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+    decision = report.decision
+    print(f"workload  : {report.workload.key()}")
+    print(f"machine   : {cache.fingerprint}")
+    if args.cache:
+        status = "hit" if report.from_cache else "tuned and stored"
+        print(f"cache     : {args.cache} ({status})")
+        if cache.load_error:
+            print(f"            note: {cache.load_error}")
+    if report.from_cache:
+        print(f"decision  : {decision.candidate.label()} (cached)")
+        print(f"  measured {decision.measured_seconds * 1e3:.3f} ms/step, "
+              f"model_scale {decision.model_scale:.3g}")
+        return 0
+
+    print()
+    print(f"  {'candidate':<32} {'pred ms':>9} {'meas ms':>9} {'err':>7} best")
+    for label, pred, meas, err, best in report.as_rows():
+        meas_s = f"{meas:9.4f}" if meas != "" else f"{'-':>9}"
+        err_s = f"{err:+7.2f}" if err != "" else f"{'-':>7}"
+        print(f"  {label:<32} {pred:>9.4f} {meas_s} {err_s} {best:>4}")
+    print()
+    print(f"decision  : {decision.candidate.label()}")
+    print(
+        f"  predicted {decision.predicted_seconds * 1e3:.4f} ms/step, "
+        f"measured {decision.measured_seconds * 1e3:.4f} ms/step"
+    )
+    print(f"  model_scale -> {decision.model_scale:.3g} "
+          "(median measured/predicted; recalibrates the next prediction)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

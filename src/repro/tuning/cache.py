@@ -1,0 +1,195 @@
+"""Persistent decision cache for tuned configurations.
+
+Tuning costs measured wall-seconds, so its output is worth keeping: a
+:class:`DecisionCache` persists every :class:`TunedDecision` as JSON
+keyed by ``(machine fingerprint, workload key)``, and services and
+benchmarks consult it before re-probing.
+
+The cache is built to be *impossible to be hurt by*:
+
+* **Schema versioning** — a file written by a different schema is
+  discarded wholesale (re-tuning is cheap; misreading a stale layout
+  is not).
+* **Machine fingerprinting** — entries live under the
+  :func:`repro.machine.fingerprint.machine_fingerprint` of the host
+  that probed them; a cache restored on different hardware simply
+  misses.  Other hosts' entries are preserved on write, so one cache
+  file can follow a home directory across machines.
+* **Corruption tolerance** — a torn, truncated or hand-mangled file
+  loads as an empty cache (the failure is remembered in
+  :attr:`DecisionCache.load_error` for reporting) and the next
+  :meth:`~DecisionCache.put` rewrites it atomically (tmp + rename).
+  The tuner never crashes on cache state; worst case it re-tunes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.machine.fingerprint import machine_fingerprint
+from repro.tuning.space import TuningCandidate
+
+__all__ = ["SCHEMA_VERSION", "DecisionCache", "TunedDecision"]
+
+#: Bump when the on-disk layout changes; older files are discarded.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TunedDecision:
+    """One cached tuning outcome for a ``(workload, machine)`` pair.
+
+    Attributes
+    ----------
+    workload_key:
+        The :meth:`repro.tuning.space.TuningWorkload.key` this decision
+        answers.
+    candidate:
+        The winning configuration point.
+    predicted_seconds / measured_seconds:
+        The winner's modelled and probed per-simulation-step times.
+    model_scale:
+        Median measured/predicted ratio over the probe round —
+        multiplied into future predictions on this host so the model
+        recalibrates toward reality.
+    probes:
+        Per-probed-candidate records ``{label, predicted, measured,
+        error}`` (``error`` is the signed relative prediction error),
+        kept for the bench reports and the drift watchdog's baseline.
+    """
+
+    workload_key: str
+    candidate: TuningCandidate
+    predicted_seconds: float
+    measured_seconds: float
+    model_scale: float = 1.0
+    probes: tuple[dict, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-safe form."""
+        return {
+            "workload_key": self.workload_key,
+            "candidate": self.candidate.to_dict(),
+            "predicted_seconds": self.predicted_seconds,
+            "measured_seconds": self.measured_seconds,
+            "model_scale": self.model_scale,
+            "probes": [dict(p) for p in self.probes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TunedDecision":
+        """Inverse of :meth:`to_dict` (candidate validation re-runs)."""
+        return cls(
+            workload_key=str(data["workload_key"]),
+            candidate=TuningCandidate.from_dict(data["candidate"]),
+            predicted_seconds=float(data["predicted_seconds"]),
+            measured_seconds=float(data["measured_seconds"]),
+            model_scale=float(data.get("model_scale", 1.0)),
+            probes=tuple(dict(p) for p in data.get("probes", ())),
+        )
+
+
+@dataclass
+class DecisionCache:
+    """JSON-backed store of :class:`TunedDecision` per workload/machine.
+
+    ``path=None`` keeps the cache purely in memory (tests, one-shot
+    CLI runs).  ``fingerprint`` defaults to this host's
+    :func:`~repro.machine.fingerprint.machine_fingerprint`; pass an
+    explicit value to impersonate another host in tests.
+    """
+
+    path: str | os.PathLike | None = None
+    fingerprint: str = field(default_factory=machine_fingerprint)
+    #: Why the last load fell back to empty (``None`` when clean).
+    load_error: str | None = field(default=None, init=False)
+    _machines: dict = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.path is not None:
+            self.path = os.fspath(self.path)
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        self._machines = {}
+        self.load_error = None
+        if self.path is None or not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.load_error = f"unreadable cache ({exc}); re-tuning"
+            return
+        if not isinstance(payload, dict):
+            self.load_error = "cache root is not an object; re-tuning"
+            return
+        if payload.get("schema") != SCHEMA_VERSION:
+            self.load_error = (
+                f"cache schema {payload.get('schema')!r} != "
+                f"{SCHEMA_VERSION}; re-tuning"
+            )
+            return
+        machines = payload.get("machines")
+        if not isinstance(machines, dict):
+            self.load_error = "cache has no machine table; re-tuning"
+            return
+        self._machines = {
+            str(fp): dict(entries)
+            for fp, entries in machines.items()
+            if isinstance(entries, dict)
+        }
+
+    def _save(self) -> None:
+        if self.path is None:
+            return
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{self.path}.tmp"
+        payload = {"schema": SCHEMA_VERSION, "machines": self._machines}
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    def get(self, workload_key: str) -> TunedDecision | None:
+        """The cached decision for this host, or ``None``.
+
+        An entry that fails to deserialise (a future candidate field,
+        a hand-edited file) is treated as a miss, not an error.
+        """
+        entry = self._machines.get(self.fingerprint, {}).get(workload_key)
+        if entry is None:
+            return None
+        try:
+            return TunedDecision.from_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, decision: TunedDecision) -> None:
+        """Store ``decision`` under this host's fingerprint and persist."""
+        self._machines.setdefault(self.fingerprint, {})[
+            decision.workload_key
+        ] = decision.to_dict()
+        self._save()
+
+    def invalidate(self, workload_key: str | None = None) -> None:
+        """Drop this host's entry for ``workload_key`` (or all of them)."""
+        entries = self._machines.get(self.fingerprint)
+        if entries is None:
+            return
+        if workload_key is None:
+            entries.clear()
+        else:
+            entries.pop(workload_key, None)
+        self._save()
+
+    def __len__(self) -> int:
+        return len(self._machines.get(self.fingerprint, {}))

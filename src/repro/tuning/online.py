@@ -1,0 +1,182 @@
+"""Online re-tuning: drift-triggered knob updates in the scheduler.
+
+A tuned decision is a statement about conditions at probe time; a
+long-lived :class:`~repro.batch.scheduler.BatchScheduler` run can
+drift away from them (co-tenant load, thermal throttling, a workload
+mix the tuner never saw).  :class:`OnlineRetuner` closes the loop:
+
+* it consumes the scheduler's :class:`~repro.batch.scheduler
+  .SchedulerTick` stream (as the ``step_hook`` itself, or chained from
+  :class:`~repro.service.SimulationService`'s hook);
+* a :class:`~repro.observe.drift.DriftDetector` watches the per-sweep
+  wall time — drift is confirmed only after ``patience`` consecutive
+  window medians exceed the tuned expectation by the threshold;
+* on confirmation it journals ``retune_triggered``, runs the
+  ``retune`` callback (a short re-probe; optionally on a background
+  thread), applies the returned knobs through
+  :meth:`~repro.batch.scheduler.BatchScheduler.apply_tuning`, journals
+  ``retune_applied``, and rebaselines the detector (opening a cooldown
+  so one drift episode produces exactly one re-tune).
+
+Only **bit-identity-safe** knobs are ever applied online: the scatter
+method (both implementations accumulate identically — verified
+property) and the batch width (results are composition-independent —
+pinned by the scheduler suite).  Variant or precision changes alter
+in-flight trajectories and are therefore left to the next submission
+wave through the decision cache, never applied to running jobs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.observe.drift import DriftDetector
+
+__all__ = ["OnlineRetuner", "RetuneEvent"]
+
+
+@dataclass(frozen=True)
+class RetuneEvent:
+    """One confirmed drift episode and what was done about it."""
+
+    batch_step: int
+    observed_seconds: float
+    expected_seconds: float
+    applied: dict
+
+    @property
+    def ratio(self) -> float:
+        """Observed over expected sweep time at confirmation."""
+        return self.observed_seconds / self.expected_seconds
+
+
+class OnlineRetuner:
+    """Drift watchdog over scheduler ticks, applying re-tuned knobs.
+
+    Parameters
+    ----------
+    scheduler:
+        The :class:`~repro.batch.scheduler.BatchScheduler` to steer;
+        may be bound later via :meth:`bind` (the service rebuilds its
+        scheduler on resume).
+    expected_step_seconds:
+        The tuned per-sweep expectation (e.g. a cached decision's
+        ``measured_seconds`` times the batch width).  ``None``
+        self-baselines from the first full window.
+    drift_threshold / window / patience / cooldown:
+        Forwarded to :class:`~repro.observe.drift.DriftDetector`
+        (cooldown counted in ticks).
+    retune:
+        ``retune() -> dict`` producing the knobs to apply —
+        ``{"scatter_method": ..., "max_batch": ...}``, any subset.
+        ``None`` rebaselines without changing knobs (drift is then
+        merely journaled — still useful).
+    background:
+        ``True`` runs the re-probe callback on a daemon thread so the
+        batch never stalls behind it; knobs land at the next compatible
+        wave.  ``False`` (default) re-tunes synchronously inside the
+        tick — deterministic, what the tests use.
+    incident_log:
+        Journal for ``retune_triggered`` / ``retune_applied``; defaults
+        to the bound scheduler's log.
+    """
+
+    def __init__(
+        self,
+        scheduler=None,
+        expected_step_seconds: float | None = None,
+        drift_threshold: float = 1.5,
+        window: int = 8,
+        patience: int = 3,
+        cooldown: int = 64,
+        retune=None,
+        background: bool = False,
+        incident_log=None,
+    ) -> None:
+        self.detector = DriftDetector(
+            expected=expected_step_seconds,
+            threshold=drift_threshold,
+            window=window,
+            patience=patience,
+            cooldown=cooldown,
+        )
+        self.retune = retune
+        self.background = background
+        self.events: list[RetuneEvent] = []
+        self._scheduler = None
+        self._incidents = incident_log
+        self._retuning = threading.Lock()
+        if scheduler is not None:
+            self.bind(scheduler)
+
+    # ------------------------------------------------------------------
+    def bind(self, scheduler) -> "OnlineRetuner":
+        """Attach (or re-attach) the scheduler this retuner steers."""
+        self._scheduler = scheduler
+        if self._incidents is None:
+            self._incidents = getattr(scheduler, "incidents", None)
+        return self
+
+    def _record(self, kind: str, **detail) -> None:
+        if self._incidents is not None:
+            self._incidents.record(kind, **detail)
+
+    # ------------------------------------------------------------------
+    def observe(self, tick) -> None:
+        """Feed one scheduler tick; triggers at most one re-tune per
+        confirmed drift episode.  Usable directly as a ``step_hook``."""
+        if not self.detector.observe(tick.step_seconds):
+            return
+        # Confirmation while a background re-probe is still in flight is
+        # the same episode — do not stack a second one.
+        if not self._retuning.acquire(blocking=False):
+            return
+        observed = self.detector.median
+        expected = self.detector.expected
+        self._record(
+            "retune_triggered",
+            step=tick.batch_step,
+            observed_seconds=observed,
+            expected_seconds=expected,
+            ratio=observed / expected,
+        )
+        # Rebaseline immediately: the episode is being handled, and the
+        # cooldown guarantees exactly one re-tune per confirmation even
+        # if the re-probe runs long on a background thread.
+        self.detector.rebaseline(observed)
+        if self.background:
+            threading.Thread(
+                target=self._do_retune,
+                args=(tick.batch_step, observed, expected),
+                daemon=True,
+            ).start()
+        else:
+            self._do_retune(tick.batch_step, observed, expected)
+
+    def _do_retune(
+        self, batch_step: int, observed: float, expected: float
+    ) -> None:
+        try:
+            knobs = self.retune() if self.retune is not None else {}
+            applied = {}
+            if knobs and self._scheduler is not None:
+                applied = self._scheduler.apply_tuning(**knobs)
+            self.events.append(
+                RetuneEvent(
+                    batch_step=batch_step,
+                    observed_seconds=observed,
+                    expected_seconds=expected,
+                    applied=applied,
+                )
+            )
+            self._record(
+                "retune_applied", step=batch_step, applied=dict(applied)
+            )
+        except ConfigurationError as exc:
+            # A bad knob must not take the scheduler down mid-run; the
+            # journal carries the evidence and the old tuning stands.
+            self._record("retune_failed", step=batch_step, error=str(exc))
+        finally:
+            self._retuning.release()

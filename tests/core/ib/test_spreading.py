@@ -187,3 +187,36 @@ class TestScatterDispatch:
         spreading.scatter_flat(flat_idx, flat_w, values, contiguous, method="add_at")
         spreading.scatter_flat(flat_idx, flat_w, values, strided, method="add_at")
         assert np.array_equal(strided, contiguous)
+
+
+class TestEnvOverrideValidation:
+    """LBMIB_SCATTER is validated at read time, not at first dispatch."""
+
+    @pytest.mark.parametrize("value", ["auto", "bincount", "add_at"])
+    def test_valid_spellings_accepted(self, monkeypatch, value):
+        monkeypatch.setenv("LBMIB_SCATTER", value)
+        assert spreading._env_scatter_override() == value
+
+    def test_unset_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv("LBMIB_SCATTER", raising=False)
+        assert spreading._env_scatter_override() == "auto"
+
+    @pytest.mark.parametrize("value", ["addat", "bin_count", "np.add.at", ""])
+    def test_unknown_value_fails_loudly(self, monkeypatch, value):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("LBMIB_SCATTER", value)
+        with pytest.raises(ConfigurationError) as excinfo:
+            spreading._env_scatter_override()
+        # The message names every allowed method — a typo is a
+        # one-line fix, not an archaeology session.
+        message = str(excinfo.value)
+        for allowed in ("auto", "bincount", "add_at"):
+            assert allowed in message
+
+    def test_error_is_also_a_value_error(self, monkeypatch):
+        """Callers catching ValueError (the pre-typed contract) still
+        work."""
+        monkeypatch.setenv("LBMIB_SCATTER", "magic")
+        with pytest.raises(ValueError):
+            spreading._env_scatter_override()

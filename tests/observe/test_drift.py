@@ -1,0 +1,96 @@
+"""Tests of the sliding-window drift detector."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observe import DriftDetector
+
+
+class TestValidation:
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(threshold=1.0)
+
+    def test_expected_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(expected=0.0)
+
+    def test_window_and_patience_positive(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(window=0)
+        with pytest.raises(ConfigurationError):
+            DriftDetector(patience=0)
+
+
+class TestDetection:
+    def test_silent_until_window_fills(self):
+        d = DriftDetector(expected=1.0, window=4, patience=1)
+        for _ in range(3):
+            assert not d.observe(100.0)
+        assert d.median is None
+
+    def test_single_spike_never_triggers(self):
+        d = DriftDetector(expected=1.0, threshold=1.5, window=4, patience=2)
+        samples = [1.0, 1.0, 1.0, 1.0, 50.0, 1.0, 1.0, 1.0, 1.0]
+        assert not any(d.observe(s) for s in samples)
+
+    def test_sustained_drift_confirms_after_patience(self):
+        d = DriftDetector(expected=1.0, threshold=1.5, window=4, patience=2)
+        for _ in range(4):
+            assert not d.observe(1.0)
+        fired = [d.observe(8.0) for _ in range(6)]
+        assert any(fired)
+        # Strikes need the *median* over threshold: with a window of 4
+        # that takes 3 drifted samples, plus patience 2 -> first True at
+        # the 4th drifted sample.
+        assert fired.index(True) == 3
+
+    def test_below_threshold_resets_strikes(self):
+        d = DriftDetector(expected=1.0, threshold=1.5, window=1, patience=3)
+        assert not d.observe(2.0)
+        assert not d.observe(2.0)
+        assert not d.observe(1.0)  # strike streak broken
+        assert not d.observe(2.0)
+        assert not d.observe(2.0)
+        assert d.observe(2.0)
+
+
+class TestSelfBaselining:
+    def test_first_window_median_becomes_expected(self):
+        d = DriftDetector(expected=None, window=4, patience=1)
+        for _ in range(4):
+            d.observe(2.0)
+        assert d.expected == 2.0
+
+    def test_judges_relative_to_learned_baseline(self):
+        d = DriftDetector(expected=None, threshold=1.5, window=2, patience=1)
+        d.observe(2.0)
+        d.observe(2.0)  # baseline learned: 2.0
+        assert not d.observe(2.5)  # window median 2.0, below 2.0 * 1.5
+        assert not d.observe(4.0)  # window median 2.5, still below
+        assert d.observe(4.0)  # window median 4.0 exceeds 3.0
+
+
+class TestRebaseline:
+    def test_adopts_new_expectation_and_cools_down(self):
+        d = DriftDetector(expected=1.0, threshold=1.5, window=2, patience=1, cooldown=10)
+        d.observe(1.0)
+        d.observe(1.0)
+        assert d.observe(8.0) or d.observe(8.0)
+        d.rebaseline(8.0)
+        assert d.expected == 8.0
+        assert d.strikes == 0
+        # Inside the cooldown even huge values cannot confirm.
+        assert not any(d.observe(100.0) for _ in range(8))
+
+    def test_default_rebaseline_uses_current_median(self):
+        d = DriftDetector(expected=1.0, window=2, patience=1, cooldown=0)
+        d.observe(6.0)
+        d.observe(6.0)
+        d.rebaseline()
+        assert d.expected == 6.0
+
+    def test_rebaseline_rejects_nonpositive(self):
+        d = DriftDetector(expected=1.0, window=2)
+        with pytest.raises(ConfigurationError):
+            d.rebaseline(-1.0)

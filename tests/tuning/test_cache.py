@@ -1,0 +1,146 @@
+"""Tests of the persistent decision cache.
+
+The cache must be impossible to be hurt by: wrong schema, wrong
+machine, torn JSON, or hand-mangled entries all degrade to a miss (and
+a re-tune), never to an exception or a misread decision.
+"""
+
+import json
+
+import pytest
+
+from repro.tuning.cache import SCHEMA_VERSION, DecisionCache, TunedDecision
+from repro.tuning.space import TuningCandidate
+
+
+def _decision(key="8x8x8/fib4x4/b1/float64", variant="fused"):
+    return TunedDecision(
+        workload_key=key,
+        candidate=TuningCandidate(variant=variant, scatter="add_at"),
+        predicted_seconds=2e-3,
+        measured_seconds=1e-3,
+        model_scale=0.5,
+        probes=(
+            {"label": "fused/float64/add_at", "predicted": 2e-3,
+             "measured": 1e-3, "error": 1.0},
+        ),
+    )
+
+
+class TestDecisionRoundTrip:
+    def test_to_from_dict(self):
+        d = _decision()
+        assert TunedDecision.from_dict(d.to_dict()) == d
+
+    def test_disk_round_trip(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        cache = DecisionCache(path=path, fingerprint="host-a")
+        cache.put(_decision())
+        reloaded = DecisionCache(path=path, fingerprint="host-a")
+        assert reloaded.load_error is None
+        got = reloaded.get("8x8x8/fib4x4/b1/float64")
+        assert got == _decision()
+        assert len(reloaded) == 1
+
+    def test_in_memory_cache_never_persists(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = DecisionCache(path=None, fingerprint="host-a")
+        cache.put(_decision())
+        assert cache.get("8x8x8/fib4x4/b1/float64") is not None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestFingerprintIsolation:
+    def test_other_machine_misses(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        DecisionCache(path=path, fingerprint="host-a").put(_decision())
+        other = DecisionCache(path=path, fingerprint="host-b")
+        assert other.get("8x8x8/fib4x4/b1/float64") is None
+        assert len(other) == 0
+
+    def test_write_preserves_other_hosts(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        DecisionCache(path=path, fingerprint="host-a").put(_decision())
+        DecisionCache(path=path, fingerprint="host-b").put(
+            _decision(variant="inplace")
+        )
+        back_on_a = DecisionCache(path=path, fingerprint="host-a")
+        assert back_on_a.get("8x8x8/fib4x4/b1/float64").candidate.variant == "fused"
+
+
+class TestSchemaVersioning:
+    def test_schema_bump_discards_file(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        DecisionCache(path=path, fingerprint="host-a").put(_decision())
+        payload = json.loads(path.read_text())
+        payload["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        cache = DecisionCache(path=path, fingerprint="host-a")
+        assert cache.get("8x8x8/fib4x4/b1/float64") is None
+        assert cache.load_error is not None
+        assert str(SCHEMA_VERSION) in cache.load_error
+
+    def test_missing_schema_discards_file(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        path.write_text(json.dumps({"machines": {}}))
+        cache = DecisionCache(path=path, fingerprint="host-a")
+        assert cache.load_error is not None
+
+
+class TestCorruptionTolerance:
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "",  # truncated to nothing
+            '{"schema": 1, "machines": {',  # torn mid-write
+            "not json at all",
+            "[1, 2, 3]",  # valid JSON, wrong root type
+            '{"schema": 1}',  # no machine table
+        ],
+    )
+    def test_mangled_file_loads_empty(self, tmp_path, content):
+        path = tmp_path / "tuned.json"
+        path.write_text(content)
+        cache = DecisionCache(path=path, fingerprint="host-a")
+        assert cache.load_error is not None
+        assert len(cache) == 0
+        # ... and the next put rewrites it cleanly.
+        cache.put(_decision())
+        healed = DecisionCache(path=path, fingerprint="host-a")
+        assert healed.load_error is None
+        assert healed.get("8x8x8/fib4x4/b1/float64") is not None
+
+    def test_mangled_entry_is_a_miss_not_an_error(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        cache = DecisionCache(path=path, fingerprint="host-a")
+        cache.put(_decision())
+        payload = json.loads(path.read_text())
+        entry = payload["machines"]["host-a"]["8x8x8/fib4x4/b1/float64"]
+        del entry["candidate"]
+        path.write_text(json.dumps(payload))
+        reloaded = DecisionCache(path=path, fingerprint="host-a")
+        assert reloaded.get("8x8x8/fib4x4/b1/float64") is None
+
+    def test_unreadable_path_is_tolerated(self, tmp_path):
+        cache = DecisionCache(path=tmp_path, fingerprint="host-a")  # a dir
+        assert cache.load_error is not None
+        assert len(cache) == 0
+
+
+class TestInvalidate:
+    def test_single_key(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        cache = DecisionCache(path=path, fingerprint="host-a")
+        cache.put(_decision())
+        cache.put(_decision(key="other/fib0x0/b1/float64", variant="inplace"))
+        cache.invalidate("8x8x8/fib4x4/b1/float64")
+        assert cache.get("8x8x8/fib4x4/b1/float64") is None
+        assert cache.get("other/fib0x0/b1/float64") is not None
+
+    def test_all_keys(self, tmp_path):
+        path = tmp_path / "tuned.json"
+        cache = DecisionCache(path=path, fingerprint="host-a")
+        cache.put(_decision())
+        cache.invalidate()
+        assert len(cache) == 0
+        assert len(DecisionCache(path=path, fingerprint="host-a")) == 0

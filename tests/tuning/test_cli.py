@@ -1,0 +1,59 @@
+"""Tests of the ``python -m repro.tuning`` command line."""
+
+import json
+
+import pytest
+
+from repro.tuning.__main__ import main
+
+
+ARGS = [
+    "--shape", "8x8x8",
+    "--fibers", "4",
+    "--steps", "1",
+    "--repeats", "1",
+    "--top-n", "2",
+]
+
+
+class TestCli:
+    def test_prints_ranking_and_decision(self, capsys):
+        assert main(ARGS) == 0
+        out = capsys.readouterr().out
+        assert "workload  : 8x8x8/fib4x4/b1/float64" in out
+        assert "machine   :" in out
+        assert "decision  :" in out
+        assert "model_scale" in out
+        # The ranking table shows predictions for the whole space and
+        # measurements for the probed top-N.
+        assert "pred ms" in out and "meas ms" in out
+
+    def test_variant_set_restricts_the_table(self, capsys):
+        assert main(ARGS + ["--variant-set", "fused"]) == 0
+        out = capsys.readouterr().out
+        assert "fused/" in out
+        assert "inplace/" not in out
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "tuned.json"
+        assert main(ARGS + ["--cache", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert "tuned and stored" in first
+        payload = json.loads(cache.read_text())
+        assert payload["schema"] == 1
+        # Second run hits the cache: no probes, the decision replays.
+        assert main(ARGS + ["--cache", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert "(cached)" in second
+
+    def test_fluid_only_workload(self, capsys):
+        assert main(ARGS + ["--fibers", "0"]) == 0
+        assert "fib0x0" in capsys.readouterr().out
+
+    def test_bad_shape_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--shape", "8x8"])
+
+    def test_bad_variant_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(ARGS + ["--variant-set", "openmp"])

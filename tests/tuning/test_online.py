@@ -1,0 +1,176 @@
+"""Tests of online re-tuning in the batch scheduler.
+
+The acceptance scenario: a seeded scheduler run with injected step-time
+drift triggers exactly one online re-tune (journaled as
+``retune_triggered`` / ``retune_applied``), the re-tuned knobs are
+bit-identity-safe, and every in-flight job finishes bit-identical to
+its solo run.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import Simulation
+from repro.batch import BatchScheduler
+from repro.config import SimulationConfig
+from repro.core.ib import spreading
+from repro.errors import ConfigurationError
+from repro.tuning.online import OnlineRetuner, RetuneEvent
+from repro.verify.golden import fields_digest
+from repro.verify.oracle import seeded_initial_fluid
+
+CFG = SimulationConfig(fluid_shape=(8, 8, 8), solver="batched")
+
+
+@pytest.fixture(autouse=True)
+def _restore_scatter():
+    """Re-tunes force the scatter method through a module global."""
+    yield
+    spreading.set_scatter_method("auto")
+
+
+def _submit_seeded(scheduler, job_id, seed, steps):
+    scheduler.submit(
+        CFG, steps, job_id=job_id, initial_fluid=seeded_initial_fluid(CFG, seed)
+    )
+
+
+def _solo_digest(seed, steps):
+    sim = Simulation(CFG, initial_fluid=seeded_initial_fluid(CFG, seed))
+    sim.run(steps)
+    return fields_digest(sim.fluid, sim.structure)
+
+
+class _Tick:
+    """Minimal stand-in for SchedulerTick in unit tests."""
+
+    def __init__(self, batch_step, step_seconds):
+        self.batch_step = batch_step
+        self.step_seconds = step_seconds
+
+
+class TestUnitBehaviour:
+    def test_exactly_one_event_per_drift_episode(self):
+        retuner = OnlineRetuner(
+            expected_step_seconds=1.0,
+            drift_threshold=1.5,
+            window=4,
+            patience=2,
+            cooldown=100,
+            retune=lambda: {},
+        )
+        for i in range(8):
+            retuner.observe(_Tick(i, 1.0))
+        for i in range(8, 40):
+            retuner.observe(_Tick(i, 8.0))
+        assert len(retuner.events) == 1
+        event = retuner.events[0]
+        assert isinstance(event, RetuneEvent)
+        assert event.ratio > 1.5
+
+    def test_no_event_without_drift(self):
+        retuner = OnlineRetuner(
+            expected_step_seconds=1.0, window=4, patience=2, retune=lambda: {}
+        )
+        for i in range(40):
+            retuner.observe(_Tick(i, 1.0))
+        assert retuner.events == []
+
+    def test_bad_knob_is_journaled_not_raised(self):
+        scheduler = BatchScheduler(max_batch=2)
+        retuner = OnlineRetuner(
+            scheduler=scheduler,
+            expected_step_seconds=1.0,
+            window=1,
+            patience=1,
+            retune=lambda: {"scatter_method": "not-a-method"},
+        )
+        retuner.observe(_Tick(0, 8.0))
+        assert retuner.events == []
+        kinds = [e.kind for e in scheduler.incidents.events]
+        assert "retune_triggered" in kinds
+        assert "retune_failed" in kinds
+        assert "retune_applied" not in kinds
+
+
+class TestSchedulerIntegration:
+    def test_injected_drift_retunes_once_and_stays_bit_identical(self):
+        scheduler = BatchScheduler(max_batch=3)
+        retuner = OnlineRetuner(
+            scheduler=scheduler,
+            expected_step_seconds=1.0,
+            drift_threshold=1.5,
+            window=4,
+            patience=2,
+            cooldown=1000,
+            retune=lambda: {"scatter_method": "bincount", "max_batch": 2},
+        )
+
+        def hook(tick):
+            # Inject a synthetic step-time series: nominal for the first
+            # 8 sweeps, then a sustained 8x drift.  The scheduler's real
+            # wall times are irrelevant to the detector under test.
+            synthetic = 1.0 if tick.batch_step < 8 else 8.0
+            retuner.observe(replace(tick, step_seconds=synthetic))
+
+        scheduler.step_hook = hook
+        steps = 30
+        for i, job_id in enumerate(("a", "b", "c")):
+            _submit_seeded(scheduler, job_id, seed=i, steps=steps)
+        results = scheduler.run()
+
+        # Exactly one re-tune, journaled.
+        assert len(retuner.events) == 1
+        assert retuner.events[0].applied == {
+            "max_batch": 2,
+            "scatter_method": "bincount",
+        }
+        kinds = [e.kind for e in scheduler.incidents.events]
+        assert kinds.count("retune_triggered") == 1
+        assert kinds.count("retune_applied") == 1
+        assert kinds.count("tuning_applied") == 1
+        # The knobs actually landed.
+        assert scheduler.max_batch == 2
+        assert spreading._scatter_override == "bincount"
+
+        # In-flight jobs stayed bit-identical to their solo runs even
+        # though the scatter implementation switched mid-flight.
+        for i, job_id in enumerate(("a", "b", "c")):
+            assert results[job_id].ok
+            assert fields_digest(
+                results[job_id].fluid, results[job_id].structure
+            ) == _solo_digest(i, steps)
+
+    def test_rebinding_after_scheduler_rebuild(self):
+        first = BatchScheduler(max_batch=2)
+        retuner = OnlineRetuner(
+            scheduler=first,
+            expected_step_seconds=1.0,
+            window=1,
+            patience=1,
+            cooldown=1000,
+            retune=lambda: {"max_batch": 1},
+        )
+        second = BatchScheduler(max_batch=2)
+        retuner.bind(second)
+        retuner.observe(_Tick(0, 8.0))
+        assert second.max_batch == 1
+        assert first.max_batch == 2
+
+
+class TestApplyTuning:
+    def test_invalid_values_apply_nothing(self):
+        scheduler = BatchScheduler(max_batch=4)
+        with pytest.raises(ConfigurationError):
+            scheduler.apply_tuning(max_batch=0, scatter_method="bincount")
+        assert scheduler.max_batch == 4
+        assert spreading._scatter_override == "auto"
+
+    def test_applied_knobs_are_journaled(self):
+        scheduler = BatchScheduler(max_batch=4)
+        applied = scheduler.apply_tuning(max_batch=2)
+        assert applied == {"max_batch": 2}
+        assert any(
+            e.kind == "tuning_applied" for e in scheduler.incidents.events
+        )

@@ -1,0 +1,75 @@
+"""Tests of the model-guided prediction stage."""
+
+from repro.machine.spec import abu_dhabi, thog
+from repro.tuning.predict import predict_ranking, predict_step_seconds
+from repro.tuning.space import TuningCandidate, TuningWorkload
+
+
+WORKLOAD = TuningWorkload(
+    fluid_shape=(62, 32, 32), fiber_shape=(26, 26), precision="float64"
+)
+
+
+class TestPredictStepSeconds:
+    def test_positive_and_finite(self):
+        for variant in ("sequential", "fused", "inplace"):
+            p = predict_step_seconds(WORKLOAD, TuningCandidate(variant=variant))
+            assert p.seconds > 0
+
+    def test_inplace_beats_sequential(self):
+        # The AA-pattern layout moves fewer bytes per step (no stream,
+        # no copy) — the model must reflect that on a memory-bound grid.
+        seq = predict_step_seconds(WORKLOAD, TuningCandidate(variant="sequential"))
+        inp = predict_step_seconds(WORKLOAD, TuningCandidate(variant="inplace"))
+        assert inp.seconds < seq.seconds
+
+    def test_model_scale_is_linear_on_the_base_term(self):
+        cand = TuningCandidate(variant="fused")
+        one = predict_step_seconds(WORKLOAD, cand, model_scale=1.0)
+        half = predict_step_seconds(WORKLOAD, cand, model_scale=0.5)
+        assert abs(half.seconds - one.seconds * 0.5) < 1e-12
+
+    def test_breakdown_reconstructs_total(self):
+        p = predict_step_seconds(
+            WORKLOAD, TuningCandidate(variant="fused", scatter="bincount")
+        )
+        b = p.breakdown
+        kernel = b["base"] * b["memory_factor"] * b["compute_factor"]
+        total = (kernel + b["dispatch"] + b["scatter"]) * b["model_scale"]
+        assert abs(total - p.seconds) < 1e-15
+
+    def test_auto_scatter_is_min_of_both(self):
+        auto = predict_step_seconds(WORKLOAD, TuningCandidate(variant="fused"))
+        forced = [
+            predict_step_seconds(
+                WORKLOAD, TuningCandidate(variant="fused", scatter=s)
+            )
+            for s in ("add_at", "bincount")
+        ]
+        assert auto.seconds <= min(f.seconds for f in forced) + 1e-15
+
+    def test_machine_matters(self):
+        cand = TuningCandidate(variant="sequential")
+        a = predict_step_seconds(WORKLOAD, cand, machine=abu_dhabi())
+        b = predict_step_seconds(WORKLOAD, cand, machine=thog())
+        assert a.seconds != b.seconds
+
+
+class TestPredictRanking:
+    def test_sorted_and_deterministic(self):
+        cands = [
+            TuningCandidate(variant=v, scatter=s)
+            for v in ("sequential", "fused", "inplace")
+            for s in ("add_at", "bincount")
+        ]
+        first = predict_ranking(WORKLOAD, cands)
+        second = predict_ranking(WORKLOAD, list(reversed(cands)))
+        assert [p.candidate for p in first] == [p.candidate for p in second]
+        seconds = [p.seconds for p in first]
+        assert seconds == sorted(seconds)
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        p = predict_ranking(WORKLOAD, [TuningCandidate(variant="fused")])[0]
+        json.dumps(p.to_dict())

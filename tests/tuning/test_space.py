@@ -1,0 +1,133 @@
+"""Tests of the tuning search space (workload keys, candidates, axes)."""
+
+import pytest
+
+from repro.config import SimulationConfig, StructureConfig
+from repro.errors import ConfigurationError
+from repro.tuning.space import (
+    ORACLE_SAFE_VARIANTS,
+    TuningCandidate,
+    TuningWorkload,
+    allowed_precisions,
+    candidate_space,
+)
+
+
+def _config(shape=(8, 8, 8), fibers=4, precision="float64"):
+    structure = (
+        StructureConfig(kind="none")
+        if fibers == 0
+        else StructureConfig(
+            kind="flat_sheet", num_fibers=fibers, nodes_per_fiber=fibers
+        )
+    )
+    return SimulationConfig(
+        fluid_shape=shape, structure=structure, precision=precision
+    )
+
+
+class TestWorkload:
+    def test_key_encodes_every_axis(self):
+        w = TuningWorkload.from_config(_config(), batch_size=4)
+        assert w.key() == "8x8x8/fib4x4/b4/float64"
+
+    def test_from_config_without_structure(self):
+        w = TuningWorkload.from_config(_config(fibers=0))
+        assert w.fiber_shape == (0, 0)
+        assert w.fiber_nodes == 0
+
+    def test_distinct_workloads_distinct_keys(self):
+        a = TuningWorkload.from_config(_config(), batch_size=1)
+        b = TuningWorkload.from_config(_config(), batch_size=2)
+        c = TuningWorkload.from_config(_config(precision="float32"))
+        assert len({a.key(), b.key(), c.key()}) == 3
+
+
+class TestCandidate:
+    def test_rejects_non_oracle_safe_variant(self):
+        with pytest.raises(ConfigurationError):
+            TuningCandidate(variant="openmp")
+
+    def test_to_config_pins_variant_and_precision(self):
+        base = _config()
+        cand = TuningCandidate(variant="inplace", precision="float32")
+        config = cand.to_config(base)
+        assert config.solver == "inplace"
+        assert config.precision == "float32"
+        # The physics is untouched.
+        assert config.fluid_shape == base.fluid_shape
+        assert config.structure == base.structure
+
+    def test_dict_round_trip(self):
+        cand = TuningCandidate(
+            variant="batched", precision="mixed", scatter="add_at", batch_width=4
+        )
+        assert TuningCandidate.from_dict(cand.to_dict()) == cand
+
+
+class TestAllowedPrecisions:
+    def test_float64_contract_admits_only_float64(self):
+        assert allowed_precisions("float64") == ("float64",)
+
+    def test_float32_contract_admits_mixed(self):
+        assert set(allowed_precisions("float32")) == {"float32", "mixed"}
+
+    def test_unknown_contract_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allowed_precisions("float16")
+
+
+class TestCandidateSpace:
+    def test_every_candidate_is_oracle_safe(self):
+        w = TuningWorkload.from_config(_config(), batch_size=2)
+        for cand in candidate_space(w):
+            assert cand.variant in ORACLE_SAFE_VARIANTS
+
+    def test_scatter_axis_collapses_without_fibers(self):
+        w = TuningWorkload.from_config(_config(fibers=0))
+        assert {c.scatter for c in candidate_space(w)} == {"auto"}
+
+    def test_scatter_axis_expands_with_fibers(self):
+        w = TuningWorkload.from_config(_config(fibers=4))
+        assert {c.scatter for c in candidate_space(w)} == {"add_at", "bincount"}
+
+    def test_precision_contract_gates_the_axis(self):
+        w64 = TuningWorkload.from_config(_config(precision="float64"))
+        assert {c.precision for c in candidate_space(w64)} == {"float64"}
+        w32 = TuningWorkload.from_config(_config(precision="float32"))
+        assert {c.precision for c in candidate_space(w32)} == {
+            "float32",
+            "mixed",
+        }
+
+    def test_batched_width_follows_workload(self):
+        w = TuningWorkload.from_config(_config(), batch_size=4)
+        widths = {
+            c.batch_width for c in candidate_space(w) if c.variant == "batched"
+        }
+        assert widths == {4}
+
+    def test_table1_grid_gets_no_cube_candidates(self):
+        # gcd(62, 32, 32) == 2 < the minimum feasible edge, so the cube
+        # variant must not enter the space (its per-cube Python dispatch
+        # would dominate any probe).
+        w = TuningWorkload.from_config(_config(shape=(62, 32, 32), fibers=26))
+        assert not any(c.variant == "cube" for c in candidate_space(w))
+
+    def test_cubic_grid_gets_bounded_cube_edges(self):
+        w = TuningWorkload.from_config(_config(shape=(16, 16, 16)))
+        edges = {
+            c.cube_size for c in candidate_space(w) if c.variant == "cube"
+        }
+        assert edges  # 4, 8, 16 all divide 16
+        assert all(e >= 4 for e in edges)
+
+    def test_variant_restriction(self):
+        w = TuningWorkload.from_config(_config())
+        cands = candidate_space(w, variants=("fused",))
+        assert {c.variant for c in cands} == {"fused"}
+
+    def test_unknown_variant_restriction_rejected(self):
+        w = TuningWorkload.from_config(_config())
+        with pytest.raises(ConfigurationError):
+            candidate_space(w, variants=("openmp",))
